@@ -1,0 +1,98 @@
+// Ablation: resolution R of the hypothetical-RPF sampling grid (§4.2).
+//
+// The paper samples ω_m(u) at "a small constant" number of target utilities
+// and interpolates. This benchmark sweeps R and reports (a) the cost of
+// building + evaluating the function and (b) the approximation error of the
+// interpolated per-job utilities against a dense reference grid (R = 512),
+// quantifying the accuracy/latency trade-off behind the design choice.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/hypothetical_rpf.h"
+
+namespace mwp {
+namespace {
+
+struct Workload {
+  std::vector<JobProfile> profiles;
+  std::vector<HypotheticalJobState> states;
+  MHz aggregate = 0.0;
+
+  explicit Workload(int jobs) {
+    Rng rng(99);
+    profiles.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
+      const MHz speed = rng.Uniform(1'000.0, 3'900.0);
+      const Seconds exec = rng.Uniform(600.0, 17'600.0);
+      profiles.push_back(JobProfile::SingleStage(speed * exec, speed, 4'320.0));
+    }
+    for (int j = 0; j < jobs; ++j) {
+      const JobProfile& profile = profiles[static_cast<std::size_t>(j)];
+      HypotheticalJobState s;
+      s.profile = &profile;
+      s.goal = JobGoal::FromFactor(rng.Uniform(-5'000.0, 0.0),
+                                   rng.Uniform(1.3, 4.0),
+                                   profile.min_execution_time());
+      s.work_done = rng.Uniform(0.0, 0.8 * profile.total_work());
+      states.push_back(s);
+      // Contended: the aggregate offers less than everyone's max speed.
+      aggregate += 0.4 * profile.stage(0).max_speed;
+    }
+  }
+};
+
+void BM_HypotheticalBuildAndEvaluate(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  Workload w(jobs);
+  const auto grid = HypotheticalRpf::UniformGrid(r);
+  for (auto _ : state) {
+    HypotheticalRpf hyp(w.states, 0.0, grid);
+    auto outcomes = hyp.Evaluate(w.aggregate);
+    benchmark::DoNotOptimize(outcomes);
+  }
+
+  // Accuracy vs a dense reference grid.
+  const auto ref_grid = HypotheticalRpf::UniformGrid(512);
+  HypotheticalRpf ref(w.states, 0.0, ref_grid);
+  HypotheticalRpf coarse(w.states, 0.0, grid);
+  const auto ref_out = ref.Evaluate(w.aggregate);
+  const auto coarse_out = coarse.Evaluate(w.aggregate);
+  double max_err = 0.0, sum_err = 0.0;
+  for (std::size_t m = 0; m < ref_out.size(); ++m) {
+    const double err = std::abs(ref_out[m].utility - coarse_out[m].utility);
+    max_err = std::max(max_err, err);
+    sum_err += err;
+  }
+  state.counters["R"] = r;
+  state.counters["max_utility_err"] = max_err;
+  state.counters["mean_utility_err"] = sum_err / static_cast<double>(jobs);
+}
+BENCHMARK(BM_HypotheticalBuildAndEvaluate)
+    ->Args({100, 4})
+    ->Args({100, 8})
+    ->Args({100, 16})
+    ->Args({100, 39})
+    ->Args({100, 64})
+    ->Args({800, 16})
+    ->Args({800, 39})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DefaultGridBuild(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Workload w(jobs);
+  for (auto _ : state) {
+    HypotheticalRpf hyp(w.states, 0.0);
+    benchmark::DoNotOptimize(hyp.RowAggregate(0));
+  }
+  state.counters["jobs"] = jobs;
+}
+BENCHMARK(BM_DefaultGridBuild)->Arg(25)->Arg(100)->Arg(400)->Arg(1'600)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mwp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Microbenchmark: per-cycle runtime of the placement optimizer (§5.1).
+//
+// The paper reports ~1.5 s per cycle for Experiment One's system (25 nodes,
+// up to 75 running jobs plus queue) on a 3.2 GHz Xeon of 2008, and notes
+// that cycles where every job fits take "internal shortcuts" and run much
+// faster. This benchmark reproduces both claims across system sizes.
+#include <benchmark/benchmark.h>
+
+#include "batch/job_factory.h"
+#include "common/rng.h"
+#include "core/placement_optimizer.h"
+#include "exp/experiment1.h"
+
+namespace mwp {
+namespace {
+
+/// Snapshot with `running` placed jobs (3 per node) and `queued` waiting,
+/// in the shape of Experiment One.
+struct BenchState {
+  ClusterSpec cluster;
+  std::vector<JobProfile> profiles;
+  std::vector<JobView> jobs;
+
+  BenchState(int nodes, int running, int queued)
+      : cluster(ClusterSpec::Uniform(nodes, PaperNode())) {
+    Rng rng(1234);
+    profiles.reserve(static_cast<std::size_t>(running + queued));
+    for (int j = 0; j < running + queued; ++j) {
+      profiles.push_back(JobProfile::SingleStage(68'640'000.0, 3'900.0,
+                                                 4'320.0));
+    }
+    for (int j = 0; j < running; ++j) {
+      JobView v;
+      v.id = j;
+      v.profile = &profiles[static_cast<std::size_t>(j)];
+      v.goal = JobGoal::FromFactor(rng.Uniform(-40'000.0, 0.0), 2.7, 17'600.0);
+      v.work_done = rng.Uniform(0.0, 60'000'000.0);
+      v.status = JobStatus::kRunning;
+      v.current_node = j / 3;  // three per node, as memory allows
+      v.memory = 4'320.0;
+      v.max_speed = 3'900.0;
+      jobs.push_back(v);
+    }
+    for (int j = running; j < running + queued; ++j) {
+      JobView v;
+      v.id = j;
+      v.profile = &profiles[static_cast<std::size_t>(j)];
+      v.goal = JobGoal::FromFactor(rng.Uniform(-10'000.0, 0.0), 2.7, 17'600.0);
+      v.status = JobStatus::kNotStarted;
+      v.place_overhead = 3.6;
+      v.memory = 4'320.0;
+      v.max_speed = 3'900.0;
+      jobs.push_back(v);
+    }
+  }
+
+  PlacementSnapshot Snapshot() const {
+    return PlacementSnapshot(&cluster, 0.0, 600.0, jobs, {});
+  }
+};
+
+void BM_OptimizeLoaded(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int running = nodes * 3;
+  const int queued = static_cast<int>(state.range(1));
+  BenchState bench(nodes, running, queued);
+  const PlacementSnapshot snap = bench.Snapshot();
+  int evaluations = 0;
+  for (auto _ : state) {
+    PlacementOptimizer optimizer(&snap);
+    auto result = optimizer.Optimize();
+    evaluations = result.evaluations;
+    benchmark::DoNotOptimize(result.placement);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["jobs"] = running + queued;
+  state.counters["evaluations"] = evaluations;
+}
+BENCHMARK(BM_OptimizeLoaded)
+    ->Args({5, 5})
+    ->Args({10, 10})
+    ->Args({25, 10})     // Experiment One at typical queueing
+    ->Args({25, 50})     // deep queue
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeShortcut(benchmark::State& state) {
+  // Every job placed, nothing queued: the paper's fast path.
+  const int nodes = static_cast<int>(state.range(0));
+  BenchState bench(nodes, nodes * 3, 0);
+  const PlacementSnapshot snap = bench.Snapshot();
+  for (auto _ : state) {
+    PlacementOptimizer optimizer(&snap);
+    auto result = optimizer.Optimize();
+    benchmark::DoNotOptimize(result.used_shortcut);
+  }
+  state.counters["nodes"] = nodes;
+}
+BENCHMARK(BM_OptimizeShortcut)->Arg(5)->Arg(25)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+void BM_LoadDistributor(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  BenchState bench(nodes, nodes * 3, 0);
+  const PlacementSnapshot snap = bench.Snapshot();
+  const LoadDistributor distributor(&snap);
+  for (auto _ : state) {
+    auto result = distributor.Distribute(snap.current_placement());
+    benchmark::DoNotOptimize(result.totals);
+  }
+  state.counters["entities"] = nodes * 3;
+}
+BENCHMARK(BM_LoadDistributor)->Arg(5)->Arg(25)->Arg(50)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mwp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 2 / Figure 2 (§5.1): relative performance prediction accuracy.
+//
+// 800 identical jobs (Table 2) on 25 nodes, Poisson arrivals (mean 260 s),
+// control cycle 600 s. Prints the two series of Figure 2 — the average
+// hypothetical RP per cycle and the actual RP achieved at completion —
+// bucketed over time, plus the §5.1 claims: the 0.63 ceiling, the absence
+// of disruptive placement changes, and the per-cycle solver time.
+//
+//   ./bench_fig2_exp1 [--jobs 800] [--nodes 25] [--interarrival 260]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment1.h"
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  const CommandLine cli(argc, argv);
+  Experiment1Config cfg;
+  cfg.num_jobs = static_cast<int>(cli.GetInt("jobs", 800));
+  cfg.num_nodes = static_cast<int>(cli.GetInt("nodes", 25));
+  cfg.mean_interarrival = cli.GetDouble("interarrival", 260.0);
+  cfg.control_cycle = cli.GetDouble("cycle", 600.0);
+  cfg.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 42));
+  const bool csv = cli.GetBool("csv", false);
+  const Seconds bucket = cli.GetDouble("bucket", 10'000.0);
+
+  std::cout << "Experiment One: " << cfg.num_jobs << " identical jobs "
+            << "(68,640,000 Mc @ 3,900 MHz, 4,320 MB, goal factor 2.7) on "
+            << cfg.num_nodes << " nodes; mean inter-arrival "
+            << cfg.mean_interarrival << " s; cycle " << cfg.control_cycle
+            << " s\n\n";
+
+  const Experiment1Result r = RunExperiment1(cfg);
+
+  const TimeSeries hyp = r.hypothetical_rp.Bucketed(bucket);
+  const TimeSeries act = r.completion_rp.Bucketed(bucket);
+  Table t({"time [s]", "avg hypothetical RP", "RP at completion"});
+  std::size_t ai = 0;
+  for (const auto& p : hyp.points()) {
+    // Align the completion series to the same buckets.
+    std::string actual = "-";
+    while (ai < act.points().size() &&
+           act.points()[ai].time < p.time - bucket / 2.0) {
+      ++ai;
+    }
+    if (ai < act.points().size() &&
+        act.points()[ai].time <= p.time + bucket / 2.0) {
+      actual = FormatNumber(act.points()[ai].value, 3);
+    }
+    t.AddRow({FormatNumber(p.time, 0), FormatNumber(p.value, 3), actual});
+  }
+  std::cout << (csv ? t.ToCsv() : t.ToText()) << '\n';
+
+  Table claims({"claim (§5.1)", "paper", "measured"});
+  claims.AddRow({"jobs completed", std::to_string(cfg.num_jobs),
+                 std::to_string(r.completed)});
+  claims.AddRow({"max hypothetical RP", "0.63",
+                 FormatNumber(
+                     [&] {
+                       double mx = -1e9;
+                       for (const auto& p : r.hypothetical_rp.points())
+                         mx = std::max(mx, p.value);
+                       return mx;
+                     }(),
+                     3)});
+  claims.AddRow({"disruptive placement changes", "0",
+                 std::to_string(r.disruptive_changes)});
+  claims.AddRow({"solver time per cycle [s]", "~1.5 (2008 hardware)",
+                 FormatNumber(r.solver_seconds.mean(), 4) + " avg / " +
+                     FormatNumber(r.solver_seconds.max(), 4) + " max"});
+  std::cout << claims.ToText();
+  std::cout << "\nExpected shape: hypothetical RP plateaus at 0.63, dips when "
+               "queueing builds,\nand the completion-time series repeats the "
+               "same shape shifted right by ~18,000 s.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 3 (§5.2): percentage of jobs that met the deadline, per scheduler,
+// across the inter-arrival sweep 400 s … 50 s.
+//
+//   ./bench_fig3_goal_satisfaction [--jobs 800] [--interarrivals 400,350,...]
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment2.h"
+
+namespace {
+
+std::vector<double> ParseList(const std::string& csv_list) {
+  std::vector<double> out;
+  std::stringstream ss(csv_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  const CommandLine cli(argc, argv);
+  const int jobs = static_cast<int>(cli.GetInt("jobs", 800));
+  const auto interarrivals = ParseList(
+      cli.GetString("interarrivals", "400,350,300,250,200,150,100,50"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
+  const bool csv = cli.GetBool("csv", false);
+
+  std::cout << "Experiment Two / Figure 3: % of jobs meeting their "
+               "completion-time goal\n("
+            << jobs << " completions per point; same workload sequence for "
+               "all schedulers)\n\n";
+
+  Table t({"inter-arrival [s]", "FCFS", "EDF", "APC"});
+  for (double ia : interarrivals) {
+    std::vector<std::string> row = {FormatNumber(ia, 0)};
+    for (auto kind :
+         {SchedulerKind::kFcfs, SchedulerKind::kEdf, SchedulerKind::kApc}) {
+      Experiment2Config cfg;
+      cfg.completed_jobs_target = jobs;
+      cfg.mean_interarrival = ia;
+      cfg.scheduler = kind;
+      cfg.seed = seed;
+      const Experiment2Result r = RunExperiment2(cfg);
+      row.push_back(FormatNumber(100.0 * r.deadline_satisfaction, 1) + "%");
+    }
+    t.AddRow(row);
+    std::cerr << "  done inter-arrival " << ia << " s\n";
+  }
+  std::cout << (csv ? t.ToCsv() : t.ToText());
+  std::cout << "\nExpected shape (paper): all comparable above ~150 s; FCFS "
+               "collapses to ~40-50%\nby 50 s while EDF and APC stay high "
+               "and comparable.\n";
+  return 0;
+}

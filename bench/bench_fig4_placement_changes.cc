@@ -1,0 +1,68 @@
+// Figure 4 (§5.2): number of jobs migrated, suspended, and resumed per
+// scheduler across the inter-arrival sweep. FCFS is non-preemptive (always
+// zero); EDF churns heavily under load; APC achieves a comparable on-time
+// rate with many fewer changes.
+//
+//   ./bench_fig4_placement_changes [--jobs 800] [--interarrivals ...]
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment2.h"
+
+namespace {
+
+std::vector<double> ParseList(const std::string& csv_list) {
+  std::vector<double> out;
+  std::stringstream ss(csv_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  const CommandLine cli(argc, argv);
+  const int jobs = static_cast<int>(cli.GetInt("jobs", 800));
+  const auto interarrivals = ParseList(
+      cli.GetString("interarrivals", "400,350,300,250,200,150,100,50"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
+  const bool csv = cli.GetBool("csv", false);
+
+  std::cout << "Experiment Two / Figure 4: disruptive placement changes "
+               "(suspend + resume + migrate)\n\n";
+
+  Table t({"inter-arrival [s]", "FCFS", "EDF", "APC", "EDF detail (s/r/m)",
+           "APC detail (s/r/m)"});
+  for (double ia : interarrivals) {
+    std::vector<std::string> row = {FormatNumber(ia, 0)};
+    std::string edf_detail, apc_detail;
+    for (auto kind :
+         {SchedulerKind::kFcfs, SchedulerKind::kEdf, SchedulerKind::kApc}) {
+      Experiment2Config cfg;
+      cfg.completed_jobs_target = jobs;
+      cfg.mean_interarrival = ia;
+      cfg.scheduler = kind;
+      cfg.seed = seed;
+      const Experiment2Result r = RunExperiment2(cfg);
+      row.push_back(FormatNumber(r.disruptive_changes, 0));
+      const std::string detail = FormatNumber(r.changes.suspends, 0) + "/" +
+                                 FormatNumber(r.changes.resumes, 0) + "/" +
+                                 FormatNumber(r.changes.migrations, 0);
+      if (kind == SchedulerKind::kEdf) edf_detail = detail;
+      if (kind == SchedulerKind::kApc) apc_detail = detail;
+    }
+    row.push_back(edf_detail);
+    row.push_back(apc_detail);
+    t.AddRow(row);
+    std::cerr << "  done inter-arrival " << ia << " s\n";
+  }
+  std::cout << (csv ? t.ToCsv() : t.ToText());
+  std::cout << "\nExpected shape (paper): FCFS = 0 everywhere; EDF grows "
+               "steeply once the\ninter-arrival time drops to 150 s or less; "
+               "APC makes many fewer changes than EDF.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5 (§5.2): distribution of the distance to the completion-time goal
+// at job completion, split by relative goal factor (1.3 / 2.5 / 4.0), for
+// two mean inter-arrival times (the paper shows 200 s and 50 s).
+//
+//   ./bench_fig5_distance_distribution [--jobs 800] [--interarrivals 200,50]
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment2.h"
+
+namespace {
+
+std::vector<double> ParseList(const std::string& csv_list) {
+  std::vector<double> out;
+  std::stringstream ss(csv_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  const CommandLine cli(argc, argv);
+  const int jobs = static_cast<int>(cli.GetInt("jobs", 800));
+  const auto interarrivals = ParseList(cli.GetString("interarrivals", "200,50"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
+  const bool csv = cli.GetBool("csv", false);
+
+  std::cout << "Experiment Two / Figure 5: distance to the goal at "
+               "completion time [s]\n(positive = early; grouped by relative "
+               "goal factor)\n\n";
+
+  for (double ia : interarrivals) {
+    std::cout << "--- mean inter-arrival " << FormatNumber(ia, 0) << " s ---\n";
+    Table t({"scheduler", "factor", "n", "min", "p10", "median", "p90", "max",
+             "spread (p90-p10)"});
+    for (auto kind :
+         {SchedulerKind::kApc, SchedulerKind::kEdf, SchedulerKind::kFcfs}) {
+      Experiment2Config cfg;
+      cfg.completed_jobs_target = jobs;
+      cfg.mean_interarrival = ia;
+      cfg.scheduler = kind;
+      cfg.seed = seed;
+      const Experiment2Result r = RunExperiment2(cfg);
+      for (double factor : {1.3, 2.5, 4.0}) {
+        const auto group = FilterByGoalFactor(r.outcomes, factor);
+        const Sample d = DistanceSample(group);
+        if (d.empty()) continue;
+        t.AddRow({ToString(kind), FormatNumber(factor, 1),
+                  FormatNumber(static_cast<double>(d.count()), 0),
+                  FormatNumber(d.min(), 0), FormatNumber(d.Percentile(10.0), 0),
+                  FormatNumber(d.median(), 0),
+                  FormatNumber(d.Percentile(90.0), 0), FormatNumber(d.max(), 0),
+                  FormatNumber(d.Percentile(90.0) - d.Percentile(10.0), 0)});
+      }
+      std::cerr << "  done " << ToString(kind) << " @ " << ia << " s\n";
+    }
+    std::cout << (csv ? t.ToCsv() : t.ToText()) << '\n';
+  }
+  std::cout << "Expected shape (paper): at 200 s all three algorithms form "
+               "tight clusters per\nfactor; at 50 s APC's distances cluster "
+               "more tightly than EDF's (smallest spread\nfor factor 1.3), "
+               "showing APC equalizes satisfaction across jobs.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7 (§5.3): CPU power (MHz) allocated to each workload over time for
+// the three system configurations of Experiment Three.
+//
+//   ./bench_fig7_heterogeneous_alloc [--duration 65000] [--bucket 5000]
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "exp/experiment3.h"
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  const CommandLine cli(argc, argv);
+  Experiment3Config base;
+  base.duration = cli.GetDouble("duration", 65'000.0);
+  base.burst_interarrival = cli.GetDouble("burst-interarrival", 180.0);
+  base.ease_time = cli.GetDouble("ease-time", 42'000.0);
+  base.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 11));
+  const Seconds bucket = cli.GetDouble("bucket", 5'000.0);
+  const bool csv = cli.GetBool("csv", false);
+
+  std::cout << "Experiment Three / Figure 7: CPU allocation per workload "
+               "[MHz]\n\n";
+
+  std::vector<Experiment3Result> results;
+  std::vector<Experiment3Mode> modes = {Experiment3Mode::kDynamicApc,
+                                        Experiment3Mode::kStatic9Tx16Lr,
+                                        Experiment3Mode::kStatic6Tx19Lr};
+  for (auto mode : modes) {
+    Experiment3Config cfg = base;
+    cfg.mode = mode;
+    results.push_back(RunExperiment3(cfg));
+    std::cerr << "  done " << ToString(mode) << '\n';
+  }
+
+  Table t({"time [s]", "APC TX", "APC LR", "9/16 TX", "9/16 LR", "6/19 TX",
+           "6/19 LR"});
+  for (Seconds time = bucket / 2.0; time < base.duration; time += bucket) {
+    std::vector<std::string> row = {FormatNumber(time, 0)};
+    for (const auto& r : results) {
+      const double tx = r.tx_alloc.MeanInWindow(time - bucket / 2.0,
+                                                time + bucket / 2.0);
+      const double lr = r.batch_alloc.MeanInWindow(time - bucket / 2.0,
+                                                   time + bucket / 2.0);
+      row.push_back(std::isnan(tx) ? "-" : FormatNumber(tx, 0));
+      row.push_back(std::isnan(lr) ? "-" : FormatNumber(lr, 0));
+    }
+    t.AddRow(row);
+  }
+  std::cout << (csv ? t.ToCsv() : t.ToText());
+  std::cout << "\nExpected shape (paper): under APC the TX allocation starts "
+               "near its ~130,000 MHz\nsaturation, shrinks as the LR "
+               "workload builds (the LR share grows), and recovers\nwhen "
+               "submissions ease. Static splits hold both allocations "
+               "constant (TX capped at\nits partition's capacity).\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "batch/arrival_process.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+PoissonArrivalProcess::PoissonArrivalProcess(Rng rng, Seconds mean_interarrival,
+                                             Seconds start_time)
+    : rng_(rng), mean_(mean_interarrival), next_time_(start_time) {
+  MWP_CHECK(mean_ > 0.0);
+  MWP_CHECK(start_time >= 0.0);
+}
+
+Seconds PoissonArrivalProcess::NextArrival() {
+  next_time_ += rng_.Exponential(mean_);
+  return next_time_;
+}
+
+void PoissonArrivalProcess::set_mean_interarrival(Seconds mean) {
+  MWP_CHECK(mean > 0.0);
+  mean_ = mean;
+}
+
+FixedArrivalProcess::FixedArrivalProcess(std::vector<Seconds> times)
+    : times_(std::move(times)) {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    MWP_CHECK_MSG(times_[i] >= times_[i - 1],
+                  "arrival times must be non-decreasing");
+  }
+}
+
+Seconds FixedArrivalProcess::NextArrival() {
+  MWP_CHECK_MSG(!exhausted(), "fixed arrival schedule exhausted");
+  return times_[index_++];
+}
+
+std::vector<Seconds> GenerateSchedule(ArrivalProcess& process, int count) {
+  MWP_CHECK(count >= 0);
+  std::vector<Seconds> schedule;
+  schedule.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) schedule.push_back(process.NextArrival());
+  return schedule;
+}
+
+}  // namespace mwp

@@ -1,0 +1,60 @@
+// Job arrival processes.
+//
+// The paper submits jobs with exponentially distributed inter-arrival times
+// (mean 260 s in Experiment One; 50..400 s sweeps in Experiment Two). The
+// ArrivalProcess abstraction yields successive submission timestamps;
+// GenerateSchedule materializes a finite schedule for a simulation run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace mwp {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Time of the next arrival strictly after the previous one.
+  virtual Seconds NextArrival() = 0;
+};
+
+/// Poisson arrivals: exponential inter-arrival times with a fixed mean.
+class PoissonArrivalProcess : public ArrivalProcess {
+ public:
+  PoissonArrivalProcess(Rng rng, Seconds mean_interarrival,
+                        Seconds start_time = 0.0);
+
+  Seconds NextArrival() override;
+
+  /// Change the mean mid-run (Experiment Three slows submissions near the
+  /// end of the experiment).
+  void set_mean_interarrival(Seconds mean);
+
+ private:
+  Rng rng_;
+  Seconds mean_;
+  Seconds next_time_;
+};
+
+/// Fixed, caller-supplied arrival instants (used by the §4.3 example where
+/// J1, J2, J3 arrive at 0, 1, 2 s).
+class FixedArrivalProcess : public ArrivalProcess {
+ public:
+  explicit FixedArrivalProcess(std::vector<Seconds> times);
+
+  Seconds NextArrival() override;
+  bool exhausted() const { return index_ >= times_.size(); }
+
+ private:
+  std::vector<Seconds> times_;
+  std::size_t index_ = 0;
+};
+
+/// First `count` arrival instants of `process`.
+std::vector<Seconds> GenerateSchedule(ArrivalProcess& process, int count);
+
+}  // namespace mwp

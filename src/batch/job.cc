@@ -1,0 +1,218 @@
+#include "batch/job.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwp {
+
+JobProfile::JobProfile(std::vector<JobStage> stages)
+    : stages_(std::move(stages)) {
+  MWP_CHECK(!stages_.empty());
+  for (const JobStage& s : stages_) {
+    MWP_CHECK(s.work > 0.0);
+    MWP_CHECK(s.max_speed > 0.0);
+    MWP_CHECK(s.min_speed >= 0.0 && s.min_speed <= s.max_speed);
+    MWP_CHECK(s.memory >= 0.0);
+    total_work_ += s.work;
+    min_execution_time_ += s.MinDuration();
+    max_memory_ = std::max(max_memory_, s.memory);
+  }
+}
+
+JobProfile JobProfile::SingleStage(Megacycles work, MHz max_speed,
+                                   Megabytes memory, MHz min_speed) {
+  return JobProfile({JobStage{work, max_speed, min_speed, memory}});
+}
+
+int JobProfile::StageAt(Megacycles done) const {
+  MWP_CHECK(done >= 0.0);
+  Megacycles acc = 0.0;
+  for (int k = 0; k < num_stages(); ++k) {
+    acc += stages_[static_cast<std::size_t>(k)].work;
+    if (done < acc - kEpsilon) return k;
+  }
+  return num_stages();
+}
+
+Megacycles JobProfile::RemainingWork(Megacycles done) const {
+  return std::max(0.0, total_work_ - done);
+}
+
+Seconds JobProfile::MinRemainingTime(Megacycles done) const {
+  Seconds t = 0.0;
+  Megacycles acc = 0.0;
+  for (const JobStage& s : stages_) {
+    const Megacycles stage_end = acc + s.work;
+    if (done < stage_end - kEpsilon) {
+      const Megacycles left = stage_end - std::max(done, acc);
+      t += left / s.max_speed;
+    }
+    acc = stage_end;
+  }
+  return t;
+}
+
+Seconds JobProfile::RemainingTimeAtSpeed(Megacycles done, MHz speed) const {
+  MWP_CHECK(speed >= 0.0);
+  if (RemainingWork(done) <= kEpsilon) return 0.0;
+  if (speed <= 0.0) return kTimeForever;
+  Seconds t = 0.0;
+  Megacycles acc = 0.0;
+  for (const JobStage& s : stages_) {
+    const Megacycles stage_end = acc + s.work;
+    if (done < stage_end - kEpsilon) {
+      const Megacycles left = stage_end - std::max(done, acc);
+      t += left / std::min(speed, s.max_speed);
+    }
+    acc = stage_end;
+  }
+  return t;
+}
+
+Megacycles JobProfile::WorkAfterRunning(Megacycles done, MHz speed,
+                                        Seconds duration) const {
+  MWP_CHECK(speed >= 0.0 && duration >= 0.0);
+  Megacycles progress = done;
+  Seconds remaining_time = duration;
+  Megacycles acc = 0.0;
+  for (const JobStage& s : stages_) {
+    const Megacycles stage_end = acc + s.work;
+    if (progress < stage_end - kEpsilon && remaining_time > 0.0) {
+      const MHz eff = std::min(speed, s.max_speed);
+      if (eff <= 0.0) break;  // cannot progress in this stage
+      const Megacycles left = stage_end - std::max(progress, acc);
+      const Seconds need = left / eff;
+      if (need <= remaining_time) {
+        progress = stage_end;
+        remaining_time -= need;
+      } else {
+        progress = std::max(progress, acc) + eff * remaining_time;
+        remaining_time = 0.0;
+      }
+    }
+    acc = stage_end;
+  }
+  return std::min(progress, total_work_);
+}
+
+JobGoal JobGoal::FromFactor(Seconds submit_time, double factor,
+                            Seconds min_execution_time) {
+  MWP_CHECK(factor > 0.0);
+  MWP_CHECK(min_execution_time > 0.0);
+  JobGoal g;
+  g.submit_time = submit_time;
+  g.desired_start = submit_time;
+  g.completion_goal = submit_time + factor * min_execution_time;
+  return g;
+}
+
+const char* ToString(JobStatus status) {
+  switch (status) {
+    case JobStatus::kNotStarted:
+      return "not-started";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kSuspended:
+      return "suspended";
+    case JobStatus::kPaused:
+      return "paused";
+    case JobStatus::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+Job::Job(AppId id, std::string name, JobProfile profile, JobGoal goal)
+    : id_(id), name_(std::move(name)), profile_(std::move(profile)), goal_(goal) {
+  MWP_CHECK(goal_.desired_start >= goal_.submit_time);
+  MWP_CHECK_MSG(goal_.completion_goal > goal_.desired_start,
+                "job " << name_ << " has non-positive relative goal");
+}
+
+MHz Job::effective_speed() const {
+  const int k = current_stage();
+  if (k >= profile_.num_stages()) return 0.0;
+  return std::min(allocated_speed_, profile_.stage(k).max_speed);
+}
+
+Utility Job::UtilityForCompletion(Seconds t) const {
+  return (goal_.completion_goal - t) / goal_.relative_goal();
+}
+
+Utility Job::achieved_utility() const {
+  MWP_CHECK_MSG(completion_time_.has_value(),
+                "job " << name_ << " has not completed");
+  return UtilityForCompletion(*completion_time_);
+}
+
+Seconds Job::EarliestCompletion(Seconds now) const {
+  const Seconds start = std::max(now, overhead_until_);
+  return start + profile_.MinRemainingTime(work_done_);
+}
+
+Utility Job::MaxAchievableUtility(Seconds now) const {
+  return UtilityForCompletion(EarliestCompletion(now));
+}
+
+void Job::Place(NodeId node, Seconds now, Seconds overhead) {
+  MWP_CHECK(node != kInvalidNode);
+  MWP_CHECK(!completed());
+  MWP_CHECK(overhead >= 0.0);
+  node_ = node;
+  status_ = JobStatus::kRunning;
+  ever_started_ = true;
+  overhead_until_ = std::max(overhead_until_, now + overhead);
+}
+
+void Job::Suspend(Seconds now) {
+  MWP_CHECK_MSG(placed(), "cannot suspend job " << name_ << " in state "
+                                                << ToString(status_));
+  (void)now;
+  node_ = kInvalidNode;
+  allocated_speed_ = 0.0;
+  status_ = JobStatus::kSuspended;
+}
+
+void Job::Pause(Seconds now) {
+  MWP_CHECK(placed());
+  (void)now;
+  allocated_speed_ = 0.0;
+  status_ = JobStatus::kPaused;
+}
+
+void Job::SetAllocation(MHz speed) {
+  MWP_CHECK(speed >= 0.0);
+  MWP_CHECK_MSG(placed(), "cannot allocate CPU to job " << name_
+                                                        << " in state "
+                                                        << ToString(status_));
+  allocated_speed_ = speed;
+  status_ = speed > 0.0 ? JobStatus::kRunning : JobStatus::kPaused;
+}
+
+bool Job::AdvanceTo(Seconds from, Seconds to) {
+  MWP_CHECK(to >= from);
+  if (completed() || !placed() || allocated_speed_ <= 0.0) return false;
+  // No progress while a VM operation is in flight.
+  const Seconds exec_start = std::max(from, overhead_until_);
+  if (exec_start >= to) return false;
+
+  const Megacycles before = work_done_;
+  // Time-based completion test: robust to rounding in the work accumulator
+  // (completion events are scheduled at exactly this instant, so a small
+  // slack absorbs double-precision drift).
+  const Seconds run_needed =
+      profile_.RemainingTimeAtSpeed(before, allocated_speed_);
+  if (run_needed <= (to - exec_start) + 1e-6) {
+    completion_time_ = exec_start + run_needed;
+    work_done_ = profile_.total_work();
+    status_ = JobStatus::kCompleted;
+    node_ = kInvalidNode;
+    allocated_speed_ = 0.0;
+    return true;
+  }
+  work_done_ =
+      profile_.WorkAfterRunning(before, allocated_speed_, to - exec_start);
+  return false;
+}
+
+}  // namespace mwp

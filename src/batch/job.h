@@ -1,0 +1,217 @@
+// Batch job model (§4.1 of the paper).
+//
+// A job's resource usage profile is a sequence of stages; each stage k has
+// CPU work α_k (megacycles), a speed window [ω_min_k, ω_max_k] and a memory
+// requirement γ_k. The SLA objective is a completion time goal τ; the RPF of
+// an actual completion time t is  u(t) = (τ − t) / (τ − τ_start)  (Eq. 2).
+//
+// Job runtime state tracks the paper's status set {not-started, running,
+// suspended, paused} plus completed, the CPU time consumed so far α*, and
+// any in-flight virtualization overhead (boot/suspend/resume/migrate) during
+// which the job makes no progress.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mwp {
+
+struct JobStage {
+  Megacycles work = 0.0;          ///< α_k: CPU cycles consumed in this stage
+  MHz max_speed = 0.0;            ///< ω_max_k: fastest the stage can run
+  MHz min_speed = 0.0;            ///< ω_min_k: slowest it may run while placed
+  Megabytes memory = 0.0;         ///< γ_k: memory footprint during the stage
+
+  /// Shortest possible duration of the stage.
+  Seconds MinDuration() const {
+    MWP_CHECK(max_speed > 0.0);
+    return work / max_speed;
+  }
+};
+
+/// Immutable resource usage profile: the stage sequence s_1..s_Nm.
+class JobProfile {
+ public:
+  JobProfile() = default;
+  explicit JobProfile(std::vector<JobStage> stages);
+
+  /// Single-stage convenience constructor (the shape of every job in the
+  /// paper's experiments).
+  static JobProfile SingleStage(Megacycles work, MHz max_speed,
+                                Megabytes memory, MHz min_speed = 0.0);
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const JobStage& stage(int k) const {
+    MWP_CHECK(k >= 0 && k < num_stages());
+    return stages_[static_cast<std::size_t>(k)];
+  }
+  const std::vector<JobStage>& stages() const { return stages_; }
+
+  /// Total CPU work across all stages, megacycles.
+  Megacycles total_work() const { return total_work_; }
+
+  /// t_best: execution time when every stage runs at its maximum speed.
+  Seconds min_execution_time() const { return min_execution_time_; }
+
+  /// Largest stage memory requirement — the VM must be sized for it.
+  Megabytes max_memory() const { return max_memory_; }
+
+  /// Stage index active after `done` megacycles of progress; returns
+  /// num_stages() when the job is complete.
+  int StageAt(Megacycles done) const;
+
+  /// Work remaining after `done` megacycles of progress.
+  Megacycles RemainingWork(Megacycles done) const;
+
+  /// Shortest possible time to finish the remaining work (all remaining
+  /// stages at max speed).
+  Seconds MinRemainingTime(Megacycles done) const;
+
+  /// Time needed to finish the remaining work when the job runs at a
+  /// constant allocation `speed`, honouring each stage's max-speed cap
+  /// (excess allocation above a stage's ω_max is wasted, not banked).
+  Seconds RemainingTimeAtSpeed(Megacycles done, MHz speed) const;
+
+  /// Work completed after running for `duration` starting from `done`
+  /// progress at constant allocation `speed` (per-stage max-speed capped).
+  Megacycles WorkAfterRunning(Megacycles done, MHz speed,
+                              Seconds duration) const;
+
+ private:
+  std::vector<JobStage> stages_;
+  Megacycles total_work_ = 0.0;
+  Seconds min_execution_time_ = 0.0;
+  Megabytes max_memory_ = 0.0;
+};
+
+/// SLA objective for a job (§4.1 "Performance objectives").
+struct JobGoal {
+  Seconds submit_time = 0.0;       ///< when the job entered the system
+  Seconds desired_start = 0.0;     ///< τ_start (>= submit_time)
+  Seconds completion_goal = 0.0;   ///< τ (> desired_start)
+
+  /// τ − τ_start, the relative goal.
+  Seconds relative_goal() const { return completion_goal - desired_start; }
+
+  /// The paper's relative goal factor: relative goal / t_best.
+  static JobGoal FromFactor(Seconds submit_time, double factor,
+                            Seconds min_execution_time);
+};
+
+enum class JobStatus {
+  kNotStarted,  ///< queued, never run
+  kRunning,     ///< placed and eligible for CPU
+  kSuspended,   ///< VM suspended to disk; progress preserved
+  kPaused,      ///< placed but currently allocated no CPU
+  kCompleted,   ///< all work done
+};
+
+const char* ToString(JobStatus status);
+
+/// A batch job: profile + goal + mutable runtime state. The simulator and
+/// placement controllers are the only mutators.
+class Job {
+ public:
+  Job(AppId id, std::string name, JobProfile profile, JobGoal goal);
+
+  AppId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const JobProfile& profile() const { return profile_; }
+  const JobGoal& goal() const { return goal_; }
+
+  JobStatus status() const { return status_; }
+  bool placed() const {
+    return status_ == JobStatus::kRunning || status_ == JobStatus::kPaused;
+  }
+  bool completed() const { return status_ == JobStatus::kCompleted; }
+
+  /// α*: CPU work consumed so far, megacycles.
+  Megacycles work_done() const { return work_done_; }
+  Megacycles remaining_work() const {
+    return profile_.RemainingWork(work_done_);
+  }
+  int current_stage() const { return profile_.StageAt(work_done_); }
+
+  /// Node hosting the job's VM; kInvalidNode when not placed (a suspended
+  /// VM's image is not pinned to a node — it may resume anywhere).
+  NodeId node() const { return node_; }
+
+  /// Speed allocated for the current control cycle, MHz.
+  MHz allocated_speed() const { return allocated_speed_; }
+
+  /// Effective execution speed: allocation capped by the current stage's
+  /// max speed.
+  MHz effective_speed() const;
+
+  /// End of any in-flight VM operation; the job makes no progress before
+  /// this instant. kTimeForever is never stored; 0 means "no overhead".
+  Seconds overhead_until() const { return overhead_until_; }
+
+  std::optional<Seconds> completion_time() const { return completion_time_; }
+
+  /// Relative performance for completing at time t (Eq. 2).
+  Utility UtilityForCompletion(Seconds t) const;
+
+  /// Achieved relative performance; only valid once completed.
+  Utility achieved_utility() const;
+
+  /// Earliest possible completion given current progress, if the job ran at
+  /// max speed from `now` (after any pending overhead).
+  Seconds EarliestCompletion(Seconds now) const;
+
+  /// Highest relative performance still achievable at time `now`
+  /// (the paper's u_max_m used to clamp the W and V matrices, Eq. 4/5).
+  Utility MaxAchievableUtility(Seconds now) const;
+
+  // --- mutators used by the simulator / controllers ---
+
+  /// Place and start/resume the job on `node`; `overhead` is the VM
+  /// boot/resume/migrate latency before execution begins.
+  void Place(NodeId node, Seconds now, Seconds overhead);
+
+  /// Remove from its node, preserving progress (suspend). `overhead` is the
+  /// suspend latency: the *next* resume cannot complete before it is paid —
+  /// we account for it by charging it at resume time via the cost model.
+  void Suspend(Seconds now);
+
+  /// Keep placed but allocate zero CPU.
+  void Pause(Seconds now);
+
+  /// Set this cycle's CPU allocation (0 allowed for paused jobs).
+  void SetAllocation(MHz speed);
+
+  /// Advance execution from `from` to `to` at the current allocation.
+  /// Returns true when the job completed during the interval; sets the
+  /// completion time exactly (not just at interval end).
+  bool AdvanceTo(Seconds from, Seconds to);
+
+  /// Extend the job's VM-operation overhead window to at least `until`
+  /// (e.g. the tail of a suspend operation charged by the controller).
+  void ExtendOverhead(Seconds until) {
+    overhead_until_ = std::max(overhead_until_, until);
+  }
+
+  /// Whether the job has ever been started.
+  bool ever_started() const { return ever_started_; }
+
+ private:
+  AppId id_;
+  std::string name_;
+  JobProfile profile_;
+  JobGoal goal_;
+
+  JobStatus status_ = JobStatus::kNotStarted;
+  Megacycles work_done_ = 0.0;
+  NodeId node_ = kInvalidNode;
+  MHz allocated_speed_ = 0.0;
+  Seconds overhead_until_ = 0.0;
+  std::optional<Seconds> completion_time_;
+  bool ever_started_ = false;
+};
+
+}  // namespace mwp

@@ -1,0 +1,90 @@
+#include "batch/job_factory.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mwp {
+
+IdenticalJobFactory::IdenticalJobFactory(JobProfile profile,
+                                         double relative_goal_factor,
+                                         AppId first_id)
+    : profile_(std::move(profile)),
+      factor_(relative_goal_factor),
+      next_id_(first_id) {
+  MWP_CHECK(factor_ > 0.0);
+}
+
+std::unique_ptr<Job> IdenticalJobFactory::Create(Seconds submit_time) {
+  const AppId id = next_id_++;
+  std::ostringstream name;
+  name << "job-" << id;
+  return std::make_unique<Job>(
+      id, name.str(), profile_,
+      JobGoal::FromFactor(submit_time, factor_, profile_.min_execution_time()));
+}
+
+std::unique_ptr<IdenticalJobFactory> IdenticalJobFactory::PaperExperimentOne(
+    AppId first_id) {
+  // Table 2: 68,640,000 Mcycles at max 3,900 MHz (17,600 s minimum execution
+  // time), 4,320 MB, relative goal factor 2.7 (goal 47,520 s).
+  JobProfile profile = JobProfile::SingleStage(
+      /*work=*/68'640'000.0, /*max_speed=*/3'900.0, /*memory=*/4'320.0);
+  return std::make_unique<IdenticalJobFactory>(std::move(profile), 2.7,
+                                               first_id);
+}
+
+MixtureJobFactory::MixtureJobFactory(std::vector<Shape> shapes,
+                                     std::vector<GoalFactor> factors, Rng rng,
+                                     AppId first_id)
+    : shapes_(std::move(shapes)),
+      factors_(std::move(factors)),
+      rng_(rng),
+      next_id_(first_id) {
+  MWP_CHECK(!shapes_.empty());
+  MWP_CHECK(!factors_.empty());
+  for (const Shape& s : shapes_) {
+    MWP_CHECK(s.min_execution_time > 0.0 && s.max_speed > 0.0 &&
+              s.probability >= 0.0);
+    shape_weights_.push_back(s.probability);
+  }
+  for (const GoalFactor& f : factors_) {
+    MWP_CHECK(f.factor > 0.0 && f.probability >= 0.0);
+    factor_weights_.push_back(f.probability);
+  }
+}
+
+std::unique_ptr<Job> MixtureJobFactory::Create(Seconds submit_time) {
+  const Shape& shape = shapes_[rng_.Discrete(shape_weights_)];
+  const GoalFactor& gf = factors_[rng_.Discrete(factor_weights_)];
+  const Megacycles work = shape.min_execution_time * shape.max_speed;
+  JobProfile profile =
+      JobProfile::SingleStage(work, shape.max_speed, shape.memory);
+  const AppId id = next_id_++;
+  std::ostringstream name;
+  name << "job-" << id;
+  return std::make_unique<Job>(
+      id, name.str(), std::move(profile),
+      JobGoal::FromFactor(submit_time, gf.factor, shape.min_execution_time));
+}
+
+std::unique_ptr<MixtureJobFactory> MixtureJobFactory::PaperExperimentTwo(
+    Rng rng, AppId first_id) {
+  // §5.2: goal factors {1.3, 2.5, 4.0} at {10%, 30%, 60%}; shapes
+  // {(9,000 s, 3,900 MHz), (17,600 s, 1,560 MHz), (600 s, 2,340 MHz)} at
+  // {10%, 40%, 50%}. Memory follows Experiment One (4,320 MB → 3 jobs/node).
+  std::vector<Shape> shapes = {
+      {9'000.0, 3'900.0, 4'320.0, 0.10},
+      {17'600.0, 1'560.0, 4'320.0, 0.40},
+      {600.0, 2'340.0, 4'320.0, 0.50},
+  };
+  std::vector<GoalFactor> factors = {
+      {1.3, 0.10},
+      {2.5, 0.30},
+      {4.0, 0.60},
+  };
+  return std::make_unique<MixtureJobFactory>(std::move(shapes),
+                                             std::move(factors), rng, first_id);
+}
+
+}  // namespace mwp

@@ -1,0 +1,84 @@
+// Synthetic job generators matching the paper's experimental workloads.
+//
+// Experiment One / Three (§5.1, §5.3): 800 identical jobs, each 68,640,000
+// megacycles at a maximum speed of 3,900 MHz (one processor), 4,320 MB of
+// memory and relative goal factor 2.7.
+//
+// Experiment Two (§5.2): a mixture — relative goal factor ∈ {1.3, 2.5, 4.0}
+// with probabilities {10%, 30%, 60%}; (minimum execution time, max speed) ∈
+// {(9,000 s, 3,900 MHz), (17,600 s, 1,560 MHz), (600 s, 2,340 MHz)} with
+// probabilities {10%, 40%, 50%}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "common/rng.h"
+
+namespace mwp {
+
+/// Produces jobs on demand; implementations encode a workload's job
+/// population. Ids are assigned by the factory and unique within it.
+class JobFactory {
+ public:
+  virtual ~JobFactory() = default;
+
+  /// Create the next job, submitted (and desired to start) at `submit_time`.
+  virtual std::unique_ptr<Job> Create(Seconds submit_time) = 0;
+};
+
+/// All jobs share one profile and one relative goal factor.
+class IdenticalJobFactory : public JobFactory {
+ public:
+  IdenticalJobFactory(JobProfile profile, double relative_goal_factor,
+                      AppId first_id = 0);
+
+  std::unique_ptr<Job> Create(Seconds submit_time) override;
+
+  /// The Experiment One job population (Table 2).
+  static std::unique_ptr<IdenticalJobFactory> PaperExperimentOne(
+      AppId first_id = 0);
+
+ private:
+  JobProfile profile_;
+  double factor_;
+  AppId next_id_;
+};
+
+/// Jobs drawn from independent discrete mixtures of goal factors and
+/// (execution time, speed) shapes, as in Experiment Two.
+class MixtureJobFactory : public JobFactory {
+ public:
+  struct Shape {
+    Seconds min_execution_time;
+    MHz max_speed;
+    Megabytes memory;
+    double probability;
+  };
+  struct GoalFactor {
+    double factor;
+    double probability;
+  };
+
+  MixtureJobFactory(std::vector<Shape> shapes, std::vector<GoalFactor> factors,
+                    Rng rng, AppId first_id = 0);
+
+  std::unique_ptr<Job> Create(Seconds submit_time) override;
+
+  /// The Experiment Two mixture (§5.2). Memory per job matches Experiment
+  /// One's footprint so that three jobs fit per 16 GB node.
+  static std::unique_ptr<MixtureJobFactory> PaperExperimentTwo(Rng rng,
+                                                               AppId first_id = 0);
+
+ private:
+  std::vector<Shape> shapes_;
+  std::vector<GoalFactor> factors_;
+  std::vector<double> shape_weights_;
+  std::vector<double> factor_weights_;
+  Rng rng_;
+  AppId next_id_;
+};
+
+}  // namespace mwp

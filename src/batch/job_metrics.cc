@@ -1,0 +1,59 @@
+#include "batch/job_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mwp {
+
+std::vector<JobOutcomeRecord> CollectOutcomes(const JobQueue& queue,
+                                              std::size_t limit) {
+  std::vector<JobOutcomeRecord> records;
+  for (const Job* job : queue.Completed()) {
+    JobOutcomeRecord r;
+    r.id = job->id();
+    r.submit_time = job->goal().submit_time;
+    r.completion_time = *job->completion_time();
+    r.completion_goal = job->goal().completion_goal;
+    r.relative_goal = job->goal().relative_goal();
+    r.min_execution_time = job->profile().min_execution_time();
+    r.goal_factor = r.relative_goal / r.min_execution_time;
+    r.distance_to_goal = r.completion_goal - r.completion_time;
+    r.achieved_utility = job->achieved_utility();
+    records.push_back(r);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const JobOutcomeRecord& a, const JobOutcomeRecord& b) {
+              return a.completion_time < b.completion_time;
+            });
+  if (limit > 0 && records.size() > limit) records.resize(limit);
+  return records;
+}
+
+double DeadlineSatisfaction(const std::vector<JobOutcomeRecord>& records) {
+  if (records.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::size_t met = 0;
+  for (const JobOutcomeRecord& r : records) {
+    if (r.met_deadline()) ++met;
+  }
+  return static_cast<double>(met) / static_cast<double>(records.size());
+}
+
+std::vector<JobOutcomeRecord> FilterByGoalFactor(
+    const std::vector<JobOutcomeRecord>& records, double factor) {
+  std::vector<JobOutcomeRecord> out;
+  for (const JobOutcomeRecord& r : records) {
+    if (std::abs(r.goal_factor - factor) < 1e-6) out.push_back(r);
+  }
+  return out;
+}
+
+Sample DistanceSample(const std::vector<JobOutcomeRecord>& records) {
+  Sample s;
+  s.Reserve(records.size());
+  for (const JobOutcomeRecord& r : records) s.Add(r.distance_to_goal);
+  return s;
+}
+
+}  // namespace mwp

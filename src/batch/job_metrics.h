@@ -1,0 +1,46 @@
+// Metrics shared by the experiment runners and figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/job_queue.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace mwp {
+
+/// One completed job's outcome.
+struct JobOutcomeRecord {
+  AppId id = kInvalidApp;
+  Seconds submit_time = 0.0;
+  Seconds completion_time = 0.0;
+  Seconds completion_goal = 0.0;
+  Seconds relative_goal = 0.0;
+  Seconds min_execution_time = 0.0;
+  /// Goal factor = relative goal / minimum execution time (§5 definition).
+  double goal_factor = 0.0;
+  /// Positive = completed before the goal (Figure 5's y-axis).
+  Seconds distance_to_goal = 0.0;
+  Utility achieved_utility = 0.0;
+
+  bool met_deadline() const { return distance_to_goal >= 0.0; }
+};
+
+/// Extract outcome records for every completed job, ordered by completion
+/// time. `limit` > 0 keeps only the first `limit` completions (Experiment
+/// Two measures the first 800).
+std::vector<JobOutcomeRecord> CollectOutcomes(const JobQueue& queue,
+                                              std::size_t limit = 0);
+
+/// Fraction of records meeting their deadline, in [0, 1].
+double DeadlineSatisfaction(const std::vector<JobOutcomeRecord>& records);
+
+/// Records whose goal factor matches `factor` within 1e-9.
+std::vector<JobOutcomeRecord> FilterByGoalFactor(
+    const std::vector<JobOutcomeRecord>& records, double factor);
+
+/// Distance-to-goal sample of the records.
+Sample DistanceSample(const std::vector<JobOutcomeRecord>& records);
+
+}  // namespace mwp

@@ -1,0 +1,59 @@
+#include "batch/job_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mwp {
+
+void JobWorkloadProfiler::RecordExecution(const std::string& job_class,
+                                          Megacycles observed_work,
+                                          MHz observed_peak_speed,
+                                          Megabytes observed_memory) {
+  MWP_CHECK(observed_work > 0.0);
+  MWP_CHECK(observed_peak_speed > 0.0);
+  MWP_CHECK(observed_memory >= 0.0);
+  ClassHistory& h = history_[job_class];
+  h.work.Add(observed_work);
+  h.peak_speed.Add(observed_peak_speed);
+  h.memory.Add(observed_memory);
+}
+
+void JobWorkloadProfiler::RecordJob(const std::string& job_class,
+                                    const Job& job) {
+  MWP_CHECK_MSG(job.completed(), "profiling requires a completed execution");
+  MHz peak = 0.0;
+  Megabytes mem = 0.0;
+  for (const JobStage& s : job.profile().stages()) {
+    peak = std::max(peak, s.max_speed);
+    mem = std::max(mem, s.memory);
+  }
+  RecordExecution(job_class, job.profile().total_work(), peak, mem);
+}
+
+std::optional<JobProfile> JobWorkloadProfiler::EstimateProfile(
+    const std::string& job_class) const {
+  auto it = history_.find(job_class);
+  if (it == history_.end() || it->second.work.count() == 0) return std::nullopt;
+  const ClassHistory& h = it->second;
+  return JobProfile::SingleStage(h.work.mean(), h.peak_speed.mean(),
+                                 h.memory.mean());
+}
+
+std::size_t JobWorkloadProfiler::ObservationCount(
+    const std::string& job_class) const {
+  auto it = history_.find(job_class);
+  return it == history_.end() ? 0 : it->second.work.count();
+}
+
+double JobWorkloadProfiler::WorkEstimateError(const std::string& job_class,
+                                              Megacycles true_work) const {
+  MWP_CHECK(true_work > 0.0);
+  auto profile = EstimateProfile(job_class);
+  if (!profile) return std::numeric_limits<double>::infinity();
+  return std::abs(profile->total_work() - true_work) / true_work;
+}
+
+}  // namespace mwp

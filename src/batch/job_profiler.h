@@ -1,0 +1,54 @@
+// Job workload profiler (§3.1).
+//
+// In the paper's system a job's resource usage profile "is estimated based
+// on historical data analysis" by a job workload profiler and supplied to
+// the placement controller at submission time. This component reconstructs
+// that behaviour: completed executions are recorded under a job-class key,
+// and profile estimates for future submissions of the same class are the
+// running averages of the observed work, speed ceiling and memory footprint.
+//
+// The paper lists on-the-fly profile generation as future work; this class
+// provides the historical-analysis baseline the system text describes and a
+// hook for the examples to demonstrate closed-loop profiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "batch/job.h"
+#include "common/stats.h"
+
+namespace mwp {
+
+class JobWorkloadProfiler {
+ public:
+  /// Record one completed execution of class `job_class`.
+  void RecordExecution(const std::string& job_class, Megacycles observed_work,
+                       MHz observed_peak_speed, Megabytes observed_memory);
+
+  /// Record a completed Job (single- or multi-stage) under `job_class`.
+  void RecordJob(const std::string& job_class, const Job& job);
+
+  /// Estimated single-stage profile for the class, or nullopt when the class
+  /// has never been observed.
+  std::optional<JobProfile> EstimateProfile(const std::string& job_class) const;
+
+  /// Number of recorded executions for the class.
+  std::size_t ObservationCount(const std::string& job_class) const;
+
+  /// Relative error of the work estimate vs a known true value; used by
+  /// tests and the profiling example to show convergence.
+  double WorkEstimateError(const std::string& job_class,
+                           Megacycles true_work) const;
+
+ private:
+  struct ClassHistory {
+    RunningStats work;
+    RunningStats peak_speed;
+    RunningStats memory;
+  };
+  std::map<std::string, ClassHistory> history_;
+};
+
+}  // namespace mwp

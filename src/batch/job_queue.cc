@@ -1,0 +1,86 @@
+#include "batch/job_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+Job& JobQueue::Submit(std::unique_ptr<Job> job) {
+  MWP_CHECK(job != nullptr);
+  MWP_CHECK_MSG(Find(job->id()) == nullptr,
+                "duplicate job id " << job->id());
+  jobs_.push_back(std::move(job));
+  return *jobs_.back();
+}
+
+Job* JobQueue::Find(AppId id) {
+  for (auto& j : jobs_) {
+    if (j->id() == id) return j.get();
+  }
+  return nullptr;
+}
+
+const Job* JobQueue::Find(AppId id) const {
+  for (const auto& j : jobs_) {
+    if (j->id() == id) return j.get();
+  }
+  return nullptr;
+}
+
+std::vector<Job*> JobQueue::All() {
+  std::vector<Job*> out;
+  out.reserve(jobs_.size());
+  for (auto& j : jobs_) out.push_back(j.get());
+  return out;
+}
+
+std::vector<const Job*> JobQueue::All() const {
+  std::vector<const Job*> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) out.push_back(j.get());
+  return out;
+}
+
+std::vector<Job*> JobQueue::Incomplete() {
+  std::vector<Job*> out;
+  for (auto& j : jobs_) {
+    if (!j->completed()) out.push_back(j.get());
+  }
+  return out;
+}
+
+std::vector<Job*> JobQueue::Placed() {
+  std::vector<Job*> out;
+  for (auto& j : jobs_) {
+    if (j->placed()) out.push_back(j.get());
+  }
+  return out;
+}
+
+std::vector<Job*> JobQueue::AwaitingPlacement() {
+  std::vector<Job*> out;
+  for (auto& j : jobs_) {
+    if (j->status() == JobStatus::kNotStarted ||
+        j->status() == JobStatus::kSuspended) {
+      out.push_back(j.get());
+    }
+  }
+  return out;
+}
+
+std::vector<const Job*> JobQueue::Completed() const {
+  std::vector<const Job*> out;
+  for (const auto& j : jobs_) {
+    if (j->completed()) out.push_back(j.get());
+  }
+  return out;
+}
+
+std::size_t JobQueue::num_completed() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const auto& j) { return j->completed(); }));
+}
+
+}  // namespace mwp

@@ -1,0 +1,54 @@
+// Job queue: ownership and bookkeeping of every job submitted to the system.
+//
+// The job scheduler in the paper (§3.1) accepts submissions, keeps jobs in a
+// queue, dispatches them according to the placement controller's decisions
+// and reports completions. This class is that queue: it owns Job objects for
+// their whole lifetime and offers the views the controllers need (incomplete
+// jobs, placed jobs, pending jobs in submission order).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "batch/job.h"
+
+namespace mwp {
+
+class JobQueue {
+ public:
+  JobQueue() = default;
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Transfer ownership of a job into the queue. Ids must be unique.
+  Job& Submit(std::unique_ptr<Job> job);
+
+  std::size_t size() const { return jobs_.size(); }
+
+  Job* Find(AppId id);
+  const Job* Find(AppId id) const;
+
+  /// All jobs ever submitted, in submission order.
+  std::vector<Job*> All();
+  std::vector<const Job*> All() const;
+
+  /// Jobs not yet completed, in submission order — the management entities a
+  /// placement controller reasons about each cycle.
+  std::vector<Job*> Incomplete();
+
+  /// Placed (running or paused) jobs.
+  std::vector<Job*> Placed();
+
+  /// Jobs waiting for placement (not-started or suspended), submission order.
+  std::vector<Job*> AwaitingPlacement();
+
+  /// Completed jobs.
+  std::vector<const Job*> Completed() const;
+
+  std::size_t num_completed() const;
+
+ private:
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,31 @@
+#include "cluster/cluster.h"
+
+#include <sstream>
+
+namespace mwp {
+
+ClusterSpec ClusterSpec::Uniform(int count, const NodeSpec& node) {
+  MWP_CHECK(count >= 0);
+  return ClusterSpec(std::vector<NodeSpec>(static_cast<std::size_t>(count), node));
+}
+
+MHz ClusterSpec::total_cpu() const {
+  MHz total = 0.0;
+  for (const NodeSpec& n : nodes_) total += n.total_cpu();
+  return total;
+}
+
+Megabytes ClusterSpec::total_memory() const {
+  Megabytes total = 0.0;
+  for (const NodeSpec& n : nodes_) total += n.memory_mb;
+  return total;
+}
+
+std::string ClusterSpec::ToString() const {
+  std::ostringstream os;
+  os << num_nodes() << " nodes, " << total_cpu() << " MHz, " << total_memory()
+     << " MB total";
+  return os.str();
+}
+
+}  // namespace mwp

@@ -1,0 +1,56 @@
+// Physical cluster description: nodes with CPU and memory capacity.
+//
+// Matches the paper's model (§3.2): each node n has a CPU capacity (sum of
+// its processors' speeds, in MHz) and a memory capacity (MB). Per-instance
+// speed limits are a property of the workload (a job's ω_max), not the node,
+// so the node exposes only aggregate capacity plus the speed of one
+// processor, which callers may use as a natural single-thread ceiling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mwp {
+
+struct NodeSpec {
+  /// Number of processors on the node.
+  int num_cpus = 1;
+  /// Speed of each processor, MHz.
+  MHz cpu_speed_mhz = 0.0;
+  /// Installed memory, MB.
+  Megabytes memory_mb = 0.0;
+
+  /// Total CPU capacity of the node, MHz.
+  MHz total_cpu() const { return num_cpus * cpu_speed_mhz; }
+};
+
+/// An immutable cluster description. NodeId is the index into nodes().
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  explicit ClusterSpec(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {}
+
+  /// A cluster of `count` identical nodes — the shape of every experiment in
+  /// the paper (25 nodes of 4 x 3.9 GHz / 16 GB in Experiments One & Three).
+  static ClusterSpec Uniform(int count, const NodeSpec& node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const NodeSpec& node(NodeId n) const {
+    MWP_CHECK(n >= 0 && n < num_nodes());
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+
+  MHz total_cpu() const;
+  Megabytes total_memory() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,31 @@
+#include "cluster/vm_cost_model.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+Seconds VmCostModel::SuspendCost(Megabytes footprint) const {
+  MWP_CHECK(footprint >= 0.0);
+  return suspend_s_per_mb * footprint;
+}
+
+Seconds VmCostModel::ResumeCost(Megabytes footprint) const {
+  MWP_CHECK(footprint >= 0.0);
+  return resume_s_per_mb * footprint;
+}
+
+Seconds VmCostModel::MigrateCost(Megabytes footprint) const {
+  MWP_CHECK(footprint >= 0.0);
+  return migrate_s_per_mb * footprint;
+}
+
+VmCostModel VmCostModel::Free() {
+  VmCostModel m;
+  m.suspend_s_per_mb = 0.0;
+  m.resume_s_per_mb = 0.0;
+  m.migrate_s_per_mb = 0.0;
+  m.boot_s = 0.0;
+  return m;
+}
+
+}  // namespace mwp

@@ -1,0 +1,37 @@
+// Lightweight invariant checking.
+//
+// MWP_CHECK terminates with a diagnostic on contract violation; it is active
+// in all build types because placement decisions silently built on broken
+// invariants are much harder to debug than a crash with a message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mwp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mwp::internal
+
+#define MWP_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) ::mwp::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MWP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream mwp_check_os;                                    \
+      mwp_check_os << msg;                                                \
+      ::mwp::internal::CheckFailed(#cond, __FILE__, __LINE__,             \
+                                   mwp_check_os.str());                   \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment parameters fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mwp {
+
+class CommandLine {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CommandLine(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, std::string def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line; callers may validate against a schema.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mwp {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel Log::threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void Log::set_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+std::mutex& Log::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void Log::Write(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(threshold())) return;
+  std::lock_guard<std::mutex> lock(mutex());
+  std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mwp

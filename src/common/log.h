@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded per Simulation instance, but experiment
+// harnesses may run several simulations concurrently, so emission is guarded
+// by a mutex. Log lines carry the simulated timestamp when provided by the
+// caller; the logger itself is wall-clock-free so that simulation output is
+// deterministic.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mwp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration and sink. Defaults to kWarn so that
+/// tests and benches stay quiet unless asked.
+class Log {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// Emit one line at `level`. No-op when below the threshold.
+  static void Write(LogLevel level, std::string_view message);
+
+ private:
+  static std::mutex& mutex();
+};
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::Write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+
+}  // namespace mwp
+
+#define MWP_LOG_DEBUG ::mwp::internal::LogLine(::mwp::LogLevel::kDebug)
+#define MWP_LOG_INFO ::mwp::internal::LogLine(::mwp::LogLevel::kInfo)
+#define MWP_LOG_WARN ::mwp::internal::LogLine(::mwp::LogLevel::kWarn)
+#define MWP_LOG_ERROR ::mwp::internal::LogLine(::mwp::LogLevel::kError)

@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mwp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+}
+
+double RunningStats::variance() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double RunningStats::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+void Sample::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Sample::min() const {
+  EnsureSorted();
+  return values_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : values_.front();
+}
+
+double Sample::max() const {
+  EnsureSorted();
+  return values_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : values_.back();
+}
+
+double Sample::Percentile(double p) const {
+  MWP_CHECK(p >= 0.0 && p <= 100.0);
+  if (values_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  EnsureSorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double TimeSeries::MeanInWindow(Seconds t0, Seconds t1) const {
+  RunningStats stats;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time < t1) stats.Add(p.value);
+  }
+  return stats.mean();
+}
+
+TimeSeries TimeSeries::Bucketed(Seconds bucket_width) const {
+  MWP_CHECK(bucket_width > 0.0);
+  TimeSeries out(label_);
+  if (points_.empty()) return out;
+  Seconds start = points_.front().time;
+  Seconds end = points_.back().time;
+  for (Seconds t = start; t <= end; t += bucket_width) {
+    double m = MeanInWindow(t, t + bucket_width);
+    if (!std::isnan(m)) out.Add(t + bucket_width / 2.0, m);
+  }
+  return out;
+}
+
+}  // namespace mwp

@@ -1,0 +1,90 @@
+// Streaming and batch statistics used by the experiment harness.
+//
+// RunningStats gives O(1)-memory mean/variance/min/max (Welford);
+// Sample keeps the raw values for percentiles and distribution plots
+// (Figure 5 of the paper is a distribution of distances to the deadline);
+// TimeSeries accumulates (time, value) pairs for the RP-over-time figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mwp {
+
+/// Welford-style streaming statistics.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample with percentile queries.
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double median() const { return Percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// A labelled sequence of (time, value) points.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string label = {}) : label_(std::move(label)) {}
+
+  void Add(Seconds t, double value) { points_.push_back({t, value}); }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  struct Point {
+    Seconds time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  const std::string& label() const { return label_; }
+
+  /// Mean of values whose time lies in [t0, t1). NaN when empty.
+  double MeanInWindow(Seconds t0, Seconds t1) const;
+
+  /// Downsample into fixed-width buckets (mean per bucket); used to print
+  /// long simulations as compact tables.
+  TimeSeries Bucketed(Seconds bucket_width) const;
+
+ private:
+  std::string label_;
+  std::vector<Point> points_;
+};
+
+}  // namespace mwp

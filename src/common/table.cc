@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mwp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MWP_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  MWP_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, table has "
+                           << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(FormatNumber(c, precision));
+  AddRow(std::move(formatted));
+}
+
+std::string Table::ToText() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << quote(row[c]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << ToText(); }
+
+std::string FormatNumber(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace mwp

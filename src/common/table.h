@@ -1,0 +1,44 @@
+// Tabular output for benches and the experiment harness.
+//
+// The figure-reproduction binaries print each paper figure as an aligned
+// text table (one row per x-value, one column per series) plus an optional
+// CSV file, so results can be eyeballed in a terminal or plotted elsewhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mwp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string ToText() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of commas needed for our data;
+  /// cells containing commas or quotes are quoted anyway).
+  std::string ToCsv() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly (fixed, trimmed trailing zeros).
+std::string FormatNumber(double value, int precision = 3);
+
+}  // namespace mwp

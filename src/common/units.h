@@ -1,0 +1,64 @@
+// Units and elementary numeric types used throughout the library.
+//
+// The simulator follows the paper's unit conventions:
+//   - time is measured in seconds (simulated time, not wall-clock),
+//   - CPU speed in MHz (== megacycles per second),
+//   - CPU work in megacycles,
+//   - memory in megabytes.
+// All four are plain doubles behind descriptive aliases; dimensional safety is
+// enforced at module boundaries by naming and assertions rather than wrapper
+// types, keeping arithmetic in the placement inner loops allocation-free and
+// branch-free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mwp {
+
+/// Simulated time, in seconds.
+using Seconds = double;
+
+/// CPU speed, in MHz (megacycles per second).
+using MHz = double;
+
+/// Amount of CPU work, in megacycles. Work = speed * time.
+using Megacycles = double;
+
+/// Memory size, in megabytes.
+using Megabytes = double;
+
+/// Relative performance value. 0 == goal met exactly, >0 exceeded,
+/// <0 violated. Unbounded below, bounded above by 1 for batch jobs.
+using Utility = double;
+
+/// Identifier for a physical machine (index into the cluster's node vector).
+using NodeId = std::int32_t;
+
+/// Identifier for an application (transactional app or batch job).
+using AppId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr AppId kInvalidApp = -1;
+
+/// Sentinel for "infinitely far in the future".
+inline constexpr Seconds kTimeForever = std::numeric_limits<double>::infinity();
+
+/// Utility sentinel used as the lowest sampling point of a hypothetical
+/// relative performance function (the paper's u_1 = -inf). A large finite
+/// negative number keeps interpolation arithmetic well-defined.
+inline constexpr Utility kUtilityFloor = -64.0;
+
+/// Comparison slack for quantities measured in MHz / megacycles. The
+/// experiments operate at 1e3..1e8 magnitudes; 1e-6 relative precision is far
+/// below any behavioural threshold.
+inline constexpr double kEpsilon = 1e-9;
+
+/// True when `a` and `b` are equal within an absolute-plus-relative tolerance.
+inline bool ApproxEqual(double a, double b, double tol = 1e-6) {
+  double diff = a > b ? a - b : b - a;
+  double mag = (a < 0 ? -a : a) + (b < 0 ? -b : b);
+  return diff <= tol * (1.0 + mag);
+}
+
+}  // namespace mwp

@@ -1,0 +1,404 @@
+#include "core/apc_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "core/snapshot.h"
+
+namespace mwp {
+
+ApcController::ApcController(const ClusterSpec* cluster, JobQueue* queue,
+                             Config config)
+    : cluster_(cluster), queue_(queue), config_(std::move(config)) {
+  MWP_CHECK(cluster_ != nullptr);
+  MWP_CHECK(queue_ != nullptr);
+  MWP_CHECK(config_.control_cycle > 0.0);
+}
+
+void ApcController::AddTransactionalApp(
+    TransactionalAppSpec spec, std::shared_ptr<const ArrivalRateProfile> rate) {
+  MWP_CHECK(rate != nullptr);
+  ManagedTx tx;
+  tx.app = std::make_unique<TransactionalApp>(std::move(spec));
+  tx.rate = std::move(rate);
+  tx_apps_.push_back(std::move(tx));
+}
+
+void ApcController::Attach(Simulation& sim, Seconds first_cycle) {
+  sim.SchedulePeriodic(first_cycle, config_.control_cycle,
+                       [this](Simulation& s) { RunCycle(s); });
+}
+
+void ApcController::AdvanceJobsTo(Seconds to) {
+  MWP_CHECK(to >= last_advance_);
+  for (Job* job : queue_->Placed()) {
+    job->AdvanceTo(last_advance_, to);
+  }
+  last_advance_ = to;
+}
+
+void ApcController::RunCycle(Simulation& sim) {
+  const Seconds now = sim.now();
+  AdvanceJobsTo(now);
+
+  std::vector<PlacementSnapshot::TxInput> tx_inputs;
+  tx_inputs.reserve(tx_apps_.size());
+  for (const ManagedTx& tx : tx_apps_) {
+    tx_inputs.push_back(
+        {&PlacementView(tx), tx.rate->RateAt(now), tx.instances});
+  }
+
+  // Snapshot order: jobs in submission order, then tx apps in registration
+  // order — the same order used below to apply decisions.
+  PlacementSnapshot snapshot = PlacementSnapshot::Capture(
+      *cluster_, now, config_.control_cycle, *queue_, config_.costs,
+      tx_inputs);
+  snapshot.set_constraints(config_.constraints);
+
+  PlacementOptimizer optimizer(&snapshot, config_.optimizer);
+  const auto wall_start = std::chrono::steady_clock::now();
+  PlacementOptimizer::Result result = optimizer.Optimize();
+  const double solver_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Apply job decisions. queue_->Incomplete() enumerates jobs in the same
+  // order Capture used, so job j <-> entity j.
+  std::vector<Job*> jobs = queue_->Incomplete();
+  MWP_CHECK(static_cast<int>(jobs.size()) == snapshot.num_jobs());
+  for (int j = 0; j < snapshot.num_jobs(); ++j) {
+    Job* job = jobs[static_cast<std::size_t>(j)];
+    const int entity = snapshot.EntityOfJob(j);
+    const std::vector<int> nodes = result.placement.NodesOf(entity);
+    const NodeId target = nodes.empty() ? kInvalidNode : nodes.front();
+    const NodeId current = job->placed() ? job->node() : kInvalidNode;
+
+    if (target == kInvalidNode) {
+      if (job->placed()) {
+        job->Suspend(now);
+        job->ExtendOverhead(now +
+                            config_.costs.SuspendCost(job->profile().max_memory()));
+      }
+      continue;
+    }
+    if (current == kInvalidNode) {
+      const Seconds overhead =
+          job->status() == JobStatus::kSuspended
+              ? config_.costs.ResumeCost(job->profile().max_memory())
+              : config_.costs.BootCost();
+      job->Place(target, now, overhead);
+    } else if (current != target) {
+      job->Place(target, now,
+                 config_.costs.MigrateCost(job->profile().max_memory()));
+    }
+    job->SetAllocation(
+        result.evaluation.distribution.totals[static_cast<std::size_t>(entity)]);
+  }
+
+  // Apply transactional instance decisions.
+  for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
+    const int entity = snapshot.EntityOfTx(static_cast<int>(w));
+    std::vector<NodeId> instances;
+    for (int n = 0; n < snapshot.num_nodes(); ++n) {
+      for (int k = 0; k < result.placement.at(entity, n); ++k) {
+        instances.push_back(n);
+      }
+    }
+    tx_apps_[w].instances = std::move(instances);
+  }
+
+  // Bookkeeping.
+  CycleStats stats;
+  stats.time = now;
+  stats.num_jobs = snapshot.num_jobs();
+  double rp_sum = 0.0;
+  double rp_min = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < snapshot.num_jobs(); ++j) {
+    const double u =
+        result.evaluation.entity_utilities[static_cast<std::size_t>(j)];
+    rp_sum += u;
+    rp_min = std::min(rp_min, u);
+  }
+  stats.avg_job_rp = snapshot.num_jobs() > 0
+                         ? rp_sum / snapshot.num_jobs()
+                         : std::numeric_limits<double>::quiet_NaN();
+  stats.min_job_rp = snapshot.num_jobs() > 0
+                         ? rp_min
+                         : std::numeric_limits<double>::quiet_NaN();
+  for (Job* job : jobs) {
+    switch (job->status()) {
+      case JobStatus::kRunning:
+        ++stats.running_jobs;
+        break;
+      case JobStatus::kNotStarted:
+        ++stats.queued_jobs;
+        break;
+      case JobStatus::kSuspended:
+        ++stats.suspended_jobs;
+        break;
+      case JobStatus::kPaused:
+        ++stats.running_jobs;  // placed; counts against capacity
+        break;
+      case JobStatus::kCompleted:
+        break;
+    }
+  }
+  stats.batch_allocation = result.evaluation.batch_allocation;
+  stats.tx_allocation = result.evaluation.tx_allocation;
+  stats.cluster_utilization =
+      (stats.batch_allocation + stats.tx_allocation) / cluster_->total_cpu();
+  stats.starts += pending_quick_starts_;
+  stats.resumes += pending_quick_resumes_;
+  pending_quick_starts_ = 0;
+  pending_quick_resumes_ = 0;
+  for (const PlacementChange& ch : result.evaluation.changes) {
+    switch (ch.kind) {
+      case PlacementChange::Kind::kStart:
+        ++stats.starts;
+        break;
+      case PlacementChange::Kind::kStop:
+        ++stats.stops;
+        break;
+      case PlacementChange::Kind::kSuspend:
+        ++stats.suspends;
+        break;
+      case PlacementChange::Kind::kResume:
+        ++stats.resumes;
+        break;
+      case PlacementChange::Kind::kMigrate:
+        ++stats.migrations;
+        break;
+    }
+  }
+  total_changes_ += static_cast<int>(result.evaluation.changes.size());
+  stats.evaluations = result.evaluations;
+  stats.shortcut = result.used_shortcut;
+  stats.solver_seconds = solver_seconds;
+
+  for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
+    const int entity = snapshot.EntityOfTx(static_cast<int>(w));
+    const double rate = tx_inputs[w].arrival_rate;
+    const MHz alloc =
+        result.evaluation.distribution.totals[static_cast<std::size_t>(entity)];
+    stats.tx_allocations.push_back(alloc);
+    stats.tx_arrival_rates.push_back(rate);
+    if (rate > 1e-12) {
+      const Seconds rt = tx_apps_[w].app->ResponseTime(rate, alloc);
+      stats.tx_response_times.push_back(rt);
+      stats.tx_utilities.push_back(tx_apps_[w].app->UtilityAt(rate, alloc));
+      // Router view: balance the flow over the instances' allocations and
+      // record what overload protection admits vs sheds (§3.1).
+      std::vector<MHz> instance_allocs;
+      for (int n = 0; n < snapshot.num_nodes(); ++n) {
+        if (result.placement.at(entity, n) > 0) {
+          instance_allocs.push_back(
+              result.evaluation.distribution.loads.at(entity, n));
+        }
+      }
+      const RoutingDecision routed =
+          router_.Route(*tx_apps_[w].app, rate, instance_allocs);
+      stats.tx_admitted_rates.push_back(routed.admitted_rate);
+      stats.tx_rejected_rates.push_back(routed.rejected_rate);
+      if (config_.use_work_profiler) {
+        // The profiler sees what the nodes actually consumed serving the
+        // admitted flow (ground truth demand, capped by the allocation) and
+        // refines the estimate used for next cycle's placement.
+        const MHz consumed = std::min(
+            alloc,
+            routed.admitted_rate * tx_apps_[w].app->spec().demand_per_request);
+        tx_apps_[w].profiler.Observe(routed.admitted_rate, consumed);
+        const Megacycles estimate =
+            tx_apps_[w].profiler.EstimateDemandPerRequest();
+        if (estimate > 0.0) {
+          TransactionalAppSpec spec = tx_apps_[w].app->spec();
+          spec.demand_per_request = estimate;
+          tx_apps_[w].estimated =
+              std::make_unique<TransactionalApp>(std::move(spec));
+        }
+      }
+    } else {
+      stats.tx_response_times.push_back(0.0);
+      stats.tx_utilities.push_back(1.0);
+      stats.tx_admitted_rates.push_back(0.0);
+      stats.tx_rejected_rates.push_back(0.0);
+    }
+  }
+
+  if (config_.record_job_details) {
+    for (int j = 0; j < snapshot.num_jobs(); ++j) {
+      const JobView& jv = snapshot.job(j);
+      const int entity = snapshot.EntityOfJob(j);
+      JobCycleDetail d;
+      d.id = jv.id;
+      d.work_done = jv.work_done;
+      d.outstanding = jv.profile->RemainingWork(jv.work_done);
+      d.placed = result.placement.InstanceCount(entity) > 0;
+      d.allocation =
+          result.evaluation.distribution.totals[static_cast<std::size_t>(entity)];
+      d.predicted_utility =
+          result.evaluation.entity_utilities[static_cast<std::size_t>(entity)];
+      d.future_speed =
+          result.evaluation.job_future_speeds[static_cast<std::size_t>(j)];
+      stats.job_details.push_back(d);
+    }
+  }
+
+  if (config_.record_cycles) cycles_.push_back(std::move(stats));
+  MWP_LOG_DEBUG << "cycle t=" << now << " jobs=" << snapshot.num_jobs()
+                << " evals=" << result.evaluations
+                << " solver=" << solver_seconds << "s";
+
+  // Remember the transactional per-node loads so that mid-cycle dispatch
+  // knows what is genuinely free, and watch for mid-cycle completions.
+  tx_node_loads_.assign(static_cast<std::size_t>(cluster_->num_nodes()), 0.0);
+  for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
+    const int entity = snapshot.EntityOfTx(static_cast<int>(w));
+    for (int n = 0; n < snapshot.num_nodes(); ++n) {
+      tx_node_loads_[static_cast<std::size_t>(n)] +=
+          result.evaluation.distribution.loads.at(entity, n);
+    }
+  }
+  ArmCompletionWatch(sim);
+}
+
+const TransactionalApp& ApcController::PlacementView(
+    const ManagedTx& tx) const {
+  if (config_.use_work_profiler && tx.estimated != nullptr) {
+    return *tx.estimated;
+  }
+  return *tx.app;
+}
+
+void ApcController::ComputeFreeResources(std::vector<Megabytes>& mem,
+                                         std::vector<MHz>& cpu) const {
+  const auto n_nodes = static_cast<std::size_t>(cluster_->num_nodes());
+  mem.assign(n_nodes, 0.0);
+  cpu.assign(n_nodes, 0.0);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    mem[n] = cluster_->node(static_cast<NodeId>(n)).memory_mb;
+    cpu[n] = cluster_->node(static_cast<NodeId>(n)).total_cpu();
+    if (n < tx_node_loads_.size()) cpu[n] -= tx_node_loads_[n];
+  }
+  for (const ManagedTx& tx : tx_apps_) {
+    for (NodeId node : tx.instances) {
+      mem[static_cast<std::size_t>(node)] -= tx.app->spec().memory_per_instance;
+    }
+  }
+  for (Job* job : queue_->Placed()) {
+    mem[static_cast<std::size_t>(job->node())] -= job->profile().max_memory();
+    cpu[static_cast<std::size_t>(job->node())] -= job->allocated_speed();
+  }
+}
+
+void ApcController::OnJobSubmitted(Simulation& sim) { QuickDispatch(sim); }
+
+void ApcController::QuickDispatch(Simulation& sim) {
+  const Seconds now = sim.now();
+  AdvanceJobsTo(now);
+
+  std::vector<Job*> waiting = queue_->AwaitingPlacement();
+  if (waiting.empty()) return;
+  // Lowest relative performance first: the job whose achievable RP has
+  // decayed the most is dispatched first.
+  std::stable_sort(waiting.begin(), waiting.end(), [now](Job* a, Job* b) {
+    return a->MaxAchievableUtility(now) < b->MaxAchievableUtility(now);
+  });
+
+  std::vector<Megabytes> free_mem;
+  std::vector<MHz> free_cpu;
+  ComputeFreeResources(free_mem, free_cpu);
+
+  // Per-node application presence, for anti-collocation checks.
+  std::vector<std::vector<AppId>> residents(free_cpu.size());
+  if (!config_.constraints.empty()) {
+    for (Job* placed : queue_->Placed()) {
+      residents[static_cast<std::size_t>(placed->node())].push_back(
+          placed->id());
+    }
+    for (const ManagedTx& tx : tx_apps_) {
+      for (NodeId node : tx.instances) {
+        residents[static_cast<std::size_t>(node)].push_back(tx.app->id());
+      }
+    }
+  }
+  auto allowed = [&](const Job& job, std::size_t n) {
+    if (config_.constraints.empty()) return true;
+    if (!config_.constraints.AllowsNode(job.id(), static_cast<NodeId>(n))) {
+      return false;
+    }
+    for (AppId other : residents[n]) {
+      if (!config_.constraints.AllowsCollocation(job.id(), other)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool placed_any = false;
+  for (Job* job : waiting) {
+    const Megabytes mem = job->profile().max_memory();
+    const int stage =
+        std::min(job->current_stage(), job->profile().num_stages() - 1);
+    const MHz max_speed = job->profile().stage(stage).max_speed;
+    const MHz min_speed = job->profile().stage(stage).min_speed;
+    // Pick the node offering the most usable speed; demand at least a
+    // quarter of the job's cap so mid-cycle starts are worth their churn.
+    int best_node = -1;
+    MHz best_speed = std::max({0.25 * max_speed, min_speed, 1e-6});
+    for (std::size_t n = 0; n < free_cpu.size(); ++n) {
+      if (free_mem[n] + kEpsilon < mem) continue;
+      if (!allowed(*job, n)) continue;
+      const MHz usable = std::min(free_cpu[n], max_speed);
+      if (usable >= best_speed) {
+        best_speed = usable;
+        best_node = static_cast<int>(n);
+      }
+    }
+    if (best_node < 0) continue;
+    const bool resume = job->status() == JobStatus::kSuspended;
+    const Seconds overhead =
+        resume ? config_.costs.ResumeCost(mem) : config_.costs.BootCost();
+    job->Place(best_node, now, overhead);
+    job->SetAllocation(best_speed);
+    free_mem[static_cast<std::size_t>(best_node)] -= mem;
+    free_cpu[static_cast<std::size_t>(best_node)] -= best_speed;
+    if (!config_.constraints.empty()) {
+      residents[static_cast<std::size_t>(best_node)].push_back(job->id());
+    }
+    ++total_changes_;
+    if (resume) {
+      ++pending_quick_resumes_;
+    } else {
+      ++pending_quick_starts_;
+    }
+    placed_any = true;
+  }
+  if (placed_any) ArmCompletionWatch(sim);
+}
+
+void ApcController::ArmCompletionWatch(Simulation& sim) {
+  sim.Cancel(completion_watch_);
+  completion_watch_ = EventHandle();
+  Seconds earliest = kTimeForever;
+  for (Job* job : queue_->Placed()) {
+    if (job->allocated_speed() <= 0.0) continue;
+    const Seconds exec_start = std::max(sim.now(), job->overhead_until());
+    const Seconds t =
+        exec_start + job->profile().RemainingTimeAtSpeed(job->work_done(),
+                                                         job->allocated_speed());
+    earliest = std::min(earliest, t);
+  }
+  if (earliest == kTimeForever) return;
+  completion_watch_ =
+      sim.ScheduleAt(std::max(earliest, sim.now()), [this](Simulation& s) {
+        QuickDispatch(s);   // advances jobs, then refills freed capacity
+        ArmCompletionWatch(s);
+      });
+}
+
+}  // namespace mwp

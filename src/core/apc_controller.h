@@ -1,0 +1,167 @@
+// APC controller: binds the placement optimizer to the simulated system.
+//
+// The controller runs in a periodic control loop (§3.1): every T seconds it
+// advances the simulated jobs to the current instant, snapshots the system,
+// runs the placement optimizer, and puts the decision into effect — placing,
+// suspending, resuming and migrating job VMs (charging the measured
+// virtualization costs) and resizing transactional application clusters.
+// Per-cycle statistics feed the experiment harness (Figures 2, 6, 7).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "batch/job_queue.h"
+#include "cluster/cluster.h"
+#include "cluster/vm_cost_model.h"
+#include "common/stats.h"
+#include "core/placement_optimizer.h"
+#include "sim/simulation.h"
+#include "web/request_router.h"
+#include "web/transactional_app.h"
+#include "web/work_profiler.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+
+/// Per-job detail of one control cycle (recorded when
+/// Config::record_job_details is set; used by the §4.3 example trace).
+struct JobCycleDetail {
+  AppId id = kInvalidApp;
+  Megacycles work_done = 0.0;      ///< α* at cycle start
+  Megacycles outstanding = 0.0;    ///< α − α* at cycle start
+  bool placed = false;
+  MHz allocation = 0.0;            ///< this cycle's allocation
+  Utility predicted_utility = 0.0; ///< hypothetical RP under the decision
+  MHz future_speed = 0.0;          ///< W-matrix interpolated future speed
+};
+
+/// One control cycle's observable state.
+struct CycleStats {
+  Seconds time = 0.0;
+  /// Mean / min predicted (hypothetical) relative performance over all
+  /// incomplete jobs; NaN when no jobs are in the system.
+  double avg_job_rp = 0.0;
+  double min_job_rp = 0.0;
+  int num_jobs = 0;
+  int running_jobs = 0;
+  int queued_jobs = 0;
+  int suspended_jobs = 0;
+  MHz batch_allocation = 0.0;
+  MHz tx_allocation = 0.0;
+  /// Fraction of the cluster's CPU allocated to some workload this cycle —
+  /// the utilization the paper's consolidation argument is about (§1).
+  double cluster_utilization = 0.0;
+  int starts = 0;
+  int stops = 0;
+  int suspends = 0;
+  int resumes = 0;
+  int migrations = 0;
+  int evaluations = 0;
+  bool shortcut = false;
+  double solver_seconds = 0.0;  ///< wall-clock time of the optimizer
+  /// Per transactional app (same order as registration).
+  std::vector<Utility> tx_utilities;
+  std::vector<Seconds> tx_response_times;
+  std::vector<MHz> tx_allocations;
+  std::vector<double> tx_arrival_rates;
+  /// Router view (overload protection): request flow admitted / shed.
+  std::vector<double> tx_admitted_rates;
+  std::vector<double> tx_rejected_rates;
+  /// Populated only when Config::record_job_details is true.
+  std::vector<JobCycleDetail> job_details;
+};
+
+class ApcController {
+ public:
+  struct Config {
+    Seconds control_cycle = 600.0;
+    VmCostModel costs = VmCostModel::PaperMeasured();
+    PlacementOptimizer::Options optimizer;
+    /// Policy constraints (pinning, anti-collocation) enforced by every
+    /// placement decision, including mid-cycle dispatch.
+    PlacementConstraints constraints;
+    /// Close the work-profiler loop (§3.1): per cycle, the profiler observes
+    /// each transactional app's admitted throughput and consumed CPU and
+    /// re-estimates its per-request demand; the *estimate* (not the spec's
+    /// true value) then drives placement. Off by default so experiments use
+    /// the exact published models.
+    bool use_work_profiler = false;
+    bool record_cycles = true;
+    /// Also record per-job allocations and predictions each cycle (heavier;
+    /// meant for small illustrative runs).
+    bool record_job_details = false;
+  };
+
+  ApcController(const ClusterSpec* cluster, JobQueue* queue, Config config);
+
+  /// Register a transactional application with its workload intensity
+  /// profile. Must be called before the first cycle.
+  void AddTransactionalApp(TransactionalAppSpec spec,
+                           std::shared_ptr<const ArrivalRateProfile> rate);
+
+  /// Schedule the control loop on `sim`, first firing at `first_cycle`.
+  void Attach(Simulation& sim, Seconds first_cycle = 0.0);
+
+  /// Execute one control cycle at the simulation's current time.
+  void RunCycle(Simulation& sim);
+
+  /// Notify the controller of a job submission. The paper's job scheduler
+  /// acts between control cycles with the APC as advisor (§3.1): a light
+  /// event-driven dispatch starts queued jobs on capacity that is free
+  /// right now, without touching running workload; the next full cycle
+  /// rebalances. Jobs are considered lowest-relative-performance-first.
+  void OnJobSubmitted(Simulation& sim);
+
+  /// Advance job execution to `to` without making placement decisions
+  /// (used to flush the final partial cycle at the end of an experiment).
+  void AdvanceJobsTo(Seconds to);
+
+  const std::vector<CycleStats>& cycles() const { return cycles_; }
+  int total_placement_changes() const { return total_changes_; }
+  int num_tx_apps() const { return static_cast<int>(tx_apps_.size()); }
+  const TransactionalApp& tx_app(int i) const {
+    return *tx_apps_.at(static_cast<std::size_t>(i)).app;
+  }
+
+ private:
+  struct ManagedTx {
+    std::unique_ptr<TransactionalApp> app;     ///< ground truth
+    std::shared_ptr<const ArrivalRateProfile> rate;
+    std::vector<NodeId> instances;
+    WorkProfiler profiler{/*forgetting=*/0.95};
+    /// Model actually handed to the snapshot: the ground truth, or a copy
+    /// whose demand is the profiler's current estimate.
+    std::unique_ptr<TransactionalApp> estimated;
+  };
+
+  /// The app view used for placement this cycle (profiled or truth).
+  const TransactionalApp& PlacementView(const ManagedTx& tx) const;
+
+  /// Start queued/suspended jobs on currently unallocated capacity.
+  void QuickDispatch(Simulation& sim);
+  /// Arm an event at the earliest projected completion of a placed job, so
+  /// freed capacity is refilled without waiting for the next cycle.
+  void ArmCompletionWatch(Simulation& sim);
+  /// Per-node free memory and unallocated CPU under the live state.
+  void ComputeFreeResources(std::vector<Megabytes>& mem,
+                            std::vector<MHz>& cpu) const;
+
+  const ClusterSpec* cluster_;
+  JobQueue* queue_;
+  Config config_;
+  std::vector<ManagedTx> tx_apps_;
+  RequestRouter router_;
+  Seconds last_advance_ = 0.0;
+  std::vector<CycleStats> cycles_;
+  int total_changes_ = 0;
+  /// CPU routed to transactional instances per node in the last cycle.
+  std::vector<MHz> tx_node_loads_;
+  EventHandle completion_watch_;
+  /// Quick-dispatch actions since the last cycle, folded into the next
+  /// CycleStats so per-cycle accounting stays complete.
+  int pending_quick_starts_ = 0;
+  int pending_quick_resumes_ = 0;
+};
+
+}  // namespace mwp

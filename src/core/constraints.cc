@@ -1,0 +1,38 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+void PlacementConstraints::PinTo(AppId app, std::vector<NodeId> nodes) {
+  MWP_CHECK_MSG(!nodes.empty(), "pinning to an empty node set would make app "
+                                    << app << " unplaceable");
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  allowed_nodes_[app] = std::move(nodes);
+}
+
+void PlacementConstraints::ClearPin(AppId app) { allowed_nodes_.erase(app); }
+
+void PlacementConstraints::Separate(AppId a, AppId b) {
+  MWP_CHECK_MSG(a != b, "an application cannot be separated from itself");
+  if (!AllowsCollocation(a, b)) return;  // already separated
+  separated_.emplace_back(a, b);
+}
+
+bool PlacementConstraints::AllowsNode(AppId app, NodeId node) const {
+  auto it = allowed_nodes_.find(app);
+  if (it == allowed_nodes_.end()) return true;
+  return std::binary_search(it->second.begin(), it->second.end(), node);
+}
+
+bool PlacementConstraints::AllowsCollocation(AppId a, AppId b) const {
+  for (const auto& [x, y] : separated_) {
+    if ((x == a && y == b) || (x == b && y == a)) return false;
+  }
+  return true;
+}
+
+}  // namespace mwp

@@ -1,0 +1,55 @@
+// Placement constraints (§3.2): "while finding the optimal placement, APC
+// also observes a number of constraints, such as resource constraints,
+// collocation constraints and application pinning, amongst others."
+//
+// Resource constraints are enforced structurally (memory in IsFeasible, CPU
+// in the load distributor). This header adds the policy constraints:
+//   - pinning: an application may only be placed on an allowed node set;
+//   - anti-collocation: two applications may never share a node (e.g.
+//     licensing, fault isolation or interference rules).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mwp {
+
+class PlacementConstraints {
+ public:
+  PlacementConstraints() = default;
+
+  /// Restrict `app` to `nodes` (pinning). An empty set is rejected — use
+  /// ClearPin to remove a restriction.
+  void PinTo(AppId app, std::vector<NodeId> nodes);
+  void ClearPin(AppId app);
+
+  /// Forbid `a` and `b` from sharing any node. Symmetric; self-pairs are
+  /// rejected.
+  void Separate(AppId a, AppId b);
+
+  /// True when `app` may be hosted on `node`.
+  bool AllowsNode(AppId app, NodeId node) const;
+
+  /// True when `a` and `b` may share a node.
+  bool AllowsCollocation(AppId a, AppId b) const;
+
+  bool empty() const {
+    return allowed_nodes_.empty() && separated_.empty();
+  }
+
+  const std::map<AppId, std::vector<NodeId>>& pins() const {
+    return allowed_nodes_;
+  }
+  const std::vector<std::pair<AppId, AppId>>& separations() const {
+    return separated_;
+  }
+
+ private:
+  std::map<AppId, std::vector<NodeId>> allowed_nodes_;
+  std::vector<std::pair<AppId, AppId>> separated_;
+};
+
+}  // namespace mwp

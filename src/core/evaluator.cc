@@ -1,0 +1,139 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mwp {
+
+PlacementEvaluator::PlacementEvaluator(const PlacementSnapshot* snapshot)
+    : PlacementEvaluator(snapshot, Options{}) {}
+
+PlacementEvaluator::PlacementEvaluator(const PlacementSnapshot* snapshot,
+                                       Options options)
+    : snapshot_(snapshot),
+      options_(std::move(options)),
+      distributor_(snapshot, options_.distributor) {
+  MWP_CHECK(snapshot_ != nullptr);
+  MWP_CHECK(options_.tie_tolerance >= 0.0);
+}
+
+PlacementEvaluation PlacementEvaluator::Evaluate(
+    const PlacementMatrix& p) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  PlacementEvaluation eval;
+  eval.distribution = distributor_.Distribute(p);
+  eval.entity_utilities.assign(static_cast<std::size_t>(snap.num_entities()),
+                               kUtilityFloor);
+  eval.job_future_speeds.assign(static_cast<std::size_t>(snap.num_jobs()), 0.0);
+
+  const Seconds cycle_end = snap.now() + snap.control_cycle();
+
+  // Advance each job through the next cycle; collect still-incomplete jobs
+  // for the hypothetical RPF evaluated at cycle end.
+  std::vector<HypotheticalJobState> hyp_jobs;
+  std::vector<int> hyp_index;  // job index per hyp entry
+  hyp_jobs.reserve(static_cast<std::size_t>(snap.num_jobs()));
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    const JobView& jv = snap.job(j);
+    const int entity = snap.EntityOfJob(j);
+    const MHz alloc = eval.distribution.totals[static_cast<std::size_t>(entity)];
+    eval.batch_allocation += alloc;
+
+    Megacycles done = jv.work_done;
+    Seconds start_delay_at_end = 0.0;
+    if (eval.distribution.placed[static_cast<std::size_t>(entity)] &&
+        alloc > 0.0) {
+      const std::vector<int> nodes = p.NodesOf(entity);
+      const Seconds exec_start = JobExecStart(snap, jv, nodes.front());
+      if (exec_start < cycle_end) {
+        done = jv.profile->WorkAfterRunning(done, alloc, cycle_end - exec_start);
+        if (jv.profile->RemainingWork(done) <= kEpsilon) {
+          // Completes inside the cycle: utility of the exact finish time.
+          const Seconds finish =
+              exec_start +
+              jv.profile->RemainingTimeAtSpeed(jv.work_done, alloc);
+          eval.entity_utilities[static_cast<std::size_t>(entity)] =
+              (jv.goal.completion_goal - finish) / jv.goal.relative_goal();
+          eval.job_future_speeds[static_cast<std::size_t>(j)] = alloc;
+          continue;
+        }
+      } else {
+        start_delay_at_end = exec_start - cycle_end;
+      }
+    } else {
+      // Not placed (or paused): if placed next cycle it pays its placement
+      // latency then.
+      start_delay_at_end = jv.place_overhead;
+    }
+    HypotheticalJobState hs;
+    hs.profile = jv.profile;
+    hs.goal = jv.goal;
+    hs.work_done = done;
+    hs.start_delay = start_delay_at_end;
+    hyp_jobs.push_back(hs);
+    hyp_index.push_back(j);
+  }
+
+  if (!hyp_jobs.empty()) {
+    const std::vector<double> grid =
+        options_.grid.empty() ? HypotheticalRpf::DefaultGrid() : options_.grid;
+    const HypotheticalRpf hyp(std::move(hyp_jobs), cycle_end, grid);
+    const auto outcomes = hyp.Evaluate(eval.batch_allocation);
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+      const int entity = snap.EntityOfJob(hyp_index[k]);
+      eval.entity_utilities[static_cast<std::size_t>(entity)] =
+          outcomes[k].utility;
+      eval.job_future_speeds[static_cast<std::size_t>(hyp_index[k])] =
+          outcomes[k].speed;
+    }
+  }
+
+  for (int w = 0; w < snap.num_tx(); ++w) {
+    const int entity = snap.EntityOfTx(w);
+    eval.tx_allocation +=
+        eval.distribution.totals[static_cast<std::size_t>(entity)];
+    eval.entity_utilities[static_cast<std::size_t>(entity)] =
+        eval.distribution.placed[static_cast<std::size_t>(entity)]
+            ? eval.distribution.utilities[static_cast<std::size_t>(entity)]
+            : kUtilityFloor;
+    if (snap.tx(w).arrival_rate <= 1e-12) {
+      // A quiesced application is satisfied whether placed or not.
+      eval.entity_utilities[static_cast<std::size_t>(entity)] = 1.0;
+    }
+  }
+
+  // Changes relative to the in-effect placement. Removals of incomplete jobs
+  // are suspensions; additions of previously suspended jobs are resumes.
+  std::vector<bool> removal_is_suspend(
+      static_cast<std::size_t>(snap.num_entities()), false);
+  std::vector<bool> addition_is_resume(
+      static_cast<std::size_t>(snap.num_entities()), false);
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    removal_is_suspend[static_cast<std::size_t>(snap.EntityOfJob(j))] = true;
+    addition_is_resume[static_cast<std::size_t>(snap.EntityOfJob(j))] =
+        snap.job(j).status == JobStatus::kSuspended;
+  }
+  eval.changes = DiffPlacements(snap.current_placement(), p,
+                                removal_is_suspend, addition_is_resume);
+
+  eval.sorted_utilities = eval.entity_utilities;
+  std::sort(eval.sorted_utilities.begin(), eval.sorted_utilities.end());
+  return eval;
+}
+
+int PlacementEvaluator::Compare(const PlacementEvaluation& a,
+                                const PlacementEvaluation& b) const {
+  MWP_CHECK(a.sorted_utilities.size() == b.sorted_utilities.size());
+  for (std::size_t i = 0; i < a.sorted_utilities.size(); ++i) {
+    const double diff = a.sorted_utilities[i] - b.sorted_utilities[i];
+    if (diff > options_.tie_tolerance) return 1;
+    if (diff < -options_.tie_tolerance) return -1;
+  }
+  if (a.changes.size() < b.changes.size()) return 1;
+  if (a.changes.size() > b.changes.size()) return -1;
+  return 0;
+}
+
+}  // namespace mwp

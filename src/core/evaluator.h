@@ -1,0 +1,82 @@
+// Candidate placement evaluation (§4.2 "Evaluating placement decisions").
+//
+// A candidate placement P is scored in four steps:
+//   1. divide node CPU among the placed instances (LoadDistributor);
+//   2. advance every placed job by the work it would complete over the next
+//      control cycle at its allocation (charging VM boot/resume/migrate
+//      latencies first); jobs that finish inside the cycle get the utility
+//      of their exact completion time;
+//   3. build the hypothetical RPF at t_now + T over all still-incomplete
+//      jobs (placed and queued) and read each job's predicted utility under
+//      the assumption that the batch workload keeps the aggregate
+//      allocation ω_g = Σ_m ω_m of the next cycle;
+//   4. transactional utilities come from the queuing model at their
+//      allocations.
+// The resulting per-entity utilities, sorted ascending, are the placement's
+// score; comparison is lexicographic with a tolerance, with the number of
+// placement changes as tie-breaker (the paper keeps the incumbent when RP
+// vectors tie — Figure 1, S1 cycle 2).
+#pragma once
+
+#include <vector>
+
+#include "cluster/placement.h"
+#include "core/hypothetical_rpf.h"
+#include "core/load_distributor.h"
+#include "core/snapshot.h"
+
+namespace mwp {
+
+struct PlacementEvaluation {
+  DistributionResult distribution;
+  /// Final predicted utility per entity (jobs: hypothetical at t+T or exact
+  /// completion utility; transactional apps: queuing-model utility).
+  std::vector<Utility> entity_utilities;
+  /// entity_utilities sorted ascending — the optimization objective.
+  std::vector<Utility> sorted_utilities;
+  /// Reconfiguration actions relative to the snapshot's current placement.
+  std::vector<PlacementChange> changes;
+  /// Aggregate CPU given to batch jobs (ω_g) and to transactional apps.
+  MHz batch_allocation = 0.0;
+  MHz tx_allocation = 0.0;
+  /// Per job entity: the hypothetical future speed ω_m interpolated from the
+  /// W matrix (jobs completing within the cycle carry their current
+  /// allocation). Indexed like the snapshot's jobs.
+  std::vector<MHz> job_future_speeds;
+};
+
+class PlacementEvaluator {
+ public:
+  struct Options {
+    /// Sorted utility vectors whose elements all differ by less than this
+    /// are considered tied (then fewer changes wins). The default exceeds
+    /// one control cycle's worth of goal decay for the paper's Experiment
+    /// One jobs (600 s / 47,520 s ≈ 0.0126), which is what keeps the
+    /// algorithm from churning suspend/resume rotations among identical
+    /// jobs under overload — the "no placement changes" behaviour of §5.1.
+    double tie_tolerance = 0.02;
+    LoadDistributor::Options distributor;
+    /// Sampling grid for the hypothetical RPF; empty = default grid.
+    std::vector<double> grid;
+  };
+
+  explicit PlacementEvaluator(const PlacementSnapshot* snapshot);
+  PlacementEvaluator(const PlacementSnapshot* snapshot, Options options);
+
+  PlacementEvaluation Evaluate(const PlacementMatrix& p) const;
+
+  /// Lexicographic comparison of sorted utility vectors with tolerance:
+  /// returns +1 when `a` is strictly better, -1 when worse, 0 when tied.
+  /// On utility ties, the evaluation with fewer changes is better.
+  int Compare(const PlacementEvaluation& a, const PlacementEvaluation& b) const;
+
+  const PlacementSnapshot& snapshot() const { return *snapshot_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const PlacementSnapshot* snapshot_;
+  Options options_;
+  LoadDistributor distributor_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,218 @@
+#include "core/hypothetical_rpf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/speed_math.h"
+
+namespace mwp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using speed_math::InvertRemainingTime;
+
+}  // namespace
+
+HypotheticalRpf::HypotheticalRpf(std::vector<HypotheticalJobState> jobs,
+                                 Seconds t_eval, std::span<const double> grid)
+    : jobs_(std::move(jobs)), t_eval_(t_eval), grid_(grid.begin(), grid.end()) {
+  MWP_CHECK(!grid_.empty());
+  for (std::size_t i = 1; i < grid_.size(); ++i) {
+    MWP_CHECK_MSG(grid_[i] > grid_[i - 1], "grid must be strictly increasing");
+  }
+  MWP_CHECK_MSG(ApproxEqual(grid_.back(), 1.0), "grid must end at u = 1");
+
+  const int m_count = num_jobs();
+  u_max_.resize(static_cast<std::size_t>(m_count));
+  speed_at_max_.resize(static_cast<std::size_t>(m_count));
+  for (int m = 0; m < m_count; ++m) {
+    const HypotheticalJobState& js = jobs_[static_cast<std::size_t>(m)];
+    MWP_CHECK(js.profile != nullptr);
+    MWP_CHECK_MSG(js.profile->RemainingWork(js.work_done) > kEpsilon,
+                  "completed jobs must not enter the hypothetical RPF");
+    MWP_CHECK(js.start_delay >= 0.0);
+    const Seconds earliest =
+        t_eval_ + js.start_delay + js.profile->MinRemainingTime(js.work_done);
+    const Utility raw =
+        (js.goal.completion_goal - earliest) / js.goal.relative_goal();
+    // Utilities above the top of the grid cannot influence decisions; clamp
+    // so that W/V rows stay well-defined (Eq. 4/5 clamp the same way).
+    u_max_[static_cast<std::size_t>(m)] = std::min(raw, grid_.back());
+    speed_at_max_[static_cast<std::size_t>(m)] =
+        RequiredSpeed(m, u_max_[static_cast<std::size_t>(m)]);
+    MWP_CHECK(std::isfinite(speed_at_max_[static_cast<std::size_t>(m)]));
+  }
+
+  const std::size_t rows = grid_.size();
+  w_.assign(rows * static_cast<std::size_t>(m_count), 0.0);
+  v_.assign(rows * static_cast<std::size_t>(m_count), 0.0);
+  row_sum_.assign(rows, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (int m = 0; m < m_count; ++m) {
+      const std::size_t cell = i * static_cast<std::size_t>(m_count) +
+                               static_cast<std::size_t>(m);
+      const Utility u_cap = u_max_[static_cast<std::size_t>(m)];
+      if (grid_[i] < u_cap) {
+        w_[cell] = RequiredSpeed(m, grid_[i]);
+        v_[cell] = grid_[i];
+      } else {
+        w_[cell] = speed_at_max_[static_cast<std::size_t>(m)];
+        v_[cell] = u_cap;
+      }
+      row_sum_[i] += w_[cell];
+    }
+  }
+}
+
+MHz HypotheticalRpf::RequiredSpeed(int job, Utility u) const {
+  const HypotheticalJobState& js = jobs_.at(static_cast<std::size_t>(job));
+  const Seconds deadline =
+      js.goal.completion_goal - u * js.goal.relative_goal();
+  const Seconds budget = deadline - t_eval_ - js.start_delay;
+  if (budget <= 0.0) return kInf;
+  return InvertRemainingTime(*js.profile, js.work_done, budget);
+}
+
+MHz HypotheticalRpf::SpeedFor(int job, Utility u) const {
+  const Utility cap = u_max_.at(static_cast<std::size_t>(job));
+  if (u >= cap) return speed_at_max_.at(static_cast<std::size_t>(job));
+  return RequiredSpeed(job, u);
+}
+
+MHz HypotheticalRpf::AggregateAllocationFor(Utility u) const {
+  MHz total = 0.0;
+  for (int m = 0; m < num_jobs(); ++m) total += SpeedFor(m, u);
+  return total;
+}
+
+MHz HypotheticalRpf::W(int i, int m) const {
+  return w_.at(static_cast<std::size_t>(i) *
+                   static_cast<std::size_t>(num_jobs()) +
+               static_cast<std::size_t>(m));
+}
+
+Utility HypotheticalRpf::V(int i, int m) const {
+  return v_.at(static_cast<std::size_t>(i) *
+                   static_cast<std::size_t>(num_jobs()) +
+               static_cast<std::size_t>(m));
+}
+
+std::vector<HypotheticalRpf::JobOutcome> HypotheticalRpf::Evaluate(
+    MHz aggregate) const {
+  MWP_CHECK(aggregate >= 0.0);
+  std::vector<JobOutcome> out(static_cast<std::size_t>(num_jobs()));
+  if (num_jobs() == 0) return out;
+  const int rows = grid_size();
+
+  if (aggregate >= row_sum_.back()) {
+    // Enough CPU for every job to reach its maximum achievable utility.
+    for (int m = 0; m < num_jobs(); ++m) {
+      out[static_cast<std::size_t>(m)] = {V(rows - 1, m), W(rows - 1, m)};
+    }
+    return out;
+  }
+  if (aggregate <= row_sum_.front()) {
+    // Below even the floor row: scale the floor speeds down proportionally
+    // and report the floor utility (relative performance is clamped below).
+    const double f =
+        row_sum_.front() > 0.0 ? aggregate / row_sum_.front() : 0.0;
+    for (int m = 0; m < num_jobs(); ++m) {
+      out[static_cast<std::size_t>(m)] = {V(0, m), W(0, m) * f};
+    }
+    return out;
+  }
+  // Bracket A_k <= aggregate <= A_{k+1} (Eq. 6); row sums are monotone.
+  auto it = std::upper_bound(row_sum_.begin(), row_sum_.end(), aggregate);
+  const int hi = static_cast<int>(it - row_sum_.begin());
+  const int lo = hi - 1;
+  MWP_CHECK(lo >= 0 && hi < rows);
+  const MHz span = row_sum_[static_cast<std::size_t>(hi)] -
+                   row_sum_[static_cast<std::size_t>(lo)];
+  const double f =
+      span > kEpsilon
+          ? (aggregate - row_sum_[static_cast<std::size_t>(lo)]) / span
+          : 0.0;
+  for (int m = 0; m < num_jobs(); ++m) {
+    const MHz speed = W(lo, m) + f * (W(hi, m) - W(lo, m));
+    const Utility u = V(lo, m) + f * (V(hi, m) - V(lo, m));
+    out[static_cast<std::size_t>(m)] = {u, speed};
+  }
+  return out;
+}
+
+Utility HypotheticalRpf::LevelFor(MHz aggregate) const {
+  MWP_CHECK(aggregate >= 0.0);
+  if (row_sum_.empty()) return grid_.back();
+  if (aggregate >= row_sum_.back()) return grid_.back();
+  if (aggregate <= row_sum_.front()) return grid_.front();
+  auto it = std::upper_bound(row_sum_.begin(), row_sum_.end(), aggregate);
+  const auto hi = static_cast<std::size_t>(it - row_sum_.begin());
+  const std::size_t lo = hi - 1;
+  const MHz span = row_sum_[hi] - row_sum_[lo];
+  const double f = span > kEpsilon ? (aggregate - row_sum_[lo]) / span : 0.0;
+  return grid_[lo] + f * (grid_[hi] - grid_[lo]);
+}
+
+Utility HypotheticalRpf::MinUtility(MHz aggregate) const {
+  const auto outcomes = Evaluate(aggregate);
+  Utility u = grid_.back();
+  for (const JobOutcome& o : outcomes) u = std::min(u, o.utility);
+  return u;
+}
+
+double HypotheticalRpf::AverageUtility(MHz aggregate) const {
+  if (num_jobs() == 0) return std::numeric_limits<double>::quiet_NaN();
+  const auto outcomes = Evaluate(aggregate);
+  double sum = 0.0;
+  for (const JobOutcome& o : outcomes) sum += o.utility;
+  return sum / static_cast<double>(outcomes.size());
+}
+
+std::vector<double> HypotheticalRpf::DefaultGrid() {
+  return {kUtilityFloor, -16.0, -8.0,  -4.0, -3.0, -2.0,  -1.5, -1.0,
+          -0.8,          -0.6,  -0.5,  -0.4, -0.3, -0.25, -0.2, -0.15,
+          -0.1,          -0.05, 0.0,   0.05, 0.1,  0.15,  0.2,  0.25,
+          0.3,           0.35,  0.4,   0.45, 0.5,  0.55,  0.6,  0.65,
+          0.7,           0.75,  0.8,   0.85, 0.9,  0.95,  1.0};
+}
+
+std::vector<double> HypotheticalRpf::UniformGrid(int r) {
+  MWP_CHECK(r >= 3);
+  // First point anchors the floor; the rest spread uniformly over [-2, 1],
+  // the region where placement decisions actually differ.
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(r));
+  grid.push_back(kUtilityFloor);
+  const int pts = r - 1;
+  for (int i = 0; i < pts; ++i) {
+    grid.push_back(-2.0 + 3.0 * static_cast<double>(i) /
+                              static_cast<double>(pts - 1));
+  }
+  return grid;
+}
+
+BatchAggregateRpf::BatchAggregateRpf(const HypotheticalRpf* hypothetical)
+    : hypothetical_(hypothetical) {
+  MWP_CHECK(hypothetical_ != nullptr);
+}
+
+Utility BatchAggregateRpf::UtilityAt(MHz allocation) const {
+  return hypothetical_->LevelFor(allocation);
+}
+
+MHz BatchAggregateRpf::AllocationFor(Utility target) const {
+  return hypothetical_->AggregateAllocationFor(target);
+}
+
+Utility BatchAggregateRpf::max_utility() const {
+  return hypothetical_->LevelFor(saturation_allocation());
+}
+
+MHz BatchAggregateRpf::saturation_allocation() const {
+  return hypothetical_->RowAggregate(hypothetical_->grid_size() - 1);
+}
+
+}  // namespace mwp

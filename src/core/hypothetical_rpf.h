@@ -1,0 +1,143 @@
+// Hypothetical relative performance for batch workloads (§4.2).
+//
+// Batch jobs cannot be scored independently: a job's completion time depends
+// on how the whole batch workload shares CPU over the rest of its life. The
+// paper's construction assumes that (a) from the evaluation instant on, the
+// batch workload as a whole holds a constant aggregate CPU power ω_g, and
+// (b) that power may be arbitrarily finely re-divided among jobs over time.
+// Under these assumptions the fair outcome equalizes the jobs' relative
+// performance, clamped at each job's maximum achievable value.
+//
+// Construction (Eqs. 3–6): for a grid of target utilities u_1 < … < u_R = 1,
+//   W[i][m] = average speed job m needs from t_eval to finish by t_m(u_i)
+//             (clamped at the speed that yields its max achievable u),
+//   V[i][m] = min(u_i, u_max_m).
+// Row sums A_i = Σ_m W[i][m] are non-decreasing in i; given an aggregate
+// allocation ω_g, the bracket A_k ≤ ω_g ≤ A_{k+1} is found and each job's
+// speed and utility are linearly interpolated between rows k and k+1 —
+// the paper's approximation that avoids solving a linear system online.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "batch/job.h"
+#include "common/units.h"
+#include "rpf/rpf.h"
+
+namespace mwp {
+
+/// Inputs for one job at the evaluation instant.
+struct HypotheticalJobState {
+  const JobProfile* profile = nullptr;
+  JobGoal goal;
+  Megacycles work_done = 0.0;
+  /// Delay before the job could begin executing, relative to the evaluation
+  /// instant (VM boot/resume latency for unplaced jobs; an in-flight
+  /// operation's remainder for placed ones).
+  Seconds start_delay = 0.0;
+};
+
+class HypotheticalRpf {
+ public:
+  /// Per-job outcome of an aggregate allocation.
+  struct JobOutcome {
+    Utility utility = 0.0;
+    MHz speed = 0.0;
+  };
+
+  /// `grid` is the sampling grid u_1 < … < u_R (the paper's target relative
+  /// performance values); it must end at 1.0. Jobs with no remaining work
+  /// must be filtered out by the caller.
+  HypotheticalRpf(std::vector<HypotheticalJobState> jobs, Seconds t_eval,
+                  std::span<const double> grid);
+
+  HypotheticalRpf(std::vector<HypotheticalJobState> jobs, Seconds t_eval)
+      : HypotheticalRpf(std::move(jobs), t_eval, DefaultGrid()) {}
+
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  Seconds eval_time() const { return t_eval_; }
+
+  /// Speed job m must sustain from t_eval to achieve utility u (Eq. 3),
+  /// clamped at the speed achieving its maximum achievable utility.
+  MHz SpeedFor(int job, Utility u) const;
+
+  /// Maximum achievable relative performance of job m (start at t_eval +
+  /// start_delay, run at max speed).
+  Utility MaxAchievable(int job) const {
+    return u_max_.at(static_cast<std::size_t>(job));
+  }
+
+  /// Aggregate speed needed for every job to reach utility u (Σ_m W(u));
+  /// each job clamped at its own maximum.
+  MHz AggregateAllocationFor(Utility u) const;
+
+  /// The paper's interpolation: divide ω_g among all jobs (Eq. 6 bracket +
+  /// linear interpolation between rows of W and V).
+  std::vector<JobOutcome> Evaluate(MHz aggregate) const;
+
+  /// Lowest per-job utility under ω_g — the max-min-relevant value.
+  Utility MinUtility(MHz aggregate) const;
+
+  /// The common target level reached with aggregate ω_g: the (interpolated)
+  /// grid position of the Eq. 6 bracket. Jobs whose maximum achievable RP
+  /// lies below the level are clamped and do not drag it down, so this is
+  /// the right quantity to equalize against other workloads' RP (§5.3).
+  Utility LevelFor(MHz aggregate) const;
+
+  /// Mean per-job utility under ω_g — the series plotted in Figure 2.
+  double AverageUtility(MHz aggregate) const;
+
+  // Matrix access for tests and diagnostics.
+  int grid_size() const { return static_cast<int>(grid_.size()); }
+  double grid_point(int i) const { return grid_.at(static_cast<std::size_t>(i)); }
+  MHz W(int i, int m) const;
+  Utility V(int i, int m) const;
+  MHz RowAggregate(int i) const { return row_sum_.at(static_cast<std::size_t>(i)); }
+
+  /// The default sampling grid: a floor point plus a grid dense near the
+  /// [0, 1] region where decisions are made.
+  static std::vector<double> DefaultGrid();
+
+  /// Uniformly spaced grid with R points from kUtilityFloor to 1.0 — used
+  /// by the sampling-resolution ablation.
+  static std::vector<double> UniformGrid(int r);
+
+ private:
+  std::vector<HypotheticalJobState> jobs_;
+  Seconds t_eval_;
+  std::vector<double> grid_;
+  std::vector<Utility> u_max_;        // per job
+  std::vector<MHz> speed_at_max_;     // per job: speed achieving u_max
+  std::vector<MHz> w_;                // grid_size x num_jobs, row-major
+  std::vector<Utility> v_;            // grid_size x num_jobs, row-major
+  std::vector<MHz> row_sum_;          // A_i
+
+  /// Unclamped required speed (Eq. 3 generalized to stage-capped profiles);
+  /// returns infinity when the deadline is unreachable.
+  MHz RequiredSpeed(int job, Utility u) const;
+};
+
+/// Adapter exposing the batch workload as one Rpf entity: its utility under
+/// an aggregate allocation is the common target level (LevelFor), and the
+/// allocation needed for a target level is the Eq. 6 aggregate. This is the
+/// object the load distributor bargains with when trading the batch
+/// workload off against transactional applications (§5.3): equalizing its
+/// level with the transactional apps' RP is exactly the paper's
+/// "equalize their satisfaction" behaviour, while jobs whose maximum
+/// achievable RP is already below the level are clamped and do not force
+/// the batch workload to hoard CPU it cannot use.
+class BatchAggregateRpf : public Rpf {
+ public:
+  explicit BatchAggregateRpf(const HypotheticalRpf* hypothetical);
+
+  Utility UtilityAt(MHz allocation) const override;
+  MHz AllocationFor(Utility target) const override;
+  Utility max_utility() const override;
+  MHz saturation_allocation() const override;
+
+ private:
+  const HypotheticalRpf* hypothetical_;
+};
+
+}  // namespace mwp

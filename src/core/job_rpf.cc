@@ -1,0 +1,49 @@
+#include "core/job_rpf.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/speed_math.h"
+
+namespace mwp {
+
+JobCompletionRpf::JobCompletionRpf(const JobProfile* profile, JobGoal goal,
+                                   Megacycles done, Seconds ref_time)
+    : profile_(profile), goal_(goal), done_(done), ref_time_(ref_time) {
+  MWP_CHECK(profile_ != nullptr);
+  MWP_CHECK_MSG(profile_->RemainingWork(done_) > kEpsilon,
+                "JobCompletionRpf requires an incomplete job");
+  max_useful_speed_ = speed_math::MaxUsefulSpeed(*profile_, done_);
+  const Seconds earliest = ref_time_ + profile_->MinRemainingTime(done_);
+  max_utility_ =
+      (goal_.completion_goal - earliest) / goal_.relative_goal();
+}
+
+Seconds JobCompletionRpf::CompletionTime(MHz allocation) const {
+  return ref_time_ + profile_->RemainingTimeAtSpeed(done_, allocation);
+}
+
+Utility JobCompletionRpf::UtilityAt(MHz allocation) const {
+  if (allocation <= 0.0) return kUtilityFloor;
+  const Seconds t = CompletionTime(allocation);
+  const Utility u = (goal_.completion_goal - t) / goal_.relative_goal();
+  return std::max(u, kUtilityFloor);
+}
+
+MHz JobCompletionRpf::AllocationFor(Utility target) const {
+  if (target >= max_utility_) return max_useful_speed_;
+  const Seconds deadline =
+      goal_.completion_goal - std::max(target, kUtilityFloor) *
+                                  goal_.relative_goal();
+  const Seconds budget = deadline - ref_time_;
+  if (budget <= 0.0) return max_useful_speed_;
+  return speed_math::InvertRemainingTime(*profile_, done_, budget);
+}
+
+Utility JobCompletionRpf::max_utility() const { return max_utility_; }
+
+MHz JobCompletionRpf::saturation_allocation() const {
+  return max_useful_speed_;
+}
+
+}  // namespace mwp

@@ -1,0 +1,43 @@
+// Per-job relative performance function used when dividing node CPU.
+//
+// While the hypothetical RPF (§4.2) scores whole placements, the load
+// distributor needs a standalone monotone RPF per *placed* job: "if this job
+// sustains speed ω from the reference instant until it finishes, what
+// relative performance does it achieve?" — i.e. Eq. 3 read in the other
+// direction. The assumption that the job's speed persists beyond the next
+// cycle mirrors the paper's assumption that the aggregate batch allocation
+// persists, and makes progressive filling equalize completion-time
+// utilities across jobs exactly like the W/V interpolation does.
+#pragma once
+
+#include "batch/job.h"
+#include "common/units.h"
+#include "rpf/rpf.h"
+
+namespace mwp {
+
+class JobCompletionRpf : public Rpf {
+ public:
+  /// `ref_time` is when execution (re)starts — the current instant plus any
+  /// VM operation latency still to be paid.
+  JobCompletionRpf(const JobProfile* profile, JobGoal goal, Megacycles done,
+                   Seconds ref_time);
+
+  Utility UtilityAt(MHz allocation) const override;
+  MHz AllocationFor(Utility target) const override;
+  Utility max_utility() const override;
+  MHz saturation_allocation() const override;
+
+  /// Completion time when sustaining `allocation` from ref_time on.
+  Seconds CompletionTime(MHz allocation) const;
+
+ private:
+  const JobProfile* profile_;
+  JobGoal goal_;
+  Megacycles done_;
+  Seconds ref_time_;
+  MHz max_useful_speed_;
+  Utility max_utility_;
+};
+
+}  // namespace mwp

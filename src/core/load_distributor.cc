@@ -1,0 +1,512 @@
+#include "core/load_distributor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "core/job_rpf.h"
+#include "web/queuing_model.h"
+
+namespace mwp {
+namespace {
+
+/// Max-flow (Edmonds–Karp) on a small dense graph; capacities are doubles.
+/// Routes fill-entity demands through the nodes hosting their instances.
+class DenseMaxFlow {
+ public:
+  explicit DenseMaxFlow(int vertices)
+      : n_(vertices),
+        cap_(static_cast<std::size_t>(vertices) *
+                 static_cast<std::size_t>(vertices),
+             0.0) {}
+
+  void AddCapacity(int from, int to, double capacity) {
+    cap_[Index(from, to)] += capacity;
+  }
+
+  double Run(int source, int sink) {
+    double total = 0.0;
+    std::vector<int> parent(static_cast<std::size_t>(n_));
+    for (;;) {
+      std::fill(parent.begin(), parent.end(), -1);
+      parent[static_cast<std::size_t>(source)] = source;
+      std::queue<int> bfs;
+      bfs.push(source);
+      while (!bfs.empty() && parent[static_cast<std::size_t>(sink)] < 0) {
+        const int u = bfs.front();
+        bfs.pop();
+        for (int v = 0; v < n_; ++v) {
+          if (parent[static_cast<std::size_t>(v)] < 0 &&
+              cap_[Index(u, v)] > kFlowEps) {
+            parent[static_cast<std::size_t>(v)] = u;
+            bfs.push(v);
+          }
+        }
+      }
+      if (parent[static_cast<std::size_t>(sink)] < 0) break;
+      double bottleneck = std::numeric_limits<double>::infinity();
+      for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+        bottleneck = std::min(
+            bottleneck, cap_[Index(parent[static_cast<std::size_t>(v)], v)]);
+      }
+      for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+        const int u = parent[static_cast<std::size_t>(v)];
+        cap_[Index(u, v)] -= bottleneck;
+        cap_[Index(v, u)] += bottleneck;
+      }
+      total += bottleneck;
+    }
+    return total;
+  }
+
+  /// Flow pushed over edge (from, to): the reverse residual accumulated.
+  double FlowOn(int from, int to, double original_capacity) const {
+    return original_capacity - cap_[Index(from, to)];
+  }
+
+  static constexpr double kFlowEps = 1e-9;
+
+ private:
+  std::size_t Index(int from, int to) const {
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+  int n_;
+  std::vector<double> cap_;
+};
+
+/// Current-stage max speed of a job view.
+MHz StageMaxSpeed(const JobView& jv) {
+  const int stage = std::min(jv.profile->StageAt(jv.work_done),
+                             jv.profile->num_stages() - 1);
+  return jv.profile->stage(stage).max_speed;
+}
+
+}  // namespace
+
+struct LoadDistributor::FillEntity {
+  enum class Kind { kJob, kTx, kBatch };
+
+  Kind kind = Kind::kJob;
+  /// Snapshot entity index for kJob/kTx; -1 for the batch aggregate.
+  int entity = -1;
+  std::unique_ptr<Rpf> rpf;  // null for trivially satisfied entities
+  std::vector<int> nodes;
+  std::vector<MHz> edge_caps;  // per nodes[i]
+  MHz min_alloc = 0.0;
+  bool active = false;
+  MHz fixed_demand = 0.0;
+  Utility fixed_utility = kUtilityFloor;
+
+  /// Demand at a common level, clamped at the entity's own maximum.
+  MHz DemandAt(Utility level) const {
+    MWP_CHECK(rpf != nullptr);
+    return rpf->AllocationFor(std::min(level, rpf->max_utility()));
+  }
+};
+
+LoadDistributor::LoadDistributor(const PlacementSnapshot* snapshot)
+    : LoadDistributor(snapshot, Options{}) {}
+
+LoadDistributor::LoadDistributor(const PlacementSnapshot* snapshot,
+                                 Options options)
+    : snapshot_(snapshot), options_(std::move(options)) {
+  MWP_CHECK(snapshot_ != nullptr);
+  MWP_CHECK(options_.level_tolerance > 0.0);
+  MWP_CHECK(options_.probe_delta > 0.0);
+  MWP_CHECK(options_.bisection_iters > 0);
+  if (options_.batch_aggregate && snapshot_->num_jobs() > 0) {
+    // The aggregate demand curve over every incomplete job, evaluated at the
+    // snapshot instant. Start delays reflect the jobs' *current* status; the
+    // small per-candidate differences (boot vs resume latency) are scored by
+    // the evaluator's look-ahead, not here.
+    std::vector<HypotheticalJobState> states;
+    states.reserve(static_cast<std::size_t>(snapshot_->num_jobs()));
+    for (const JobView& jv : snapshot_->jobs()) {
+      HypotheticalJobState s;
+      s.profile = jv.profile;
+      s.goal = jv.goal;
+      s.work_done = jv.work_done;
+      s.start_delay = jv.placed()
+                          ? std::max(0.0, jv.overhead_until - snapshot_->now())
+                          : jv.place_overhead;
+      states.push_back(s);
+    }
+    hypothetical_ =
+        std::make_unique<HypotheticalRpf>(std::move(states), snapshot_->now());
+  }
+}
+
+std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
+    const PlacementMatrix& p) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  std::vector<FillEntity> entities;
+
+  if (options_.batch_aggregate) {
+    // One entity for the whole batch workload, routed through the placed
+    // job instances.
+    FillEntity batch;
+    batch.kind = FillEntity::Kind::kBatch;
+    for (int n = 0; n < snap.num_nodes(); ++n) {
+      MHz cap = 0.0;
+      for (int j = 0; j < snap.num_jobs(); ++j) {
+        if (p.at(snap.EntityOfJob(j), n) > 0) cap += StageMaxSpeed(snap.job(j));
+      }
+      if (cap > 0.0) {
+        batch.nodes.push_back(n);
+        batch.edge_caps.push_back(cap);
+      }
+    }
+    if (!batch.nodes.empty()) {
+      MWP_CHECK(hypothetical_ != nullptr);
+      batch.rpf = std::make_unique<BatchAggregateRpf>(hypothetical_.get());
+      batch.active = true;
+      entities.push_back(std::move(batch));
+    }
+  } else {
+    for (int j = 0; j < snap.num_jobs(); ++j) {
+      const int entity = snap.EntityOfJob(j);
+      const std::vector<int> nodes = p.NodesOf(entity);
+      if (nodes.empty()) continue;
+      MWP_CHECK_MSG(nodes.size() == 1, "a job has a single instance");
+      const JobView& jv = snap.job(j);
+      FillEntity e;
+      e.kind = FillEntity::Kind::kJob;
+      e.entity = entity;
+      e.nodes = nodes;
+      e.edge_caps = {StageMaxSpeed(jv)};
+      e.min_alloc = jv.min_speed;
+      e.rpf = std::make_unique<JobCompletionRpf>(
+          jv.profile, jv.goal, jv.work_done,
+          JobExecStart(snap, jv, nodes.front()));
+      e.active = true;
+      entities.push_back(std::move(e));
+    }
+  }
+
+  for (int w = 0; w < snap.num_tx(); ++w) {
+    const int entity = snap.EntityOfTx(w);
+    const std::vector<int> nodes = p.NodesOf(entity);
+    if (nodes.empty()) continue;
+    const TxView& tv = snap.tx(w);
+    FillEntity e;
+    e.kind = FillEntity::Kind::kTx;
+    e.entity = entity;
+    e.nodes = nodes;
+    for (int n : nodes) {
+      // A transactional instance may use its node's whole CPU.
+      e.edge_caps.push_back(snap.cluster().node(n).total_cpu());
+    }
+    if (tv.arrival_rate <= 1e-12) {
+      // No load: trivially satisfied with zero CPU.
+      e.fixed_demand = 0.0;
+      e.fixed_utility = 1.0;
+      e.active = false;
+    } else {
+      e.rpf = std::make_unique<QueuingModel>(tv.app->ModelAt(tv.arrival_rate));
+      e.active = true;
+    }
+    entities.push_back(std::move(e));
+  }
+  return entities;
+}
+
+bool LoadDistributor::RouteDemands(const std::vector<FillEntity>& entities,
+                                   const std::vector<MHz>& demands,
+                                   std::vector<std::vector<MHz>>* routing) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  const int num_nodes = snap.num_nodes();
+  const int e_count = static_cast<int>(entities.size());
+
+  MHz demand_total = 0.0;
+  for (int i = 0; i < e_count; ++i) demand_total += demands[static_cast<std::size_t>(i)];
+  if (routing != nullptr) {
+    routing->assign(static_cast<std::size_t>(e_count),
+                    std::vector<MHz>(static_cast<std::size_t>(num_nodes), 0.0));
+  }
+  if (demand_total <= 0.0) return true;
+
+  const int source = 0;
+  const int sink = 1 + e_count + num_nodes;
+  DenseMaxFlow flow(sink + 1);
+  for (int i = 0; i < e_count; ++i) {
+    const FillEntity& e = entities[static_cast<std::size_t>(i)];
+    flow.AddCapacity(source, 1 + i, demands[static_cast<std::size_t>(i)]);
+    for (std::size_t k = 0; k < e.nodes.size(); ++k) {
+      flow.AddCapacity(1 + i, 1 + e_count + e.nodes[k], e.edge_caps[k]);
+    }
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    flow.AddCapacity(1 + e_count + n, sink, snap.cluster().node(n).total_cpu());
+  }
+  const double pushed = flow.Run(source, sink);
+  if (pushed + 1e-6 < demand_total) return false;
+  if (routing != nullptr) {
+    for (int i = 0; i < e_count; ++i) {
+      const FillEntity& e = entities[static_cast<std::size_t>(i)];
+      for (std::size_t k = 0; k < e.nodes.size(); ++k) {
+        const double f = flow.FlowOn(1 + i, 1 + e_count + e.nodes[k],
+                                     e.edge_caps[k]);
+        if (f > DenseMaxFlow::kFlowEps) {
+          (*routing)[static_cast<std::size_t>(i)]
+                    [static_cast<std::size_t>(e.nodes[k])] = f;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void LoadDistributor::DecomposeNodeShare(const PlacementMatrix& p, int node,
+                                         MHz share,
+                                         DistributionResult& result) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  struct LocalJob {
+    int entity;
+    MHz cap;
+    MHz min_alloc;
+    JobCompletionRpf rpf;
+  };
+  std::vector<LocalJob> local;
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    const int entity = snap.EntityOfJob(j);
+    if (p.at(entity, node) == 0) continue;
+    const JobView& jv = snap.job(j);
+    local.push_back(LocalJob{entity, StageMaxSpeed(jv), jv.min_speed,
+                             JobCompletionRpf(jv.profile, jv.goal,
+                                              jv.work_done,
+                                              JobExecStart(snap, jv, node))});
+  }
+  if (local.empty()) return;
+
+  // Equalize the local jobs' completion RPFs within the share: bisection on
+  // a common level with per-job clamping at their caps / max utilities.
+  auto demand_at = [&](const LocalJob& j, Utility level) {
+    return std::min(j.cap,
+                    j.rpf.AllocationFor(std::min(level, j.rpf.max_utility())));
+  };
+  auto total_at = [&](Utility level) {
+    MHz total = 0.0;
+    for (const LocalJob& j : local) total += demand_at(j, level);
+    return total;
+  };
+
+  Utility hi = kUtilityFloor;
+  for (const LocalJob& j : local) hi = std::max(hi, j.rpf.max_utility());
+  Utility level = hi;
+  if (total_at(hi) > share + 1e-9) {
+    Utility lo = kUtilityFloor;
+    for (int iter = 0; iter < options_.bisection_iters; ++iter) {
+      const Utility mid = 0.5 * (lo + hi);
+      if (total_at(mid) <= share) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    level = lo;
+  }
+
+  // Grant the level demands, then pour any remainder into jobs below cap
+  // (they are past their max achievable utility; extra speed still helps
+  // them finish sooner but cannot raise the level further).
+  std::vector<MHz> grant(local.size());
+  MHz used = 0.0;
+  for (std::size_t k = 0; k < local.size(); ++k) {
+    grant[k] = demand_at(local[k], level);
+    used += grant[k];
+  }
+  MHz leftover = std::max(0.0, share - used);
+  for (std::size_t k = 0; k < local.size() && leftover > 1e-9; ++k) {
+    const MHz room = local[k].cap - grant[k];
+    const MHz add = std::min(room, leftover);
+    grant[k] += add;
+    leftover -= add;
+  }
+
+  for (std::size_t k = 0; k < local.size(); ++k) {
+    // A job below its stage minimum speed must pause instead (§4.1).
+    if (grant[k] > 0.0 && grant[k] + 1e-9 < local[k].min_alloc) grant[k] = 0.0;
+    const auto entity = static_cast<std::size_t>(local[k].entity);
+    result.loads.at(local[k].entity, node) = grant[k];
+    result.totals[entity] = grant[k];
+    result.utilities[entity] = local[k].rpf.UtilityAt(grant[k]);
+  }
+}
+
+DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  MWP_CHECK_MSG(snap.IsFeasible(p), "Distribute requires a feasible placement");
+  std::vector<FillEntity> entities = BuildEntities(p);
+  const auto num_entities = static_cast<std::size_t>(snap.num_entities());
+
+  std::vector<MHz> demands(entities.size(), 0.0);
+  auto refresh_demands = [&](Utility level) {
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      demands[i] =
+          entities[i].active ? entities[i].DemandAt(level) : entities[i].fixed_demand;
+    }
+  };
+  auto feasible = [&](Utility level) {
+    refresh_demands(level);
+    return RouteDemands(entities, demands, nullptr);
+  };
+
+  int active_count = 0;
+  for (const FillEntity& e : entities) {
+    if (e.active) ++active_count;
+  }
+
+  int guard = active_count + 2;
+  while (active_count > 0 && guard-- > 0) {
+    Utility hi = kUtilityFloor;
+    for (const FillEntity& e : entities) {
+      if (e.active) hi = std::max(hi, e.rpf->max_utility());
+    }
+
+    if (!feasible(kUtilityFloor)) {
+      // Even the floor demands do not fit (possible only when entities were
+      // probe-fixed above the floor earlier, or demands at the floor exceed
+      // routable capacity): grant each remaining entity its max-flow share
+      // of the floor demands.
+      refresh_demands(kUtilityFloor);
+      std::vector<std::vector<MHz>> routing;
+      RouteDemands(entities, demands, &routing);  // best-effort routing
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        FillEntity& e = entities[i];
+        if (!e.active) continue;
+        MHz granted = 0.0;
+        for (std::size_t n = 0; n < routing[i].size(); ++n) {
+          granted += routing[i][n];
+        }
+        e.fixed_demand = granted;
+        e.fixed_utility = e.rpf->UtilityAt(granted);
+        e.active = false;
+      }
+      active_count = 0;
+      break;
+    }
+
+    if (feasible(hi)) {
+      for (FillEntity& e : entities) {
+        if (!e.active) continue;
+        e.fixed_demand = e.DemandAt(e.rpf->max_utility());
+        e.fixed_utility = e.rpf->max_utility();
+        e.active = false;
+        --active_count;
+      }
+      continue;
+    }
+
+    Utility lo = kUtilityFloor;
+    for (int iter = 0; iter < options_.bisection_iters; ++iter) {
+      const Utility mid = 0.5 * (lo + hi);
+      if (feasible(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const Utility level = lo;
+
+    // Fix saturated and bottlenecked entities at the level. Both are
+    // granted the demand verified feasible at `level` — never more, or the
+    // remaining rounds would build on an unroutable base.
+    int fixed_this_round = 0;
+    refresh_demands(level);
+    for (FillEntity& e : entities) {
+      if (!e.active) continue;
+      if (level >= e.rpf->max_utility() - options_.level_tolerance) {
+        e.fixed_demand = e.DemandAt(level);
+        e.fixed_utility = e.rpf->UtilityAt(e.fixed_demand);
+        e.active = false;
+        --active_count;
+        ++fixed_this_round;
+      }
+    }
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      FillEntity& e = entities[i];
+      if (!e.active) continue;
+      const MHz saved = demands[i];
+      demands[i] = e.DemandAt(level + options_.probe_delta);
+      const bool can_rise = RouteDemands(entities, demands, nullptr);
+      demands[i] = saved;
+      if (!can_rise) {
+        e.fixed_demand = e.DemandAt(level);
+        e.fixed_utility = e.rpf->UtilityAt(e.fixed_demand);
+        e.active = false;
+        --active_count;
+        ++fixed_this_round;
+      }
+    }
+    if (fixed_this_round == 0) {
+      // Numerical stalemate: freeze everyone at the level found.
+      for (FillEntity& e : entities) {
+        if (!e.active) continue;
+        e.fixed_demand = e.DemandAt(level);
+        e.fixed_utility = e.rpf->UtilityAt(e.fixed_demand);
+        e.active = false;
+        --active_count;
+      }
+    }
+  }
+
+  // Final routing with the fixed demands (always the last verified set).
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    demands[i] = entities[i].fixed_demand;
+  }
+  std::vector<std::vector<MHz>> routing;
+  const bool routed = RouteDemands(entities, demands, &routing);
+  MWP_CHECK_MSG(routed, "final fixed demands must be routable");
+
+  DistributionResult result;
+  result.loads = LoadMatrix(snap.num_entities(), snap.num_nodes());
+  result.totals.assign(num_entities, 0.0);
+  result.utilities.assign(num_entities, kUtilityFloor);
+  result.placed.assign(num_entities, false);
+  result.batch_level = std::numeric_limits<double>::quiet_NaN();
+
+  for (int e = 0; e < snap.num_entities(); ++e) {
+    result.placed[static_cast<std::size_t>(e)] = p.InstanceCount(e) > 0;
+  }
+
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    const FillEntity& e = entities[i];
+    switch (e.kind) {
+      case FillEntity::Kind::kBatch: {
+        result.batch_level = e.fixed_utility;
+        for (std::size_t n = 0; n < routing[i].size(); ++n) {
+          if (routing[i][n] > 0.0) {
+            DecomposeNodeShare(p, static_cast<int>(n), routing[i][n], result);
+          }
+        }
+        break;
+      }
+      case FillEntity::Kind::kJob: {
+        const auto entity = static_cast<std::size_t>(e.entity);
+        MHz total = e.fixed_demand;
+        // A job below its stage minimum speed must pause instead (§4.1).
+        if (total > 0.0 && total + 1e-9 < e.min_alloc) total = 0.0;
+        result.totals[entity] = total;
+        result.utilities[entity] =
+            e.rpf != nullptr ? e.rpf->UtilityAt(total) : e.fixed_utility;
+        if (total > 0.0) result.loads.at(e.entity, e.nodes.front()) = total;
+        break;
+      }
+      case FillEntity::Kind::kTx: {
+        const auto entity = static_cast<std::size_t>(e.entity);
+        result.totals[entity] = e.fixed_demand;
+        result.utilities[entity] = e.fixed_utility;
+        for (std::size_t n = 0; n < routing[i].size(); ++n) {
+          result.loads.at(e.entity, static_cast<int>(n)) = routing[i][n];
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mwp

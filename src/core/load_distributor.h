@@ -1,0 +1,98 @@
+// CPU load distribution for a fixed placement (the paper's L matrix).
+//
+// Given a candidate placement P, the controller must divide each node's CPU
+// among the instances it hosts so that the ordered vector of application
+// relative performance is lexicographically maximal (§3.2 "Optimization
+// objective"). This is classic progressive filling over monotone RPFs:
+//
+//   1. raise a common utility level for all unfixed applications as far as
+//      node capacities allow (bisection; feasibility of a level is a
+//      transportation problem solved by max-flow over the instances);
+//   2. applications that saturate (reach their maximum achievable utility)
+//      or are resource-bottlenecked get fixed at the level;
+//   3. repeat with the rest until everyone is fixed.
+//
+// The batch workload bargains as ONE entity whose RPF is the hypothetical
+// aggregate curve of §4.2 (BatchAggregateRpf): its demand at a level is the
+// Eq. 6 aggregate over every incomplete job — placed and queued — so CPU
+// flows from transactional apps to the batch workload exactly when queued
+// work drags the batch level below the transactional RP, the behaviour
+// Experiment Three demonstrates. The granted aggregate is routed through
+// the placed job instances (per-instance cap: the job's stage ω_max) and
+// then decomposed within each node by equalizing the local jobs' completion
+// RPFs. A per-job bargaining mode (each placed job negotiates with its own
+// completion RPF) is retained as an ablation.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "core/hypothetical_rpf.h"
+#include "core/snapshot.h"
+
+namespace mwp {
+
+struct DistributionResult {
+  /// CPU allocated per (entity, node), MHz.
+  LoadMatrix loads;
+  /// Per-entity totals ω_e (0 for unplaced entities).
+  std::vector<MHz> totals;
+  /// Per-entity achieved utility; meaningful only for placed entities
+  /// (unplaced carry kUtilityFloor). Transactional utilities come from the
+  /// queuing model; job utilities from their completion RPFs at the
+  /// decomposed allocation.
+  std::vector<Utility> utilities;
+  /// Whether the entity had at least one instance in the placement.
+  std::vector<bool> placed;
+  /// The level the batch aggregate reached; NaN when the placement hosts no
+  /// batch entity (no placed jobs, or per-job bargaining mode).
+  Utility batch_level = std::numeric_limits<double>::quiet_NaN();
+};
+
+class LoadDistributor {
+ public:
+  struct Options {
+    /// Convergence tolerance on the common utility level.
+    double level_tolerance = 1e-4;
+    /// Probe step used to detect resource-bottlenecked entities.
+    double probe_delta = 1e-3;
+    int bisection_iters = 48;
+    /// true: the paper's model — the batch workload bargains as one
+    /// hypothetical-aggregate entity. false: each placed job bargains
+    /// individually (ablation; ignores queued jobs' needs).
+    bool batch_aggregate = true;
+  };
+
+  explicit LoadDistributor(const PlacementSnapshot* snapshot);
+  LoadDistributor(const PlacementSnapshot* snapshot, Options options);
+
+  /// Distribute node CPU under placement `p`. `p` must be feasible.
+  DistributionResult Distribute(const PlacementMatrix& p) const;
+
+  /// The hypothetical RPF (at snapshot time, over all incomplete jobs)
+  /// driving the batch aggregate entity; null when the snapshot has no jobs
+  /// or per-job mode is selected.
+  const HypotheticalRpf* hypothetical() const { return hypothetical_.get(); }
+
+ private:
+  struct FillEntity;  // internal per-entity solver state
+
+  const PlacementSnapshot* snapshot_;
+  Options options_;
+  std::unique_ptr<HypotheticalRpf> hypothetical_;
+
+  std::vector<FillEntity> BuildEntities(const PlacementMatrix& p) const;
+  /// True when demands (per fill entity, MHz) can be routed within node
+  /// capacities and per-instance caps; optionally returns the routing
+  /// (fill-entity-major, nodes wide).
+  bool RouteDemands(const std::vector<FillEntity>& entities,
+                    const std::vector<MHz>& demands,
+                    std::vector<std::vector<MHz>>* routing) const;
+  /// Equalize local jobs' completion RPFs within one node's batch share.
+  void DecomposeNodeShare(const PlacementMatrix& p, int node, MHz share,
+                          DistributionResult& result) const;
+};
+
+}  // namespace mwp

@@ -1,0 +1,71 @@
+#include "core/mixed_workload_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+MixedWorkloadManager::MixedWorkloadManager(ClusterSpec cluster,
+                                           ApcController::Config config)
+    : cluster_(std::move(cluster)),
+      controller_(&cluster_, &queue_, std::move(config)) {}
+
+void MixedWorkloadManager::AddWebApplication(
+    TransactionalAppSpec spec, std::shared_ptr<const ArrivalRateProfile> rate) {
+  controller_.AddTransactionalApp(std::move(spec), std::move(rate));
+}
+
+void MixedWorkloadManager::Start(Simulation& sim, Seconds first_cycle) {
+  controller_.Attach(sim, first_cycle);
+}
+
+AppId MixedWorkloadManager::SubmitJob(Simulation& sim,
+                                      const std::string& job_class,
+                                      JobProfile profile, double goal_factor) {
+  const AppId id = next_id_++;
+  const Seconds min_exec = profile.min_execution_time();
+  queue_.Submit(std::make_unique<Job>(
+      id, job_class + "-" + std::to_string(id), std::move(profile),
+      JobGoal::FromFactor(sim.now(), goal_factor, min_exec)));
+  job_classes_.emplace_back(id, job_class);
+  controller_.OnJobSubmitted(sim);
+  return id;
+}
+
+std::optional<AppId> MixedWorkloadManager::SubmitProfiledJob(
+    Simulation& sim, const std::string& job_class, double goal_factor) {
+  RecordNewCompletions();
+  auto profile = job_profiler_.EstimateProfile(job_class);
+  if (!profile.has_value()) return std::nullopt;
+  return SubmitJob(sim, job_class, std::move(*profile), goal_factor);
+}
+
+void MixedWorkloadManager::Finish(Simulation& sim) {
+  controller_.AdvanceJobsTo(sim.now());
+  RecordNewCompletions();
+}
+
+std::string MixedWorkloadManager::ClassOf(AppId id) const {
+  for (const auto& [jid, cls] : job_classes_) {
+    if (jid == id) return cls;
+  }
+  return "unknown";
+}
+
+void MixedWorkloadManager::RecordNewCompletions() {
+  for (const Job* job : queue_.Completed()) {
+    if (std::find(profiled_.begin(), profiled_.end(), job->id()) !=
+        profiled_.end()) {
+      continue;
+    }
+    job_profiler_.RecordJob(ClassOf(job->id()), *job);
+    profiled_.push_back(job->id());
+  }
+}
+
+std::vector<JobOutcomeRecord> MixedWorkloadManager::Outcomes() const {
+  return CollectOutcomes(queue_);
+}
+
+}  // namespace mwp

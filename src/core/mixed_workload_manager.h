@@ -1,0 +1,85 @@
+// MixedWorkloadManager — the system front door (§3.1's architecture in one
+// object).
+//
+// The paper's system wires together a cluster, a request router feeding
+// transactional applications, a job scheduler feeding batch jobs, two
+// profilers, and the APC in a control loop. This facade owns all of those
+// so a user can stand up the whole system in a few lines:
+//
+//   MixedWorkloadManager mgr(cluster_spec, config);
+//   mgr.AddWebApplication(web_spec, std::make_shared<ConstantRate>(500.0));
+//   mgr.Start(sim);
+//   mgr.SubmitJob(sim, "etl", profile, /*goal factor=*/2.5);
+//   sim.RunUntil(horizon);
+//   mgr.Finish(sim);
+//
+// Completed jobs are recorded into the job workload profiler under their
+// job-class name, so future submissions of a known class can omit the
+// profile and use the historical estimate (§3.1's "estimated based on
+// historical data analysis"; the §6 future-work hook).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "batch/job_profiler.h"
+#include "batch/job_queue.h"
+#include "core/apc_controller.h"
+#include "batch/job_metrics.h"
+#include "web/work_profiler.h"
+
+namespace mwp {
+
+class MixedWorkloadManager {
+ public:
+  MixedWorkloadManager(ClusterSpec cluster, ApcController::Config config);
+
+  /// Register a transactional application before Start().
+  void AddWebApplication(TransactionalAppSpec spec,
+                         std::shared_ptr<const ArrivalRateProfile> rate);
+
+  /// Begin the control loop.
+  void Start(Simulation& sim, Seconds first_cycle = 0.0);
+
+  /// Submit a job with an explicit resource usage profile. Returns its id.
+  /// The goal is `goal_factor` x the profile's minimum execution time,
+  /// measured from now (§5's relative goal factor).
+  AppId SubmitJob(Simulation& sim, const std::string& job_class,
+                  JobProfile profile, double goal_factor);
+
+  /// Submit a job of a class the profiler has seen before; the historical
+  /// profile estimate is used. Returns nullopt when the class is unknown.
+  std::optional<AppId> SubmitProfiledJob(Simulation& sim,
+                                         const std::string& job_class,
+                                         double goal_factor);
+
+  /// Flush execution up to the simulation's current time and record all
+  /// newly completed jobs into the job workload profiler.
+  void Finish(Simulation& sim);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const JobQueue& jobs() const { return queue_; }
+  const ApcController& controller() const { return controller_; }
+  JobWorkloadProfiler& job_profiler() { return job_profiler_; }
+  WorkProfiler& work_profiler() { return work_profiler_; }
+
+  /// Outcome records of all completed jobs, by completion time.
+  std::vector<JobOutcomeRecord> Outcomes() const;
+
+ private:
+  /// The class name a job was submitted under (parallel to queue order).
+  std::string ClassOf(AppId id) const;
+  void RecordNewCompletions();
+
+  ClusterSpec cluster_;
+  JobQueue queue_;
+  ApcController controller_;
+  JobWorkloadProfiler job_profiler_;
+  WorkProfiler work_profiler_;
+  std::vector<std::pair<AppId, std::string>> job_classes_;
+  std::vector<AppId> profiled_;  // ids already fed to the profiler
+  AppId next_id_ = 1;
+};
+
+}  // namespace mwp

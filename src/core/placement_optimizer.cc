@@ -1,0 +1,234 @@
+#include "core/placement_optimizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+PlacementOptimizer::PlacementOptimizer(const PlacementSnapshot* snapshot)
+    : PlacementOptimizer(snapshot, Options{}) {}
+
+PlacementOptimizer::PlacementOptimizer(const PlacementSnapshot* snapshot,
+                                       Options options)
+    : snapshot_(snapshot),
+      options_(std::move(options)),
+      evaluator_(snapshot, options_.evaluator) {
+  MWP_CHECK(snapshot_ != nullptr);
+  MWP_CHECK(options_.max_sweeps >= 1);
+  MWP_CHECK(options_.max_changes_per_node >= 1);
+  MWP_CHECK(options_.max_wishes_tried >= 1);
+  MWP_CHECK(options_.max_migrations_tried >= 0);
+}
+
+std::vector<int> PlacementOptimizer::WishList(
+    const PlacementMatrix& p, const PlacementEvaluation& eval) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  std::vector<int> wishes;
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    const int entity = snap.EntityOfJob(j);
+    if (p.InstanceCount(entity) == 0) wishes.push_back(entity);
+  }
+  for (int w = 0; w < snap.num_tx(); ++w) {
+    const TxView& tv = snap.tx(w);
+    if (tv.arrival_rate <= 1e-12) continue;
+    const int entity = snap.EntityOfTx(w);
+    const int instances = p.InstanceCount(entity);
+    if (tv.max_instances > 0 && instances >= tv.max_instances) continue;
+    if (instances >= snap.num_nodes()) continue;
+    // The app wants another instance while its utility is short of the
+    // model's ceiling (spread capacity could still raise it).
+    const Utility u = eval.entity_utilities[static_cast<std::size_t>(entity)];
+    const Utility ceiling = tv.app->ModelAt(tv.arrival_rate).max_utility();
+    if (u < ceiling - options_.evaluator.tie_tolerance) wishes.push_back(entity);
+  }
+  // Lowest relative performance first: the neediest application gets the
+  // first shot at freed capacity.
+  std::stable_sort(wishes.begin(), wishes.end(), [&](int a, int b) {
+    return eval.entity_utilities[static_cast<std::size_t>(a)] <
+           eval.entity_utilities[static_cast<std::size_t>(b)];
+  });
+  return wishes;
+}
+
+bool PlacementOptimizer::TryImproveNode(int node, Result& result) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  const PlacementMatrix& best = result.placement;
+
+  const std::vector<int> wishes = WishList(best, result.evaluation);
+
+  if (!wishes.empty()) {
+    // Residents of this node, peeled off in order of descending predicted
+    // utility: the best-off applications give way first.
+    std::vector<int> residents;
+    for (int e = 0; e < snap.num_entities(); ++e) {
+      for (int k = 0; k < best.at(e, node); ++k) residents.push_back(e);
+    }
+    std::stable_sort(residents.begin(), residents.end(), [&](int a, int b) {
+      return result.evaluation.entity_utilities[static_cast<std::size_t>(a)] >
+             result.evaluation.entity_utilities[static_cast<std::size_t>(b)];
+    });
+
+    for (std::size_t removals = 0; removals <= residents.size(); ++removals) {
+      if (!EvaluationBudgetLeft(result)) return false;
+      PlacementMatrix working = best;
+      for (std::size_t r = 0; r < removals; ++r) {
+        MWP_CHECK(working.at(residents[r], node) > 0);
+        working.at(residents[r], node) -= 1;
+      }
+      const Megabytes free = snap.FreeMemory(working, node);
+      int tried = 0;
+      for (int w : wishes) {
+        if (tried >= options_.max_wishes_tried) break;
+        if (!EvaluationBudgetLeft(result)) return false;
+        if (snap.IsJobEntity(w)) {
+          if (working.InstanceCount(w) > 0) continue;
+        } else {
+          if (working.at(w, node) > 0) continue;
+        }
+        if (snap.EntityMemory(w) > free + kEpsilon) continue;
+        PlacementMatrix candidate = working;
+        candidate.at(w, node) += 1;
+        if (!snap.IsFeasible(candidate)) continue;
+        ++tried;
+        PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+        ++result.evaluations;
+        if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+          result.placement = std::move(candidate);
+          result.evaluation = std::move(cand_eval);
+          return true;
+        }
+      }
+    }
+  }
+
+  // Rebalancing: offer this node the lowest-performing jobs hosted
+  // elsewhere (live migration when the trade improves the utility vector).
+  std::vector<int> donors;
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    const int entity = snap.EntityOfJob(j);
+    if (best.InstanceCount(entity) == 0) continue;
+    if (best.at(entity, node) > 0) continue;
+    donors.push_back(entity);
+  }
+  std::stable_sort(donors.begin(), donors.end(), [&](int a, int b) {
+    return result.evaluation.entity_utilities[static_cast<std::size_t>(a)] <
+           result.evaluation.entity_utilities[static_cast<std::size_t>(b)];
+  });
+  const Megabytes free = snap.FreeMemory(best, node);
+  int tried = 0;
+  for (int donor : donors) {
+    if (tried >= options_.max_migrations_tried) break;
+    if (!EvaluationBudgetLeft(result)) return false;
+    if (snap.EntityMemory(donor) > free + kEpsilon) continue;
+    PlacementMatrix candidate = best;
+    const std::vector<int> from = candidate.NodesOf(donor);
+    MWP_CHECK(from.size() == 1);
+    candidate.at(donor, from.front()) -= 1;
+    candidate.at(donor, node) += 1;
+    if (!snap.IsFeasible(candidate)) continue;
+    ++tried;
+    PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+    ++result.evaluations;
+    if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+      result.placement = std::move(candidate);
+      result.evaluation = std::move(cand_eval);
+      return true;
+    }
+  }
+  return false;
+}
+
+PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
+  const PlacementSnapshot& snap = *snapshot_;
+  Result result;
+  result.placement = snap.current_placement();
+  result.evaluation = evaluator_.Evaluate(result.placement);
+  result.evaluations = 1;
+
+  // Paper's shortcut: when nobody wants more capacity, the incumbent (with
+  // freshly rebalanced CPU) is the answer.
+  if (WishList(result.placement, result.evaluation).empty()) {
+    result.used_shortcut = true;
+    return result;
+  }
+
+  // Transactional bootstrap: a single new instance of a heavily loaded app
+  // can sit below its stability boundary, so one-step growth never looks
+  // better than nothing. Offer a whole-cluster expansion as one candidate.
+  for (int w = 0; w < snap.num_tx(); ++w) {
+    const int entity = snap.EntityOfTx(w);
+    if (!EvaluationBudgetLeft(result)) break;
+    if (snap.tx(w).arrival_rate <= 1e-12) continue;
+    PlacementMatrix candidate = result.placement;
+    const int cap = snap.tx(w).max_instances;
+    bool grew = false;
+    for (int node = 0; node < snap.num_nodes(); ++node) {
+      if (candidate.at(entity, node) > 0) continue;
+      if (cap > 0 && candidate.InstanceCount(entity) >= cap) break;
+      if (snap.EntityMemory(entity) >
+          snap.FreeMemory(candidate, node) + kEpsilon) {
+        continue;
+      }
+      candidate.at(entity, node) += 1;
+      grew = true;
+    }
+    if (!grew || !snap.IsFeasible(candidate)) continue;
+    PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+    ++result.evaluations;
+    if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+      result.placement = std::move(candidate);
+      result.evaluation = std::move(cand_eval);
+    }
+  }
+
+  // Batch bootstrap, the dual of the transactional one: placing a single
+  // queued job raises the batch aggregate by only a few percent — often
+  // inside the tie tolerance — yet filling *all* free capacity is a clear
+  // win. Offer "start every queued job that fits" as one candidate, jobs in
+  // lowest-RP-first order, each on the node with the most free memory.
+  {
+    PlacementMatrix candidate = result.placement;
+    const std::vector<int> wishes = WishList(candidate, result.evaluation);
+    bool added = false;
+    for (int w : wishes) {
+      if (!snap.IsJobEntity(w)) continue;
+      if (candidate.InstanceCount(w) > 0) continue;
+      int best_node = -1;
+      Megabytes best_free = snap.EntityMemory(w) - kEpsilon;
+      for (int node = 0; node < snap.num_nodes(); ++node) {
+        const Megabytes free = snap.FreeMemory(candidate, node);
+        if (free > best_free) {
+          best_free = free;
+          best_node = node;
+        }
+      }
+      if (best_node < 0) continue;
+      candidate.at(w, best_node) += 1;
+      added = true;
+    }
+    if (added && snap.IsFeasible(candidate) && EvaluationBudgetLeft(result)) {
+      PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+      ++result.evaluations;
+      if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+        result.placement = std::move(candidate);
+        result.evaluation = std::move(cand_eval);
+      }
+    }
+  }
+
+  for (int sweep = 0; sweep < options_.max_sweeps; ++sweep) {
+    bool improved = false;
+    for (int node = 0; node < snap.num_nodes(); ++node) {
+      for (int change = 0; change < options_.max_changes_per_node; ++change) {
+        if (!EvaluationBudgetLeft(result)) return result;
+        if (!TryImproveNode(node, result)) break;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace mwp

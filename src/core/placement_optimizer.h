@@ -1,0 +1,79 @@
+// Placement optimizer — the APC's per-cycle search (§3.2 "Algorithm
+// outline", after Carrera et al. [18]).
+//
+// The placement problem is NP-hard; the paper's heuristic is a set of three
+// nested loops. The outer loop visits nodes; for each node an intermediate
+// loop peels instances off the node one at a time (generating a number of
+// base configurations linear in the instances placed there); for each base
+// configuration an inner loop tries to place new instances of applications
+// that want capacity, in *lowest relative performance first* order — the
+// paper's fairness-oriented admission policy for batch jobs. Every
+// candidate is scored by the evaluator; a change is committed only when its
+// sorted utility vector is lexicographically better, with "fewer placement
+// changes" breaking ties (this keeps the incumbent in Figure 1's S1 and
+// minimizes churn in Experiment Two). A rebalancing stage additionally
+// offers each node the lowest-performing jobs hosted elsewhere, generating
+// the migrations the paper's mechanism set includes.
+//
+// Changes are committed one at a time against the current best placement,
+// so every candidate is derived from consistent state; when nothing in the
+// system wants more capacity the search short-cuts to re-evaluating the
+// incumbent, mirroring the paper's observation that cycles where all jobs
+// fit are much cheaper.
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/snapshot.h"
+
+namespace mwp {
+
+class PlacementOptimizer {
+ public:
+  struct Options {
+    PlacementEvaluator::Options evaluator;
+    /// Full passes over the node set per cycle.
+    int max_sweeps = 2;
+    /// Committed changes per node visit.
+    int max_changes_per_node = 8;
+    /// Wish-list prefix tried per base configuration (lowest RP first).
+    int max_wishes_tried = 8;
+    /// Migration donors tried per node visit.
+    int max_migrations_tried = 3;
+    /// Hard cap on candidate evaluations per cycle (0 = unlimited).
+    int max_evaluations = 0;
+  };
+
+  struct Result {
+    PlacementMatrix placement;
+    PlacementEvaluation evaluation;
+    int evaluations = 0;  ///< candidates scored, incumbent included
+    bool used_shortcut = false;
+  };
+
+  explicit PlacementOptimizer(const PlacementSnapshot* snapshot);
+  PlacementOptimizer(const PlacementSnapshot* snapshot, Options options);
+
+  Result Optimize() const;
+
+ private:
+  const PlacementSnapshot* snapshot_;
+  Options options_;
+  PlacementEvaluator evaluator_;
+
+  /// Entities that would take more capacity if offered: unplaced jobs and
+  /// transactional apps below their saturation, ordered lowest-RP-first.
+  std::vector<int> WishList(const PlacementMatrix& p,
+                            const PlacementEvaluation& eval) const;
+
+  /// Attempt one improving change involving `node`; commits it into
+  /// best/best_eval and returns true, or returns false when no candidate
+  /// beats the incumbent.
+  bool TryImproveNode(int node, Result& result) const;
+
+  bool EvaluationBudgetLeft(const Result& result) const {
+    return options_.max_evaluations == 0 ||
+           result.evaluations < options_.max_evaluations;
+  }
+};
+
+}  // namespace mwp

@@ -1,0 +1,163 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+PlacementSnapshot::PlacementSnapshot(const ClusterSpec* cluster, Seconds now,
+                                     Seconds control_cycle,
+                                     std::vector<JobView> jobs,
+                                     std::vector<TxView> tx_apps)
+    : cluster_(cluster),
+      now_(now),
+      control_cycle_(control_cycle),
+      jobs_(std::move(jobs)),
+      tx_apps_(std::move(tx_apps)),
+      current_(num_entities(), cluster->num_nodes()) {
+  MWP_CHECK(cluster_ != nullptr);
+  MWP_CHECK(control_cycle_ > 0.0);
+  for (int j = 0; j < num_jobs(); ++j) {
+    const JobView& view = jobs_[static_cast<std::size_t>(j)];
+    MWP_CHECK(view.profile != nullptr);
+    if (view.placed()) {
+      MWP_CHECK(view.current_node != kInvalidNode);
+      current_.at(EntityOfJob(j), view.current_node) = 1;
+    }
+  }
+  for (int w = 0; w < num_tx(); ++w) {
+    for (NodeId n : tx_apps_[static_cast<std::size_t>(w)].current_nodes) {
+      current_.at(EntityOfTx(w), n) += 1;
+    }
+  }
+}
+
+PlacementSnapshot PlacementSnapshot::Capture(
+    const ClusterSpec& cluster, Seconds now, Seconds control_cycle,
+    JobQueue& queue, const VmCostModel& costs,
+    const std::vector<TxInput>& tx_apps) {
+  std::vector<JobView> jobs;
+  for (Job* job : queue.Incomplete()) {
+    JobView v;
+    v.id = job->id();
+    v.profile = &job->profile();
+    v.goal = job->goal();
+    v.work_done = job->work_done();
+    v.status = job->status();
+    v.current_node = job->node();
+    v.overhead_until = job->overhead_until();
+    v.memory = job->profile().max_memory();
+    const int stage = job->current_stage();
+    const JobStage& s = job->profile().stage(
+        std::min(stage, job->profile().num_stages() - 1));
+    v.max_speed = s.max_speed;
+    v.min_speed = s.min_speed;
+    switch (job->status()) {
+      case JobStatus::kNotStarted:
+        v.place_overhead = costs.BootCost();
+        break;
+      case JobStatus::kSuspended:
+        v.place_overhead = costs.ResumeCost(v.memory);
+        break;
+      default:
+        v.place_overhead = 0.0;
+        break;
+    }
+    v.migrate_overhead = costs.MigrateCost(v.memory);
+    jobs.push_back(v);
+  }
+  std::vector<TxView> txs;
+  for (const TxInput& input : tx_apps) {
+    MWP_CHECK(input.app != nullptr);
+    TxView t;
+    t.id = input.app->id();
+    t.app = input.app;
+    t.arrival_rate = input.arrival_rate;
+    t.memory = input.app->spec().memory_per_instance;
+    t.max_instances = input.app->spec().max_instances;
+    t.current_nodes = input.current_nodes;
+    txs.push_back(t);
+  }
+  return PlacementSnapshot(&cluster, now, control_cycle, std::move(jobs),
+                           std::move(txs));
+}
+
+int PlacementSnapshot::JobOfEntity(int entity) const {
+  MWP_CHECK(IsJobEntity(entity));
+  return entity;
+}
+
+int PlacementSnapshot::TxOfEntity(int entity) const {
+  MWP_CHECK(!IsJobEntity(entity) && entity < num_entities());
+  return entity - num_jobs();
+}
+
+Megabytes PlacementSnapshot::EntityMemory(int entity) const {
+  if (IsJobEntity(entity)) return job(JobOfEntity(entity)).memory;
+  return tx(TxOfEntity(entity)).memory;
+}
+
+Megabytes PlacementSnapshot::FreeMemory(const PlacementMatrix& p,
+                                        int node) const {
+  Megabytes used = 0.0;
+  for (int e = 0; e < p.num_apps(); ++e) {
+    used += p.at(e, node) * EntityMemory(e);
+  }
+  return cluster_->node(node).memory_mb - used;
+}
+
+Seconds JobExecStart(const PlacementSnapshot& snap, const JobView& jv,
+                     NodeId target_node) {
+  const Seconds ref = std::max(snap.now(), jv.overhead_until);
+  if (!jv.placed()) return snap.now() + jv.place_overhead;
+  if (jv.current_node != target_node) return ref + jv.migrate_overhead;
+  return ref;
+}
+
+AppId PlacementSnapshot::EntityAppId(int entity) const {
+  if (IsJobEntity(entity)) return job(JobOfEntity(entity)).id;
+  return tx(TxOfEntity(entity)).id;
+}
+
+bool PlacementSnapshot::IsFeasible(const PlacementMatrix& p) const {
+  MWP_CHECK(p.num_apps() == num_entities());
+  MWP_CHECK(p.num_nodes() == num_nodes());
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (FreeMemory(p, n) < -kEpsilon) return false;
+  }
+  for (int j = 0; j < num_jobs(); ++j) {
+    if (p.InstanceCount(EntityOfJob(j)) > 1) return false;
+  }
+  for (int w = 0; w < num_tx(); ++w) {
+    const int entity = EntityOfTx(w);
+    for (int n = 0; n < num_nodes(); ++n) {
+      if (p.at(entity, n) > 1) return false;  // at most one instance per node
+    }
+    const int cap = tx(w).max_instances;
+    if (cap > 0 && p.InstanceCount(entity) > cap) return false;
+  }
+  if (!constraints_.empty()) {
+    for (int e = 0; e < num_entities(); ++e) {
+      for (int n = 0; n < num_nodes(); ++n) {
+        if (p.at(e, n) > 0 && !constraints_.AllowsNode(EntityAppId(e), n)) {
+          return false;
+        }
+      }
+    }
+    for (const auto& [a, b] : constraints_.separations()) {
+      int ea = -1, eb = -1;
+      for (int e = 0; e < num_entities(); ++e) {
+        if (EntityAppId(e) == a) ea = e;
+        if (EntityAppId(e) == b) eb = e;
+      }
+      if (ea < 0 || eb < 0) continue;  // one side not in this snapshot
+      for (int n = 0; n < num_nodes(); ++n) {
+        if (p.at(ea, n) > 0 && p.at(eb, n) > 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mwp

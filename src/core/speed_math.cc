@@ -1,0 +1,44 @@
+#include "core/speed_math.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp::speed_math {
+
+MHz MaxUsefulSpeed(const JobProfile& profile, Megacycles done) {
+  MHz speed = 0.0;
+  Megacycles acc = 0.0;
+  for (const JobStage& s : profile.stages()) {
+    const Megacycles stage_end = acc + s.work;
+    if (done < stage_end - kEpsilon) speed = std::max(speed, s.max_speed);
+    acc = stage_end;
+  }
+  return speed;
+}
+
+MHz InvertRemainingTime(const JobProfile& profile, Megacycles done,
+                        Seconds budget) {
+  MWP_CHECK(budget > 0.0);
+  const Megacycles rem = profile.RemainingWork(done);
+  MWP_CHECK(rem > 0.0);
+  if (profile.num_stages() == 1) {
+    return std::min(rem / budget, profile.stage(0).max_speed);
+  }
+  if (profile.MinRemainingTime(done) >= budget) {
+    return MaxUsefulSpeed(profile, done);
+  }
+  MHz lo = 0.0;
+  MHz hi = MaxUsefulSpeed(profile, done);
+  for (int iter = 0; iter < 60; ++iter) {
+    const MHz mid = 0.5 * (lo + hi);
+    if (profile.RemainingTimeAtSpeed(done, mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace mwp::speed_math

@@ -1,0 +1,22 @@
+// Shared numeric helpers for converting between CPU speeds and completion
+// times of stage-structured jobs.
+#pragma once
+
+#include "batch/job.h"
+#include "common/units.h"
+
+namespace mwp::speed_math {
+
+/// Largest max_speed over stages not yet finished — an upper bound on any
+/// useful constant allocation for the job.
+MHz MaxUsefulSpeed(const JobProfile& profile, Megacycles done);
+
+/// Smallest constant speed that finishes the remaining work within `budget`
+/// seconds; clamps at MaxUsefulSpeed when the budget is shorter than the
+/// minimum remaining time. RemainingTimeAtSpeed is continuous and strictly
+/// decreasing in speed until every stage saturates, so bisection converges;
+/// single-stage profiles use the closed form rem/budget.
+MHz InvertRemainingTime(const JobProfile& profile, Megacycles done,
+                        Seconds budget);
+
+}  // namespace mwp::speed_math

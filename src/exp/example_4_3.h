@@ -1,0 +1,30 @@
+// The paper's illustrative example (§4.3, Table 1 / Figure 1).
+//
+// Three jobs on one 1,000 MHz / 2,000 MB node, control cycle T = 1 s.
+// Scenario 1 gives J2 a relative goal factor of 4 (goal 17 s), Scenario 2
+// tightens it to 3 (goal 13 s); the scenarios diverge at cycle 2: S1 keeps
+// J1 running alone at full speed (equal RP, fewer changes) while S2 starts
+// J2 beside it to equalize the tightened goals.
+#pragma once
+
+#include <vector>
+
+#include "core/apc_controller.h"
+#include "batch/job_metrics.h"
+
+namespace mwp {
+
+struct Example43Config {
+  int scenario = 1;  ///< 1 or 2 (Table 1)
+  int cycles = 12;   ///< control cycles to run
+};
+
+struct Example43Result {
+  /// One entry per control cycle with per-job boxes as in Figure 1.
+  std::vector<CycleStats> cycles;
+  std::vector<JobOutcomeRecord> outcomes;
+};
+
+Example43Result RunExample43(const Example43Config& config);
+
+}  // namespace mwp

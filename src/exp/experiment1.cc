@@ -1,0 +1,75 @@
+#include "exp/experiment1.h"
+
+#include "batch/arrival_process.h"
+#include "batch/job_factory.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace mwp {
+
+NodeSpec PaperNode() {
+  return NodeSpec{/*num_cpus=*/4, /*cpu_speed_mhz=*/3900.0,
+                  /*memory_mb=*/16384.0};
+}
+
+Experiment1Result RunExperiment1(const Experiment1Config& config) {
+  MWP_CHECK(config.num_jobs > 0);
+  const ClusterSpec cluster = ClusterSpec::Uniform(config.num_nodes, PaperNode());
+
+  JobQueue queue;
+  Simulation sim;
+
+  ApcController::Config cfg;
+  cfg.control_cycle = config.control_cycle;
+  cfg.costs = VmCostModel::PaperMeasured();
+  if (config.apc_tie_tolerance > 0.0) {
+    cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
+  }
+  ApcController controller(&cluster, &queue, cfg);
+
+  // Submit all arrivals as events up-front (the schedule is independent of
+  // execution).
+  auto factory = IdenticalJobFactory::PaperExperimentOne();
+  PoissonArrivalProcess arrivals(Rng(config.seed), config.mean_interarrival);
+  for (int i = 0; i < config.num_jobs; ++i) {
+    const Seconds t = arrivals.NextArrival();
+    sim.ScheduleAt(t, [&queue, &factory, &controller](Simulation& s) {
+      queue.Submit(factory->Create(s.now()));
+      controller.OnJobSubmitted(s);
+    });
+  }
+
+  controller.Attach(sim, /*first_cycle=*/0.0);
+
+  // Ideal makespan: num_jobs * exec_time / 75 concurrent slots; the horizon
+  // factor leaves room for queueing.
+  const Seconds ideal =
+      config.num_jobs * 17'600.0 / (config.num_nodes * 3.0);
+  const Seconds horizon =
+      std::max(config.num_jobs * config.mean_interarrival, ideal) *
+      config.horizon_factor;
+  while (queue.num_completed() < static_cast<std::size_t>(config.num_jobs) &&
+         sim.now() < horizon) {
+    sim.RunUntil(sim.now() + config.control_cycle);
+  }
+  controller.AdvanceJobsTo(sim.now());
+
+  Experiment1Result result;
+  result.hypothetical_rp = TimeSeries("avg hypothetical RP");
+  result.completion_rp = TimeSeries("RP at completion");
+  for (const CycleStats& c : controller.cycles()) {
+    if (c.num_jobs > 0) result.hypothetical_rp.Add(c.time, c.avg_job_rp);
+    result.disruptive_changes += c.suspends + c.resumes + c.migrations;
+    result.solver_seconds.Add(c.solver_seconds);
+  }
+  result.outcomes = CollectOutcomes(queue);
+  for (const JobOutcomeRecord& r : result.outcomes) {
+    result.completion_rp.Add(r.completion_time, r.achieved_utility);
+  }
+  result.completed = queue.num_completed();
+  result.end_time = sim.now();
+  return result;
+}
+
+}  // namespace mwp

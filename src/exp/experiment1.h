@@ -1,0 +1,52 @@
+// Experiment One (§5.1, Table 2 / Figure 2): prediction accuracy of the
+// hypothetical relative performance on 800 identical jobs.
+//
+// 25 nodes of 4 x 3.9 GHz and 16 GB; jobs of 68,640,000 megacycles at max
+// 3,900 MHz and 4,320 MB (so memory limits each node to three concurrent
+// jobs, 75 system-wide); Poisson arrivals with mean 260 s; control cycle
+// 600 s; relative goal factor 2.7 (goal 47,520 s; maximum achievable RP
+// 0.63). The identical-job workload admits a no-change optimal policy, so
+// the experiment also verifies that the algorithm performs no suspends,
+// resumes or migrations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "core/apc_controller.h"
+#include "batch/job_metrics.h"
+
+namespace mwp {
+
+struct Experiment1Config {
+  int num_nodes = 25;
+  int num_jobs = 800;
+  Seconds mean_interarrival = 260.0;
+  Seconds control_cycle = 600.0;
+  std::uint64_t seed = 42;
+  /// Safety horizon multiplier over the ideal makespan.
+  double horizon_factor = 4.0;
+  /// APC comparison tolerance (0 = library default); the tie-breaking
+  /// ablation sweeps this on the identical-job workload, where a tight
+  /// tolerance re-admits suspend/resume rotations.
+  double apc_tie_tolerance = 0.0;
+};
+
+struct Experiment1Result {
+  /// Figure 2, upper series: average hypothetical RP per control cycle.
+  TimeSeries hypothetical_rp;
+  /// Figure 2, lower series: actual RP at each completion (time = completion).
+  TimeSeries completion_rp;
+  std::vector<JobOutcomeRecord> outcomes;
+  int disruptive_changes = 0;  ///< suspends + resumes + migrations (expect 0)
+  Sample solver_seconds;       ///< per-cycle optimizer wall time
+  std::size_t completed = 0;
+  Seconds end_time = 0.0;
+};
+
+Experiment1Result RunExperiment1(const Experiment1Config& config);
+
+/// The experiment's node type: 4 processors x 3.9 GHz, 16 GB.
+NodeSpec PaperNode();
+
+}  // namespace mwp

@@ -1,0 +1,162 @@
+#include "exp/experiment3.h"
+
+#include <memory>
+
+#include "batch/arrival_process.h"
+#include "batch/job_factory.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/apc_controller.h"
+#include "core/hypothetical_rpf.h"
+#include "exp/experiment1.h"
+#include "sched/static_partition.h"
+#include "sim/simulation.h"
+#include "web/queuing_model.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+/// Average hypothetical RP over all incomplete jobs at time `now`, assuming
+/// the batch workload keeps aggregate allocation `aggregate`. Used to score
+/// the static configurations the same way the APC scores itself.
+double BatchHypotheticalRp(JobQueue& queue, Seconds now, MHz aggregate,
+                           Seconds boot_cost) {
+  std::vector<HypotheticalJobState> states;
+  for (Job* job : queue.Incomplete()) {
+    HypotheticalJobState s;
+    s.profile = &job->profile();
+    s.goal = job->goal();
+    s.work_done = job->work_done();
+    s.start_delay = job->placed() ? std::max(0.0, job->overhead_until() - now)
+                                  : boot_cost;
+    states.push_back(s);
+  }
+  if (states.empty()) return std::numeric_limits<double>::quiet_NaN();
+  HypotheticalRpf hyp(std::move(states), now);
+  return hyp.AverageUtility(aggregate);
+}
+
+}  // namespace
+
+const char* ToString(Experiment3Mode mode) {
+  switch (mode) {
+    case Experiment3Mode::kDynamicApc:
+      return "APC dynamic sharing";
+    case Experiment3Mode::kStatic9Tx16Lr:
+      return "static TX=9 LR=16";
+    case Experiment3Mode::kStatic6Tx19Lr:
+      return "static TX=6 LR=19";
+  }
+  return "?";
+}
+
+TransactionalAppSpec MakeExperiment3TxSpec(const Experiment3Config& config,
+                                           AppId id) {
+  const QueuingModel model = QueuingModel::Calibrate(
+      config.tx_arrival_rate, config.tx_response_goal, config.tx_max_utility,
+      config.tx_saturation, config.tx_stability_fraction);
+  TransactionalAppSpec spec;
+  spec.id = id;
+  spec.name = "tx-app";
+  spec.memory_per_instance = config.tx_memory_per_instance;
+  spec.response_time_goal = model.params().response_time_goal;
+  spec.demand_per_request = model.params().demand_per_request;
+  spec.min_response_time = model.params().min_response_time;
+  spec.saturation_allocation = model.params().saturation_allocation;
+  spec.max_instances = 0;  // up to one per node
+  return spec;
+}
+
+Experiment3Result RunExperiment3(const Experiment3Config& config) {
+  const ClusterSpec cluster =
+      ClusterSpec::Uniform(config.num_nodes, PaperNode());
+
+  JobQueue queue;
+  Simulation sim;
+  Experiment3Result result;
+  result.tx_rp = TimeSeries("TX relative performance");
+  result.batch_rp = TimeSeries("LR avg hypothetical RP");
+  result.tx_alloc = TimeSeries("TX allocation (MHz)");
+  result.batch_alloc = TimeSeries("LR allocation (MHz)");
+
+  Rng master(config.seed);
+  auto factory = IdenticalJobFactory::PaperExperimentOne(/*first_id=*/1000);
+  auto arrivals = std::make_shared<PoissonArrivalProcess>(
+      master.Fork(), config.burst_interarrival);
+
+  std::size_t submitted = 0;
+  StaticPartition* static_partition = nullptr;  // set in the static modes
+  ApcController* apc = nullptr;                 // set in the dynamic mode
+  std::function<void(Simulation&)> submit = [&](Simulation& s) {
+    queue.Submit(factory->Create(s.now()));
+    ++submitted;
+    if (static_partition != nullptr) static_partition->OnJobSubmitted(s);
+    if (apc != nullptr) apc->OnJobSubmitted(s);
+    if (s.now() >= config.ease_time) {
+      arrivals->set_mean_interarrival(config.slow_interarrival);
+    }
+    const Seconds next = arrivals->NextArrival();
+    if (next < config.duration) {
+      s.ScheduleAt(next, [&submit](Simulation& inner) { submit(inner); });
+    }
+  };
+  sim.ScheduleAt(arrivals->NextArrival(),
+                 [&submit](Simulation& inner) { submit(inner); });
+
+  const AppId tx_id = 1;
+  const TransactionalAppSpec tx_spec = MakeExperiment3TxSpec(config, tx_id);
+  const VmCostModel costs = VmCostModel::PaperMeasured();
+
+  if (config.mode == Experiment3Mode::kDynamicApc) {
+    ApcController::Config cfg;
+    cfg.control_cycle = config.control_cycle;
+    cfg.costs = costs;
+    ApcController controller(&cluster, &queue, cfg);
+    apc = &controller;
+    controller.AddTransactionalApp(tx_spec,
+                                   std::make_shared<ConstantRate>(
+                                       config.tx_arrival_rate));
+    controller.Attach(sim, 0.0);
+    sim.RunUntil(config.duration);
+    controller.AdvanceJobsTo(sim.now());
+    for (const CycleStats& c : controller.cycles()) {
+      if (!c.tx_utilities.empty()) {
+        result.tx_rp.Add(c.time, c.tx_utilities.front());
+        result.tx_alloc.Add(c.time, c.tx_allocations.front());
+      }
+      if (c.num_jobs > 0) result.batch_rp.Add(c.time, c.avg_job_rp);
+      result.batch_alloc.Add(c.time, c.batch_allocation);
+    }
+  } else {
+    // Static partition: the first nodes are dedicated to the transactional
+    // workload, the rest run FCFS batch (§5.3's status-quo comparison).
+    const int tx_nodes =
+        config.mode == Experiment3Mode::kStatic9Tx16Lr ? 9 : 6;
+    StaticPartition partition(&cluster, &queue, tx_spec, tx_nodes, costs);
+    static_partition = &partition;
+    const Utility tx_utility = partition.TxUtility(config.tx_arrival_rate);
+
+    // Periodic sampler mirroring the APC's cycle statistics.
+    sim.SchedulePeriodic(0.0, config.control_cycle, [&](Simulation& s) {
+      partition.AdvanceJobsTo(s.now());
+      const MHz batch_allocation = partition.BatchAllocation();
+      result.tx_rp.Add(s.now(), tx_utility);
+      result.tx_alloc.Add(s.now(), partition.tx_allocation());
+      const double rp =
+          BatchHypotheticalRp(queue, s.now(), batch_allocation, costs.BootCost());
+      if (!std::isnan(rp)) result.batch_rp.Add(s.now(), rp);
+      result.batch_alloc.Add(s.now(), batch_allocation);
+    });
+
+    sim.RunUntil(config.duration);
+    partition.AdvanceJobsTo(sim.now());
+  }
+
+  result.outcomes = CollectOutcomes(queue);
+  result.jobs_submitted = submitted;
+  result.jobs_completed = queue.num_completed();
+  return result;
+}
+
+}  // namespace mwp

@@ -1,0 +1,72 @@
+#include "rpf/piecewise_linear.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mwp {
+
+PiecewiseLinearCurve::PiecewiseLinearCurve(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  MWP_CHECK(!knots_.empty());
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    MWP_CHECK_MSG(knots_[i].x > knots_[i - 1].x,
+                  "knot x values must be strictly increasing: "
+                      << knots_[i - 1].x << " then " << knots_[i].x);
+    MWP_CHECK_MSG(knots_[i].y >= knots_[i - 1].y,
+                  "knot y values must be non-decreasing: " << knots_[i - 1].y
+                                                           << " then "
+                                                           << knots_[i].y);
+  }
+}
+
+double PiecewiseLinearCurve::min_x() const {
+  MWP_CHECK(!knots_.empty());
+  return knots_.front().x;
+}
+
+double PiecewiseLinearCurve::max_x() const {
+  MWP_CHECK(!knots_.empty());
+  return knots_.back().x;
+}
+
+double PiecewiseLinearCurve::min_y() const {
+  MWP_CHECK(!knots_.empty());
+  return knots_.front().y;
+}
+
+double PiecewiseLinearCurve::max_y() const {
+  MWP_CHECK(!knots_.empty());
+  return knots_.back().y;
+}
+
+double PiecewiseLinearCurve::Eval(double x) const {
+  MWP_CHECK(!knots_.empty());
+  if (x <= knots_.front().x) return knots_.front().y;
+  if (x >= knots_.back().x) return knots_.back().y;
+  // First knot with knot.x > x; its predecessor exists because of the
+  // boundary checks above.
+  auto hi = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double value, const Knot& k) { return value < k.x; });
+  auto lo = hi - 1;
+  const double frac = (x - lo->x) / (hi->x - lo->x);
+  return lo->y + frac * (hi->y - lo->y);
+}
+
+double PiecewiseLinearCurve::Inverse(double y) const {
+  MWP_CHECK(!knots_.empty());
+  if (y <= knots_.front().y) return knots_.front().x;
+  if (y > knots_.back().y) return knots_.back().x;
+  // First knot with knot.y >= y.
+  auto hi = std::lower_bound(
+      knots_.begin(), knots_.end(), y,
+      [](const Knot& k, double value) { return k.y < value; });
+  MWP_CHECK(hi != knots_.begin() && hi != knots_.end());
+  auto lo = hi - 1;
+  if (hi->y == lo->y) return lo->x;  // flat segment: left edge
+  const double frac = (y - lo->y) / (hi->y - lo->y);
+  return lo->x + frac * (hi->x - lo->x);
+}
+
+}  // namespace mwp

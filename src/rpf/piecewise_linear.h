@@ -1,0 +1,48 @@
+// Monotone piecewise-linear curves with exact inverse.
+//
+// The hypothetical relative performance function is built by sampling
+// ω_m(u) at a small grid of target utilities and interpolating between the
+// samples (§4.2: "we sample ω_m(u) for various values of u and interpolate
+// values between the sampling points"). This class is that interpolation:
+// a non-decreasing mapping x -> y with evaluation, inverse, and clamping at
+// both ends.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace mwp {
+
+class PiecewiseLinearCurve {
+ public:
+  struct Knot {
+    double x;
+    double y;
+  };
+
+  PiecewiseLinearCurve() = default;
+
+  /// Knots must be strictly increasing in x and non-decreasing in y.
+  explicit PiecewiseLinearCurve(std::vector<Knot> knots);
+
+  bool empty() const { return knots_.empty(); }
+  const std::vector<Knot>& knots() const { return knots_; }
+
+  double min_x() const;
+  double max_x() const;
+  double min_y() const;
+  double max_y() const;
+
+  /// Linear interpolation; clamps outside [min_x, max_x].
+  double Eval(double x) const;
+
+  /// Smallest x with Eval(x) >= y; clamps to [min_x, max_x]. On flat
+  /// segments returns the left edge (smallest resource achieving y).
+  double Inverse(double y) const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,39 @@
+// Relative Performance Functions (§3.2 of the paper).
+//
+// An RPF maps an application's resource allocation to its performance
+// relative to its SLA goal: 0 means the goal is met exactly, positive values
+// exceed it, negative values violate it. The placement controller only ever
+// asks two questions of an RPF (§3.2 "Algorithm outline"):
+//   1. what relative performance results from allocation ω?
+//   2. what allocation is needed to reach relative performance u?
+// Both must be monotone: more CPU never hurts. Implementations exist for
+// transactional workloads (queuing model, src/web) and batch workloads
+// (hypothetical relative performance, src/core).
+#pragma once
+
+#include "common/units.h"
+
+namespace mwp {
+
+class Rpf {
+ public:
+  virtual ~Rpf() = default;
+
+  /// Relative performance achieved with `allocation` MHz of CPU.
+  /// Must be monotone non-decreasing in the allocation.
+  virtual Utility UtilityAt(MHz allocation) const = 0;
+
+  /// Minimum allocation that achieves relative performance `target`.
+  /// When the target exceeds max_utility(), returns the saturation
+  /// allocation (the paper's W matrix clamps the same way, Eq. 4).
+  virtual MHz AllocationFor(Utility target) const = 0;
+
+  /// Highest reachable relative performance; adding CPU beyond
+  /// saturation_allocation() cannot raise utility above this.
+  virtual Utility max_utility() const = 0;
+
+  /// Smallest allocation at which max_utility() is reached.
+  virtual MHz saturation_allocation() const = 0;
+};
+
+}  // namespace mwp

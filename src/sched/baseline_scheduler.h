@@ -1,0 +1,103 @@
+// Baseline job schedulers (Experiment Two's comparators, §5.2).
+//
+// The paper compares the APC against First-Come First-Served (non-
+// preemptive) and Earliest Deadline First (preemptive), both with first-fit
+// node selection and jobs running at their maximum speed. These schedulers
+// are event-driven: every submission or completion triggers a reschedule.
+// BaselineScheduler owns the shared machinery — resource bookkeeping,
+// job progress advancement, completion events, change accounting — and
+// subclasses decide which jobs should be placed where.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "batch/job_queue.h"
+#include "cluster/cluster.h"
+#include "cluster/vm_cost_model.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace mwp {
+
+struct SchedulerChangeCounts {
+  int starts = 0;
+  int stops = 0;
+  int suspends = 0;
+  int resumes = 0;
+  int migrations = 0;
+
+  /// Figure 4 counts disruptive reconfiguration: suspensions, resumptions
+  /// and migrations (job starts are not reconfiguration).
+  int disruptive() const { return suspends + resumes + migrations; }
+};
+
+class BaselineScheduler {
+ public:
+  struct Config {
+    VmCostModel costs = VmCostModel::Free();
+    /// Restrict placement to these nodes (empty = whole cluster); used by
+    /// the static-partition configurations of Experiment Three.
+    std::vector<NodeId> allowed_nodes;
+  };
+
+  BaselineScheduler(const ClusterSpec* cluster, JobQueue* queue, Config config);
+  virtual ~BaselineScheduler() = default;
+  BaselineScheduler(const BaselineScheduler&) = delete;
+  BaselineScheduler& operator=(const BaselineScheduler&) = delete;
+
+  /// Notify the scheduler of a job submitted at the simulation's current
+  /// time; triggers a reschedule.
+  void OnJobSubmitted(Simulation& sim);
+
+  /// Advance job progress to `to` (e.g. the end of the experiment) without
+  /// rescheduling.
+  void AdvanceJobsTo(Seconds to);
+
+  const SchedulerChangeCounts& changes() const { return changes_; }
+
+ protected:
+  /// Subclass hook: decide the desired running set. Called with every
+  /// incomplete job, current time. Return, for each job to run, its target
+  /// node. Jobs not mentioned are left queued / get suspended (if the
+  /// subclass preempts). Resource feasibility is the subclass's
+  /// responsibility via the helpers below.
+  virtual std::vector<std::pair<Job*, NodeId>> PlanPlacement(Seconds now) = 0;
+
+  /// Whether this scheduler may suspend running jobs.
+  virtual bool preemptive() const = 0;
+
+  // --- helpers available to subclasses while planning ---
+
+  /// Nodes this scheduler may use, in scan order.
+  const std::vector<NodeId>& usable_nodes() const { return nodes_; }
+
+  /// First usable node (in order) with at least `mem` free memory and
+  /// `cpu` free CPU under the given tentative reservations.
+  std::optional<NodeId> FirstFit(const std::vector<Megabytes>& mem_used,
+                                 const std::vector<MHz>& cpu_used,
+                                 Megabytes mem, MHz cpu) const;
+
+  const ClusterSpec& cluster() const { return *cluster_; }
+  JobQueue& queue() { return *queue_; }
+
+ private:
+  void Reschedule(Simulation& sim);
+  void ScheduleCompletion(Simulation& sim, Job& job);
+
+  const ClusterSpec* cluster_;
+  JobQueue* queue_;
+  Config config_;
+  std::vector<NodeId> nodes_;
+  Seconds last_advance_ = 0.0;
+  SchedulerChangeCounts changes_;
+  /// Per-job generation counters invalidate stale completion events after
+  /// preemption.
+  std::vector<std::pair<AppId, std::uint64_t>> generations_;
+
+  std::uint64_t GenerationOf(AppId id) const;
+  void BumpGeneration(AppId id);
+};
+
+}  // namespace mwp

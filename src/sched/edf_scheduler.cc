@@ -1,0 +1,71 @@
+#include "sched/edf_scheduler.h"
+
+#include <algorithm>
+
+namespace mwp {
+
+std::vector<std::pair<Job*, NodeId>> EdfScheduler::PlanPlacement(Seconds) {
+  std::vector<Job*> jobs = queue().Incomplete();
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job* a, const Job* b) {
+    return a->goal().completion_goal < b->goal().completion_goal;
+  });
+
+  const auto n_nodes = static_cast<std::size_t>(cluster().num_nodes());
+  std::vector<Megabytes> mem_used(n_nodes, 0.0);
+  std::vector<MHz> cpu_used(n_nodes, 0.0);
+  // Occupancy of placed-but-not-yet-processed jobs: an urgent unplaced job
+  // prefers nodes free of them (no displacement) and only claims an
+  // occupied node when nothing else fits — that is when EDF preempts.
+  std::vector<Megabytes> pending_mem(n_nodes, 0.0);
+  std::vector<MHz> pending_cpu(n_nodes, 0.0);
+  for (const Job* job : jobs) {
+    if (job->placed()) {
+      pending_mem[static_cast<std::size_t>(job->node())] +=
+          job->profile().max_memory();
+      pending_cpu[static_cast<std::size_t>(job->node())] +=
+          job->allocated_speed();
+    }
+  }
+
+  std::vector<std::pair<Job*, NodeId>> plan;
+  for (Job* job : jobs) {
+    const Megabytes mem = job->profile().max_memory();
+    const MHz speed = job->profile()
+                          .stage(std::min(job->current_stage(),
+                                          job->profile().num_stages() - 1))
+                          .max_speed;
+    if (job->placed()) {
+      const auto n = static_cast<std::size_t>(job->node());
+      pending_mem[n] -= mem;
+      pending_cpu[n] -= job->allocated_speed();
+      // A running job keeps its node when it still fits there.
+      const NodeSpec& spec = cluster().node(job->node());
+      if (mem_used[n] + mem <= spec.memory_mb + kEpsilon &&
+          cpu_used[n] + speed <= spec.total_cpu() + kEpsilon) {
+        mem_used[n] += mem;
+        cpu_used[n] += speed;
+        plan.emplace_back(job, job->node());
+        continue;
+      }
+    }
+    // Prefer a node where no running job would be displaced.
+    std::vector<Megabytes> soft_mem = mem_used;
+    std::vector<MHz> soft_cpu = cpu_used;
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      soft_mem[n] += pending_mem[n];
+      soft_cpu[n] += pending_cpu[n];
+    }
+    auto node = FirstFit(soft_mem, soft_cpu, mem, speed);
+    if (!node.has_value()) {
+      // Preemption: claim capacity held by later-deadline running jobs.
+      node = FirstFit(mem_used, cpu_used, mem, speed);
+    }
+    if (!node.has_value()) continue;  // this deadline loses; try the next
+    mem_used[static_cast<std::size_t>(*node)] += mem;
+    cpu_used[static_cast<std::size_t>(*node)] += speed;
+    plan.emplace_back(job, *node);
+  }
+  return plan;
+}
+
+}  // namespace mwp

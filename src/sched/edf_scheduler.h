@@ -1,0 +1,23 @@
+// Earliest Deadline First, preemptive, first-fit (§5.2).
+//
+// On every scheduling event all incomplete jobs are ranked by completion
+// time goal; the earliest deadlines claim nodes first (first-fit, running
+// jobs prefer their current node). Running jobs whose slot is claimed by a
+// more urgent job are suspended and resumed later — the churn this causes
+// under load is the penalty Figure 4 illustrates.
+#pragma once
+
+#include "sched/baseline_scheduler.h"
+
+namespace mwp {
+
+class EdfScheduler : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+
+ protected:
+  std::vector<std::pair<Job*, NodeId>> PlanPlacement(Seconds now) override;
+  bool preemptive() const override { return true; }
+};
+
+}  // namespace mwp

@@ -1,0 +1,37 @@
+#include "sched/fcfs_scheduler.h"
+
+namespace mwp {
+
+std::vector<std::pair<Job*, NodeId>> FcfsScheduler::PlanPlacement(Seconds) {
+  std::vector<Megabytes> mem_used(
+      static_cast<std::size_t>(cluster().num_nodes()), 0.0);
+  std::vector<MHz> cpu_used(static_cast<std::size_t>(cluster().num_nodes()),
+                            0.0);
+  std::vector<std::pair<Job*, NodeId>> plan;
+
+  // Running jobs keep their reservations and are re-affirmed in place.
+  for (Job* job : queue().Placed()) {
+    const NodeId n = job->node();
+    mem_used[static_cast<std::size_t>(n)] += job->profile().max_memory();
+    cpu_used[static_cast<std::size_t>(n)] += job->allocated_speed();
+    plan.emplace_back(job, n);
+  }
+
+  // Dispatch strictly in submission order; the first job that does not fit
+  // blocks the queue (no backfilling).
+  for (Job* job : queue().AwaitingPlacement()) {
+    const MHz speed = job->profile()
+                          .stage(std::min(job->current_stage(),
+                                          job->profile().num_stages() - 1))
+                          .max_speed;
+    const auto node =
+        FirstFit(mem_used, cpu_used, job->profile().max_memory(), speed);
+    if (!node.has_value()) break;
+    mem_used[static_cast<std::size_t>(*node)] += job->profile().max_memory();
+    cpu_used[static_cast<std::size_t>(*node)] += speed;
+    plan.emplace_back(job, *node);
+  }
+  return plan;
+}
+
+}  // namespace mwp

@@ -1,0 +1,25 @@
+// First-Come First-Served, non-preemptive, first-fit (§5.2).
+//
+// Jobs are considered strictly in submission order; the head of the queue
+// blocks until a node has both the memory and the CPU (at the job's maximum
+// speed) to host it. Running jobs are never touched — FCFS performs zero
+// disruptive placement changes, which is exactly its showing in Figure 4.
+// "Widely adopted in commercial job schedulers" per the paper, it is also
+// the dispatch policy of the static-partition configurations in Experiment
+// Three.
+#pragma once
+
+#include "sched/baseline_scheduler.h"
+
+namespace mwp {
+
+class FcfsScheduler : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+
+ protected:
+  std::vector<std::pair<Job*, NodeId>> PlanPlacement(Seconds now) override;
+  bool preemptive() const override { return false; }
+};
+
+}  // namespace mwp

@@ -1,0 +1,59 @@
+// Static partitioning — the status-quo configuration of Experiment Three.
+//
+// "Creating static system partitions is a common practice in many
+// datacenters" (§5.3): a fixed set of nodes is dedicated to the
+// transactional workload and the rest to batch jobs under FCFS. This class
+// wraps that arrangement behind one object: the transactional side's
+// allocation is constant (its partition's capacity, capped at the app's
+// saturation), the batch side is an FcfsScheduler restricted to the
+// remaining nodes.
+#pragma once
+
+#include <memory>
+
+#include "batch/job_queue.h"
+#include "sched/fcfs_scheduler.h"
+#include "web/transactional_app.h"
+
+namespace mwp {
+
+class StaticPartition {
+ public:
+  /// Nodes [0, tx_nodes) are dedicated to `tx_app`; the rest run batch.
+  StaticPartition(const ClusterSpec* cluster, JobQueue* queue,
+                  TransactionalAppSpec tx_app, int tx_nodes,
+                  VmCostModel costs = VmCostModel::PaperMeasured());
+
+  /// Submission hook, like the schedulers'.
+  void OnJobSubmitted(Simulation& sim) { batch_->OnJobSubmitted(sim); }
+  void AdvanceJobsTo(Seconds to) { batch_->AdvanceJobsTo(to); }
+
+  /// The transactional side's constant CPU allocation (MHz).
+  MHz tx_allocation() const { return tx_allocation_; }
+
+  /// The transactional side's constant relative performance under
+  /// arrival rate λ.
+  Utility TxUtility(double arrival_rate) const {
+    return tx_app_.UtilityAt(arrival_rate, tx_allocation_);
+  }
+  Seconds TxResponseTime(double arrival_rate) const {
+    return tx_app_.ResponseTime(arrival_rate, tx_allocation_);
+  }
+
+  /// Aggregate CPU currently consumed by placed batch jobs (MHz).
+  MHz BatchAllocation() const;
+
+  const FcfsScheduler& batch_scheduler() const { return *batch_; }
+  int tx_nodes() const { return tx_nodes_; }
+  int batch_nodes() const { return cluster_->num_nodes() - tx_nodes_; }
+
+ private:
+  const ClusterSpec* cluster_;
+  JobQueue* queue_;
+  TransactionalApp tx_app_;
+  int tx_nodes_;
+  MHz tx_allocation_;
+  std::unique_ptr<FcfsScheduler> batch_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,78 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace mwp {
+
+EventHandle Simulation::ScheduleAt(Seconds at, EventFn fn) {
+  MWP_CHECK_MSG(at >= now_, "event scheduled in the past: at=" << at
+                                                               << " now=" << now_);
+  MWP_CHECK(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueuedEvent{at, next_seq_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+EventHandle Simulation::SchedulePeriodic(Seconds first, Seconds period,
+                                         EventFn fn) {
+  MWP_CHECK(period > 0.0);
+  MWP_CHECK(first >= now_);
+  MWP_CHECK(fn != nullptr);
+  // All firings of the chain share one cancellation id, so cancelling the
+  // returned handle also stops future firings.
+  const std::uint64_t id = next_id_++;
+  auto body = std::make_shared<EventFn>(std::move(fn));
+  PushPeriodicTick(first, id, period, body);
+  return EventHandle(id);
+}
+
+void Simulation::PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
+                                  std::shared_ptr<EventFn> body) {
+  queue_.push(QueuedEvent{
+      at, next_seq_++, id, [this, id, period, body](Simulation& sim) {
+        (*body)(sim);
+        if (!IsCancelled(id)) PushPeriodicTick(sim.now() + period, id, period, body);
+      }});
+}
+
+void Simulation::Cancel(EventHandle handle) {
+  if (handle.valid()) cancelled_.push_back(handle.id_);
+}
+
+bool Simulation::IsCancelled(std::uint64_t id) {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+bool Simulation::Step(Seconds horizon) {
+  while (!queue_.empty()) {
+    const QueuedEvent& top = queue_.top();
+    if (top.time > horizon) return false;
+    if (IsCancelled(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    QueuedEvent ev{top.time, top.seq, top.id,
+                   std::move(const_cast<QueuedEvent&>(top).fn)};
+    queue_.pop();
+    MWP_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn(*this);
+    return true;
+  }
+  return false;
+}
+
+void Simulation::RunUntil(Seconds horizon) {
+  while (Step(horizon)) {
+  }
+  if (horizon != kTimeForever && now_ < horizon) {
+    // Advance the clock to the horizon so callers can schedule relative to it.
+    now_ = horizon;
+  }
+}
+
+std::size_t Simulation::pending_events() const { return queue_.size(); }
+
+}  // namespace mwp

@@ -1,0 +1,109 @@
+// Discrete-event simulation engine.
+//
+// A Simulation owns a time-ordered event queue and a virtual clock. Events
+// are arbitrary callbacks; ties in time are broken by insertion order so runs
+// are fully deterministic. Controllers that operate on a fixed control cycle
+// (the paper's APC runs every T seconds) register through SchedulePeriodic.
+//
+// The engine is deliberately sequential: the paper's system has one global
+// placement controller, and determinism matters more than parallel speed-up
+// for reproducing figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mwp {
+
+class Simulation;
+
+/// An event handler. Receives the owning simulation, whose clock already
+/// shows the event's timestamp.
+using EventFn = std::function<void(Simulation&)>;
+
+/// Handle that allows cancelling a scheduled event. Cancellation is lazy:
+/// the event stays queued but becomes a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Returns a cancellation
+  /// handle.
+  EventHandle ScheduleAt(Seconds at, EventFn fn);
+
+  /// Schedule `fn` after `delay` seconds.
+  EventHandle ScheduleAfter(Seconds delay, EventFn fn) {
+    MWP_CHECK(delay >= 0.0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` every `period` seconds, first firing at `first` (absolute).
+  /// The periodic chain stops when the simulation's horizon ends or the
+  /// returned handle is cancelled.
+  EventHandle SchedulePeriodic(Seconds first, Seconds period, EventFn fn);
+
+  /// Cancel a scheduled event; harmless if already fired or invalid.
+  void Cancel(EventHandle handle);
+
+  /// Run until the queue drains or the clock would pass `horizon`.
+  /// Events at exactly `horizon` still execute.
+  void RunUntil(Seconds horizon);
+
+  /// Run until the queue drains.
+  void RunToCompletion() { RunUntil(kTimeForever); }
+
+  /// Execute at most one event; returns false when the queue is empty or the
+  /// next event lies beyond `horizon` (clock is then left unchanged).
+  bool Step(Seconds horizon = kTimeForever);
+
+  std::size_t pending_events() const;
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct QueuedEvent {
+    Seconds time;
+    std::uint64_t seq;  // insertion order, breaks time ties deterministically
+    std::uint64_t id;   // cancellation identity
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+
+  bool IsCancelled(std::uint64_t id);
+  void PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
+                        std::shared_ptr<EventFn> body);
+};
+
+}  // namespace mwp

@@ -1,0 +1,131 @@
+#include "web/queuing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mwp {
+
+QueuingModel::QueuingModel(QueuingModelParams params) : params_(params) {
+  MWP_CHECK(params_.arrival_rate > 0.0);
+  MWP_CHECK(params_.demand_per_request > 0.0);
+  MWP_CHECK(params_.response_time_goal > 0.0);
+  MWP_CHECK(params_.min_response_time >= 0.0);
+  MWP_CHECK(params_.min_response_time < params_.response_time_goal);
+
+  const MHz rho = stability_boundary();
+  if (params_.saturation_allocation <= 0.0) {
+    // Default saturation: the point where queuing delay has shrunk to 1% of
+    // the goal — more CPU cannot meaningfully improve response time.
+    params_.saturation_allocation =
+        rho + params_.demand_per_request / (0.01 * params_.response_time_goal);
+  }
+  MWP_CHECK_MSG(params_.saturation_allocation > rho,
+                "saturation allocation " << params_.saturation_allocation
+                                         << " MHz is below the stability "
+                                            "boundary "
+                                         << rho << " MHz");
+  linear_margin_ = std::max(1e-6, 1e-3 * rho);
+}
+
+QueuingModel QueuingModel::Calibrate(double arrival_rate, Seconds response_goal,
+                                     Utility max_utility,
+                                     MHz saturation_allocation,
+                                     double stability_fraction) {
+  MWP_CHECK(arrival_rate > 0.0);
+  MWP_CHECK(response_goal > 0.0);
+  MWP_CHECK(max_utility > 0.0 && max_utility < 1.0);
+  MWP_CHECK(saturation_allocation > 0.0);
+  MWP_CHECK(stability_fraction > 0.0 && stability_fraction < 1.0);
+  // λ·c = φ·ω_sat fixes the per-request demand; the response-time floor is
+  // then chosen so that utility at ω_sat is exactly u_max:
+  //   τ(1 − u_max) = t_min + c / (ω_sat − λc).
+  const Megacycles c = stability_fraction * saturation_allocation / arrival_rate;
+  const Seconds queuing_at_sat =
+      c / (saturation_allocation * (1.0 - stability_fraction));
+  const Seconds t_min = response_goal * (1.0 - max_utility) - queuing_at_sat;
+  MWP_CHECK_MSG(t_min >= 0.0,
+                "infeasible calibration: queuing delay at saturation ("
+                    << queuing_at_sat << " s) exceeds the response budget "
+                    << response_goal * (1.0 - max_utility) << " s");
+  QueuingModelParams p;
+  p.arrival_rate = arrival_rate;
+  p.demand_per_request = c;
+  p.response_time_goal = response_goal;
+  p.min_response_time = t_min;
+  p.saturation_allocation = saturation_allocation;
+  return QueuingModel(p);
+}
+
+MHz QueuingModel::stability_boundary() const {
+  return params_.arrival_rate * params_.demand_per_request;
+}
+
+Seconds QueuingModel::ResponseTime(MHz allocation) const {
+  MWP_CHECK(allocation >= 0.0);
+  const MHz rho = stability_boundary();
+  const MHz knee = rho + linear_margin_;
+  const MHz w = std::min(allocation, params_.saturation_allocation);
+  if (w > knee) {
+    return params_.min_response_time + params_.demand_per_request / (w - rho);
+  }
+  // Linear extension below (and at) the knee, C1-matched to the hyperbola:
+  // t(knee) = t_min + c/δ, slope = c/δ².
+  const Seconds t_knee =
+      params_.min_response_time + params_.demand_per_request / linear_margin_;
+  const double slope =
+      params_.demand_per_request / (linear_margin_ * linear_margin_);
+  return t_knee + slope * (knee - w);
+}
+
+Utility QueuingModel::UtilityAt(MHz allocation) const {
+  const Seconds t = ResponseTime(allocation);
+  const Utility u = (params_.response_time_goal - t) / params_.response_time_goal;
+  return std::max(u, kUtilityFloor);
+}
+
+MHz QueuingModel::AllocationFor(Utility target) const {
+  if (target >= max_utility()) return params_.saturation_allocation;
+  const Seconds t_target =
+      params_.response_time_goal * (1.0 - std::max(target, kUtilityFloor));
+  const MHz rho = stability_boundary();
+  const MHz knee = rho + linear_margin_;
+  const Seconds t_knee =
+      params_.min_response_time + params_.demand_per_request / linear_margin_;
+  if (t_target >= t_knee) {
+    // Invert the linear extension.
+    const double slope =
+        params_.demand_per_request / (linear_margin_ * linear_margin_);
+    const MHz w = knee - (t_target - t_knee) / slope;
+    return std::max(0.0, w);
+  }
+  MWP_CHECK(t_target > params_.min_response_time);
+  const MHz w = rho + params_.demand_per_request /
+                          (t_target - params_.min_response_time);
+  return std::min(w, params_.saturation_allocation);
+}
+
+Utility QueuingModel::max_utility() const {
+  return UtilityAt(params_.saturation_allocation);
+}
+
+MHz QueuingModel::saturation_allocation() const {
+  return params_.saturation_allocation;
+}
+
+QueuingModel QueuingModel::WithArrivalRate(double arrival_rate) const {
+  QueuingModelParams p = params_;
+  p.arrival_rate = arrival_rate;
+  // Keep the application's saturation point: it reflects the app's bounded
+  // concurrency, not the current load. Raise it if the new stability
+  // boundary would swallow it.
+  const MHz rho = arrival_rate * p.demand_per_request;
+  if (p.saturation_allocation <= rho) {
+    p.saturation_allocation =
+        rho + p.demand_per_request / (0.01 * p.response_time_goal);
+  }
+  return QueuingModel(p);
+}
+
+}  // namespace mwp

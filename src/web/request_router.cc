@@ -1,0 +1,53 @@
+#include "web/request_router.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mwp {
+
+RequestRouter::RequestRouter(double admission_headroom)
+    : admission_headroom_(admission_headroom) {
+  MWP_CHECK(admission_headroom_ > 0.0 && admission_headroom_ < 1.0);
+}
+
+RoutingDecision RequestRouter::Route(
+    const TransactionalApp& app, double arrival_rate,
+    const std::vector<MHz>& instance_allocations) const {
+  MWP_CHECK(arrival_rate >= 0.0);
+  RoutingDecision decision;
+  decision.weights.assign(instance_allocations.size(), 0.0);
+
+  const MHz total_alloc = std::accumulate(instance_allocations.begin(),
+                                          instance_allocations.end(), 0.0);
+  if (total_alloc <= 0.0 || arrival_rate <= 0.0) {
+    decision.rejected_rate = arrival_rate;
+    decision.response_time =
+        arrival_rate > 0.0
+            ? app.ModelAt(std::max(arrival_rate, 1e-9)).ResponseTime(0.0)
+            : 0.0;
+    return decision;
+  }
+
+  // Overload protection: cap the admitted flow so aggregate utilization
+  // stays below the headroom. Capacity in req/s is ω/c.
+  const double capacity_rps =
+      total_alloc / app.spec().demand_per_request * admission_headroom_;
+  decision.admitted_rate = std::min(arrival_rate, capacity_rps);
+  decision.rejected_rate = arrival_rate - decision.admitted_rate;
+
+  // Weighted balancing proportional to allocation: each instance then sees
+  // the same utilization, so per-instance response times are equal and the
+  // aggregate behaves as the single-station model of §3.3.
+  for (std::size_t i = 0; i < instance_allocations.size(); ++i) {
+    decision.weights[i] = instance_allocations[i] / total_alloc;
+  }
+
+  decision.response_time =
+      app.ModelAt(std::max(decision.admitted_rate, 1e-9))
+          .ResponseTime(total_alloc);
+  return decision;
+}
+
+}  // namespace mwp

@@ -1,0 +1,50 @@
+// Request router (entry gateway) model (§3.1).
+//
+// The router is an L4/L7 gateway that spreads an application's request flow
+// across its placed instances and protects nodes from overload by admitting
+// only the load the current allocation can serve. This model works at the
+// flow level (rates, not individual requests), which is what the placement
+// controller consumes: per-application arrival rates, response times and
+// per-node load splits.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "web/transactional_app.h"
+
+namespace mwp {
+
+struct RoutingDecision {
+  /// Fraction of the application's admitted load sent to each instance,
+  /// same order as the instance allocation vector (sums to 1 when admitted
+  /// load is positive).
+  std::vector<double> weights;
+  /// Admitted arrival rate after overload protection (req/s).
+  double admitted_rate = 0.0;
+  /// Rejected/queued arrival rate (req/s).
+  double rejected_rate = 0.0;
+  /// Mean response time of admitted requests under the queuing model.
+  Seconds response_time = 0.0;
+};
+
+class RequestRouter {
+ public:
+  /// `admission_headroom` in (0, 1): the router keeps per-instance
+  /// utilization below this fraction of capacity, queueing the excess
+  /// (overload protection per [21, 22]).
+  explicit RequestRouter(double admission_headroom = 0.95);
+
+  /// Balance `arrival_rate` req/s of `app` across instances whose CPU
+  /// allocations (MHz) are `instance_allocations`. Instances with zero
+  /// allocation receive no load.
+  RoutingDecision Route(const TransactionalApp& app, double arrival_rate,
+                        const std::vector<MHz>& instance_allocations) const;
+
+  double admission_headroom() const { return admission_headroom_; }
+
+ private:
+  double admission_headroom_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,113 @@
+#include "web/request_simulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mwp {
+namespace {
+
+/// Draw one request's CPU work (megacycles).
+Megacycles DrawDemand(Rng& rng, const RequestSimConfig& cfg) {
+  switch (cfg.demand_distribution) {
+    case DemandDistribution::kExponential:
+      return rng.Exponential(cfg.mean_demand);
+    case DemandDistribution::kDeterministic:
+      return cfg.mean_demand;
+    case DemandDistribution::kHyperexp2: {
+      // Balanced-mean two-phase hyperexponential with p = 0.1 on the heavy
+      // phase: mean = cfg.mean_demand, squared CV ≈ 4.
+      const double p = 0.1;
+      const double heavy_mean = cfg.mean_demand / (2.0 * p);
+      const double light_mean = cfg.mean_demand / (2.0 * (1.0 - p));
+      return rng.Uniform01() < p ? rng.Exponential(heavy_mean)
+                                 : rng.Exponential(light_mean);
+    }
+  }
+  return cfg.mean_demand;
+}
+
+struct ActiveRequest {
+  Megacycles remaining;
+  Seconds arrival;
+};
+
+}  // namespace
+
+RequestSimResults SimulateRequests(const RequestSimConfig& cfg) {
+  MWP_CHECK(cfg.arrival_rate > 0.0);
+  MWP_CHECK(cfg.mean_demand > 0.0);
+  MWP_CHECK(cfg.capacity > 0.0);
+  MWP_CHECK(cfg.fixed_latency >= 0.0);
+  MWP_CHECK(cfg.total_requests > cfg.warmup_requests);
+
+  Rng rng(cfg.seed);
+  std::vector<ActiveRequest> active;
+  Seconds now = 0.0;
+  Seconds next_arrival = rng.Exponential(1.0 / cfg.arrival_rate);
+  std::size_t completions = 0;
+  Sample response_times;
+  response_times.Reserve(cfg.total_requests - cfg.warmup_requests);
+  double busy_time = 0.0;
+  double in_system_integral = 0.0;  // ∫ n(t) dt
+
+  while (completions < cfg.total_requests) {
+    // Next completion under equal sharing: the smallest remaining work
+    // finishes after remaining * n / ω seconds.
+    Seconds next_completion = kTimeForever;
+    std::size_t winner = 0;
+    if (!active.empty()) {
+      Megacycles least = active.front().remaining;
+      winner = 0;
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        if (active[i].remaining < least) {
+          least = active[i].remaining;
+          winner = i;
+        }
+      }
+      next_completion =
+          now + least * static_cast<double>(active.size()) / cfg.capacity;
+    }
+
+    const bool arrival_first = next_arrival < next_completion;
+    const Seconds event = arrival_first ? next_arrival : next_completion;
+    const Seconds dt = event - now;
+    MWP_CHECK(dt >= -1e-9);
+
+    // Advance every active request by its share.
+    if (!active.empty() && dt > 0.0) {
+      const Megacycles progress =
+          dt * cfg.capacity / static_cast<double>(active.size());
+      for (ActiveRequest& r : active) r.remaining -= progress;
+      busy_time += dt;
+      in_system_integral += dt * static_cast<double>(active.size());
+    }
+    now = event;
+
+    if (arrival_first) {
+      active.push_back(ActiveRequest{DrawDemand(rng, cfg), now});
+      next_arrival = now + rng.Exponential(1.0 / cfg.arrival_rate);
+    } else {
+      const ActiveRequest done = active[winner];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(winner));
+      ++completions;
+      if (completions > cfg.warmup_requests) {
+        response_times.Add((now - done.arrival) + cfg.fixed_latency);
+      }
+    }
+  }
+
+  RequestSimResults results;
+  results.completed = response_times.count();
+  results.mean_response_time = response_times.mean();
+  results.p50_response_time = response_times.median();
+  results.p95_response_time = response_times.Percentile(95.0);
+  results.max_response_time = response_times.max();
+  results.sim_time = now;
+  results.utilization = now > 0.0 ? busy_time / now : 0.0;
+  results.mean_in_system = now > 0.0 ? in_system_integral / now : 0.0;
+  return results;
+}
+
+}  // namespace mwp

@@ -1,0 +1,38 @@
+#include "web/transactional_app.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+TransactionalApp::TransactionalApp(TransactionalAppSpec spec)
+    : spec_(std::move(spec)) {
+  MWP_CHECK(spec_.id != kInvalidApp);
+  MWP_CHECK(!spec_.name.empty());
+  MWP_CHECK(spec_.memory_per_instance >= 0.0);
+  MWP_CHECK(spec_.response_time_goal > 0.0);
+  MWP_CHECK(spec_.demand_per_request > 0.0);
+  MWP_CHECK(spec_.min_response_time >= 0.0);
+  MWP_CHECK(spec_.min_response_time < spec_.response_time_goal);
+  MWP_CHECK(spec_.max_instances >= 0);
+}
+
+QueuingModel TransactionalApp::ModelAt(double arrival_rate) const {
+  QueuingModelParams p;
+  p.arrival_rate = arrival_rate;
+  p.demand_per_request = spec_.demand_per_request;
+  p.response_time_goal = spec_.response_time_goal;
+  p.min_response_time = spec_.min_response_time;
+  p.saturation_allocation = spec_.saturation_allocation;
+  // Under extreme load the stability boundary λ·c can swallow the app's
+  // nominal saturation point; push it out so the model stays well-formed
+  // (the app is then unstable at any grantable allocation and its RPF sits
+  // at the floor, which is the correct signal).
+  const MHz rho = arrival_rate * p.demand_per_request;
+  if (p.saturation_allocation <= rho) {
+    p.saturation_allocation =
+        rho + p.demand_per_request / (0.01 * p.response_time_goal);
+  }
+  return QueuingModel(p);
+}
+
+}  // namespace mwp

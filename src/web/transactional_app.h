@@ -1,0 +1,60 @@
+// Transactional (web) application model.
+//
+// A transactional application is served by a cluster of identical instances
+// (one per node at most, as in the paper's Experiment Three). Each instance
+// has a load-independent memory demand; CPU consumption is load-dependent
+// and divided across instances by the request router. The application's SLA
+// is a mean response time goal; its RPF for a given arrival rate is the
+// queuing model of §3.3.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "web/queuing_model.h"
+
+namespace mwp {
+
+struct TransactionalAppSpec {
+  AppId id = kInvalidApp;
+  std::string name;
+  /// Load-independent memory demand of one instance (MB).
+  Megabytes memory_per_instance = 0.0;
+  /// Mean response time goal τ (seconds).
+  Seconds response_time_goal = 0.0;
+  /// Average CPU demand per request c (megacycles) — from the work profiler.
+  Megacycles demand_per_request = 0.0;
+  /// Load-independent response time floor (seconds).
+  Seconds min_response_time = 0.0;
+  /// CPU allocation beyond which response time no longer improves (MHz).
+  MHz saturation_allocation = 0.0;
+  /// Maximum instances the router can balance across (0 = unbounded).
+  int max_instances = 0;
+};
+
+class TransactionalApp {
+ public:
+  explicit TransactionalApp(TransactionalAppSpec spec);
+
+  const TransactionalAppSpec& spec() const { return spec_; }
+  AppId id() const { return spec_.id; }
+  const std::string& name() const { return spec_.name; }
+
+  /// The RPF for this application under arrival rate λ (req/s).
+  QueuingModel ModelAt(double arrival_rate) const;
+
+  /// Mean response time with allocation ω under arrival rate λ.
+  Seconds ResponseTime(double arrival_rate, MHz allocation) const {
+    return ModelAt(arrival_rate).ResponseTime(allocation);
+  }
+
+  /// Relative performance with allocation ω under arrival rate λ.
+  Utility UtilityAt(double arrival_rate, MHz allocation) const {
+    return ModelAt(arrival_rate).UtilityAt(allocation);
+  }
+
+ private:
+  TransactionalAppSpec spec_;
+};
+
+}  // namespace mwp

@@ -1,0 +1,26 @@
+#include "web/work_profiler.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+WorkProfiler::WorkProfiler(double forgetting) : forgetting_(forgetting) {
+  MWP_CHECK(forgetting_ > 0.0 && forgetting_ <= 1.0);
+}
+
+void WorkProfiler::Observe(double throughput_rps, MHz cpu_consumed) {
+  MWP_CHECK(throughput_rps >= 0.0);
+  MWP_CHECK(cpu_consumed >= 0.0);
+  sum_lambda_sq_ *= forgetting_;
+  sum_lambda_u_ *= forgetting_;
+  sum_lambda_sq_ += throughput_rps * throughput_rps;
+  sum_lambda_u_ += throughput_rps * cpu_consumed;
+  ++count_;
+}
+
+Megacycles WorkProfiler::EstimateDemandPerRequest(Megacycles fallback) const {
+  if (sum_lambda_sq_ <= 0.0) return fallback;
+  return sum_lambda_u_ / sum_lambda_sq_;
+}
+
+}  // namespace mwp

@@ -1,0 +1,43 @@
+// Work profiler (§3.1, after Pacifici et al. "Dynamic estimation of CPU
+// demand of web traffic").
+//
+// The profiler observes, per control interval, the CPU consumed by an
+// application (MHz, averaged over the interval) together with its request
+// throughput (req/s) and fits the average CPU demand per request c
+// (megacycles/request) by least squares through the origin:
+//
+//     utilization_i ≈ c · throughput_i      ⇒      ĉ = Σ λ_i u_i / Σ λ_i².
+//
+// An exponential forgetting factor keeps the estimate adaptive when the
+// request mix drifts.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace mwp {
+
+class WorkProfiler {
+ public:
+  /// `forgetting` in (0, 1]: 1 = ordinary least squares over all history,
+  /// smaller values weigh recent observations more.
+  explicit WorkProfiler(double forgetting = 1.0);
+
+  /// Record one interval: mean CPU consumed (MHz) and throughput (req/s).
+  void Observe(double throughput_rps, MHz cpu_consumed);
+
+  /// Current estimate ĉ (megacycles per request). Returns `fallback` until
+  /// at least one informative observation (non-zero throughput) arrives.
+  Megacycles EstimateDemandPerRequest(Megacycles fallback = 0.0) const;
+
+  std::size_t observation_count() const { return count_; }
+
+ private:
+  double forgetting_;
+  double sum_lambda_sq_ = 0.0;  // Σ λ²  (decayed)
+  double sum_lambda_u_ = 0.0;   // Σ λ·u (decayed)
+  std::size_t count_ = 0;
+};
+
+}  // namespace mwp

@@ -1,0 +1,58 @@
+#include "web/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwp {
+
+StepRate::StepRate(std::vector<Step> steps) : steps_(std::move(steps)) {
+  MWP_CHECK(!steps_.empty());
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    MWP_CHECK_MSG(steps_[i].start > steps_[i - 1].start,
+                  "step start times must be strictly increasing");
+  }
+  for (const Step& s : steps_) MWP_CHECK(s.rate >= 0.0);
+}
+
+double StepRate::RateAt(Seconds t) const {
+  double rate = steps_.front().rate;
+  for (const Step& s : steps_) {
+    if (t >= s.start) rate = s.rate;
+    else break;
+  }
+  return rate;
+}
+
+SinusoidalRate::SinusoidalRate(double base, double amplitude, Seconds period)
+    : base_(base), amplitude_(amplitude), period_(period) {
+  MWP_CHECK(base_ >= 0.0);
+  MWP_CHECK(amplitude_ >= 0.0);
+  MWP_CHECK(period_ > 0.0);
+}
+
+double SinusoidalRate::RateAt(Seconds t) const {
+  const double two_pi = 6.283185307179586;
+  return std::max(0.0, base_ + amplitude_ * std::sin(two_pi * t / period_));
+}
+
+NoisyRate::NoisyRate(std::shared_ptr<const ArrivalRateProfile> inner,
+                     double jitter, Seconds interval, std::uint64_t seed)
+    : inner_(std::move(inner)), jitter_(jitter), interval_(interval), seed_(seed) {
+  MWP_CHECK(inner_ != nullptr);
+  MWP_CHECK(jitter_ >= 0.0 && jitter_ < 1.0);
+  MWP_CHECK(interval_ > 0.0);
+}
+
+double NoisyRate::RateAt(Seconds t) const {
+  const auto bucket = static_cast<std::uint64_t>(std::max(0.0, t) / interval_);
+  // splitmix64 of (seed, bucket) → uniform factor in [1-j, 1+j].
+  std::uint64_t z = seed_ ^ (bucket + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  const double u = static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+  const double factor = 1.0 - jitter_ + 2.0 * jitter_ * u;
+  return inner_->RateAt(t) * factor;
+}
+
+}  // namespace mwp

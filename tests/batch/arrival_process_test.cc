@@ -1,0 +1,81 @@
+#include "batch/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mwp {
+namespace {
+
+TEST(PoissonArrivalTest, TimesAreIncreasing) {
+  PoissonArrivalProcess p(Rng(1), 260.0);
+  Seconds prev = 0.0;
+  for (int i = 0; i < 1'000; ++i) {
+    const Seconds t = p.NextArrival();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonArrivalTest, MeanInterarrivalConverges) {
+  PoissonArrivalProcess p(Rng(2), 260.0);
+  const int n = 50'000;
+  Seconds prev = 0.0;
+  RunningStats gaps;
+  for (int i = 0; i < n; ++i) {
+    const Seconds t = p.NextArrival();
+    gaps.Add(t - prev);
+    prev = t;
+  }
+  EXPECT_NEAR(gaps.mean(), 260.0, 260.0 * 0.03);
+}
+
+TEST(PoissonArrivalTest, StartTimeOffset) {
+  PoissonArrivalProcess p(Rng(3), 100.0, /*start_time=*/1'000.0);
+  EXPECT_GT(p.NextArrival(), 1'000.0);
+}
+
+TEST(PoissonArrivalTest, MeanChangeMidStream) {
+  PoissonArrivalProcess p(Rng(4), 50.0);
+  for (int i = 0; i < 100; ++i) p.NextArrival();
+  p.set_mean_interarrival(2'000.0);
+  Seconds prev = p.NextArrival();
+  RunningStats gaps;
+  for (int i = 0; i < 2'000; ++i) {
+    const Seconds t = p.NextArrival();
+    gaps.Add(t - prev);
+    prev = t;
+  }
+  EXPECT_NEAR(gaps.mean(), 2'000.0, 2'000.0 * 0.08);
+}
+
+TEST(FixedArrivalTest, ReplaysSchedule) {
+  FixedArrivalProcess p({0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.NextArrival(), 0.0);
+  EXPECT_DOUBLE_EQ(p.NextArrival(), 1.0);
+  EXPECT_FALSE(p.exhausted());
+  EXPECT_DOUBLE_EQ(p.NextArrival(), 2.0);
+  EXPECT_TRUE(p.exhausted());
+  EXPECT_THROW(p.NextArrival(), std::logic_error);
+}
+
+TEST(FixedArrivalTest, DecreasingScheduleThrows) {
+  EXPECT_THROW(FixedArrivalProcess({2.0, 1.0}), std::logic_error);
+}
+
+TEST(GenerateScheduleTest, CountAndOrder) {
+  PoissonArrivalProcess p(Rng(5), 10.0);
+  const auto schedule = GenerateSchedule(p, 100);
+  ASSERT_EQ(schedule.size(), 100u);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GT(schedule[i], schedule[i - 1]);
+  }
+}
+
+TEST(GenerateScheduleTest, ZeroCount) {
+  FixedArrivalProcess p({1.0});
+  EXPECT_TRUE(GenerateSchedule(p, 0).empty());
+}
+
+}  // namespace
+}  // namespace mwp

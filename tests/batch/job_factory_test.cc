@@ -1,0 +1,93 @@
+#include "batch/job_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mwp {
+namespace {
+
+TEST(IdenticalJobFactoryTest, PaperExperimentOneParameters) {
+  auto factory = IdenticalJobFactory::PaperExperimentOne();
+  auto job = factory->Create(100.0);
+  // Table 2 exactly.
+  EXPECT_DOUBLE_EQ(job->profile().total_work(), 68'640'000.0);
+  EXPECT_DOUBLE_EQ(job->profile().stage(0).max_speed, 3'900.0);
+  EXPECT_DOUBLE_EQ(job->profile().max_memory(), 4'320.0);
+  EXPECT_DOUBLE_EQ(job->profile().min_execution_time(), 17'600.0);
+  EXPECT_DOUBLE_EQ(job->goal().relative_goal(), 47'520.0);
+  EXPECT_DOUBLE_EQ(job->goal().completion_goal, 100.0 + 47'520.0);
+}
+
+TEST(IdenticalJobFactoryTest, MaxAchievableUtilityIsPoint63) {
+  // §5.1: a job started immediately at full speed achieves RP 0.63.
+  auto factory = IdenticalJobFactory::PaperExperimentOne();
+  auto job = factory->Create(0.0);
+  EXPECT_NEAR(job->MaxAchievableUtility(0.0), 0.6296, 1e-3);
+}
+
+TEST(IdenticalJobFactoryTest, UniqueSequentialIds) {
+  auto factory = IdenticalJobFactory::PaperExperimentOne(/*first_id=*/10);
+  EXPECT_EQ(factory->Create(0.0)->id(), 10);
+  EXPECT_EQ(factory->Create(0.0)->id(), 11);
+  EXPECT_EQ(factory->Create(0.0)->id(), 12);
+}
+
+TEST(MixtureJobFactoryTest, DrawsOnlyConfiguredValues) {
+  auto factory = MixtureJobFactory::PaperExperimentTwo(Rng(1));
+  std::map<double, int> factors;
+  std::map<double, int> exec_times;
+  for (int i = 0; i < 2'000; ++i) {
+    auto job = factory->Create(0.0);
+    factors[job->goal().relative_goal() /
+            job->profile().min_execution_time()]++;
+    exec_times[job->profile().min_execution_time()]++;
+  }
+  // Exactly the §5.2 support sets.
+  ASSERT_EQ(factors.size(), 3u);
+  EXPECT_TRUE(factors.count(1.3) || factors.count(1.3000000000000001));
+  ASSERT_EQ(exec_times.size(), 3u);
+  EXPECT_TRUE(exec_times.count(600.0));
+  EXPECT_TRUE(exec_times.count(9'000.0));
+  EXPECT_TRUE(exec_times.count(17'600.0));
+}
+
+TEST(MixtureJobFactoryTest, MixtureProportionsApproximate) {
+  auto factory = MixtureJobFactory::PaperExperimentTwo(Rng(2));
+  int n600 = 0, n9000 = 0, n17600 = 0;
+  const int total = 20'000;
+  for (int i = 0; i < total; ++i) {
+    auto job = factory->Create(0.0);
+    const double t = job->profile().min_execution_time();
+    if (t == 600.0) ++n600;
+    if (t == 9'000.0) ++n9000;
+    if (t == 17'600.0) ++n17600;
+  }
+  EXPECT_NEAR(n600 / static_cast<double>(total), 0.50, 0.02);
+  EXPECT_NEAR(n9000 / static_cast<double>(total), 0.10, 0.02);
+  EXPECT_NEAR(n17600 / static_cast<double>(total), 0.40, 0.02);
+}
+
+TEST(MixtureJobFactoryTest, WorkConsistentWithShape) {
+  auto factory = MixtureJobFactory::PaperExperimentTwo(Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    auto job = factory->Create(0.0);
+    EXPECT_DOUBLE_EQ(job->profile().total_work(),
+                     job->profile().min_execution_time() *
+                         job->profile().stage(0).max_speed);
+  }
+}
+
+TEST(MixtureJobFactoryTest, DeterministicGivenSeed) {
+  auto a = MixtureJobFactory::PaperExperimentTwo(Rng(9));
+  auto b = MixtureJobFactory::PaperExperimentTwo(Rng(9));
+  for (int i = 0; i < 50; ++i) {
+    auto ja = a->Create(0.0);
+    auto jb = b->Create(0.0);
+    EXPECT_DOUBLE_EQ(ja->profile().total_work(), jb->profile().total_work());
+    EXPECT_DOUBLE_EQ(ja->goal().completion_goal, jb->goal().completion_goal);
+  }
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,91 @@
+#include "batch/job_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mwp {
+namespace {
+
+TEST(JobProfilerTest, UnknownClassHasNoEstimate) {
+  JobWorkloadProfiler p;
+  EXPECT_FALSE(p.EstimateProfile("nope").has_value());
+  EXPECT_EQ(p.ObservationCount("nope"), 0u);
+}
+
+TEST(JobProfilerTest, SingleObservationEstimate) {
+  JobWorkloadProfiler p;
+  p.RecordExecution("etl", 1'000.0, 500.0, 256.0);
+  auto profile = p.EstimateProfile("etl");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_DOUBLE_EQ(profile->total_work(), 1'000.0);
+  EXPECT_DOUBLE_EQ(profile->stage(0).max_speed, 500.0);
+  EXPECT_DOUBLE_EQ(profile->max_memory(), 256.0);
+}
+
+TEST(JobProfilerTest, EstimateIsMeanOfHistory) {
+  JobWorkloadProfiler p;
+  p.RecordExecution("etl", 900.0, 500.0, 200.0);
+  p.RecordExecution("etl", 1'100.0, 500.0, 300.0);
+  auto profile = p.EstimateProfile("etl");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_DOUBLE_EQ(profile->total_work(), 1'000.0);
+  EXPECT_DOUBLE_EQ(profile->max_memory(), 250.0);
+  EXPECT_EQ(p.ObservationCount("etl"), 2u);
+}
+
+TEST(JobProfilerTest, ClassesAreIndependent) {
+  JobWorkloadProfiler p;
+  p.RecordExecution("a", 100.0, 10.0, 1.0);
+  p.RecordExecution("b", 900.0, 90.0, 9.0);
+  EXPECT_DOUBLE_EQ(p.EstimateProfile("a")->total_work(), 100.0);
+  EXPECT_DOUBLE_EQ(p.EstimateProfile("b")->total_work(), 900.0);
+}
+
+TEST(JobProfilerTest, RecordJobFromCompletedExecution) {
+  JobWorkloadProfiler p;
+  JobProfile profile = JobProfile::SingleStage(4'000.0, 1'000.0, 750.0);
+  Job job(1, "j", profile, JobGoal::FromFactor(0.0, 5.0, 4.0));
+  job.Place(0, 0.0, 0.0);
+  job.SetAllocation(1'000.0);
+  job.AdvanceTo(0.0, 10.0);
+  ASSERT_TRUE(job.completed());
+  p.RecordJob("batch", job);
+  auto est = p.EstimateProfile("batch");
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->total_work(), 4'000.0);
+}
+
+TEST(JobProfilerTest, RecordIncompleteJobThrows) {
+  JobWorkloadProfiler p;
+  JobProfile profile = JobProfile::SingleStage(4'000.0, 1'000.0, 750.0);
+  Job job(1, "j", profile, JobGoal::FromFactor(0.0, 5.0, 4.0));
+  EXPECT_THROW(p.RecordJob("batch", job), std::logic_error);
+}
+
+TEST(JobProfilerTest, WorkEstimateErrorConverges) {
+  // Noisy observations around a true 10,000 Mc job: the estimate's relative
+  // error shrinks with history — the "historical data analysis" behaviour
+  // the paper's job workload profiler provides.
+  JobWorkloadProfiler p;
+  Rng rng(77);
+  const double truth = 10'000.0;
+  p.RecordExecution("noisy", truth * rng.Uniform(0.8, 1.2), 100.0, 10.0);
+  const double early = p.WorkEstimateError("noisy", truth);
+  for (int i = 0; i < 500; ++i) {
+    p.RecordExecution("noisy", truth * rng.Uniform(0.8, 1.2), 100.0, 10.0);
+  }
+  const double late = p.WorkEstimateError("noisy", truth);
+  EXPECT_LT(late, 0.05);
+  EXPECT_LE(late, early + 0.05);
+}
+
+TEST(JobProfilerTest, InvalidObservationsThrow) {
+  JobWorkloadProfiler p;
+  EXPECT_THROW(p.RecordExecution("x", 0.0, 10.0, 1.0), std::logic_error);
+  EXPECT_THROW(p.RecordExecution("x", 10.0, 0.0, 1.0), std::logic_error);
+  EXPECT_THROW(p.RecordExecution("x", 10.0, 10.0, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

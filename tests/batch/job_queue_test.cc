@@ -1,0 +1,82 @@
+#include "batch/job_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+std::unique_ptr<Job> MakeJob(AppId id, Seconds submit = 0.0) {
+  JobProfile p = JobProfile::SingleStage(1'000.0, 1'000.0, 100.0);
+  return std::make_unique<Job>(id, "job-" + std::to_string(id), p,
+                               JobGoal::FromFactor(submit, 3.0, 1.0));
+}
+
+TEST(JobQueueTest, SubmitAndFind) {
+  JobQueue q;
+  Job& j = q.Submit(MakeJob(7));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.Find(7), &j);
+  EXPECT_EQ(q.Find(8), nullptr);
+}
+
+TEST(JobQueueTest, DuplicateIdThrows) {
+  JobQueue q;
+  q.Submit(MakeJob(1));
+  EXPECT_THROW(q.Submit(MakeJob(1)), std::logic_error);
+}
+
+TEST(JobQueueTest, SubmissionOrderPreserved) {
+  JobQueue q;
+  q.Submit(MakeJob(3));
+  q.Submit(MakeJob(1));
+  q.Submit(MakeJob(2));
+  const auto all = q.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->id(), 3);
+  EXPECT_EQ(all[1]->id(), 1);
+  EXPECT_EQ(all[2]->id(), 2);
+}
+
+TEST(JobQueueTest, ViewsReflectStatus) {
+  JobQueue q;
+  Job& running = q.Submit(MakeJob(1));
+  Job& queued = q.Submit(MakeJob(2));
+  Job& suspended = q.Submit(MakeJob(3));
+  Job& done = q.Submit(MakeJob(4));
+
+  running.Place(0, 0.0, 0.0);
+  running.SetAllocation(500.0);
+  suspended.Place(1, 0.0, 0.0);
+  suspended.SetAllocation(500.0);
+  suspended.Suspend(0.5);
+  done.Place(2, 0.0, 0.0);
+  done.SetAllocation(1'000.0);
+  done.AdvanceTo(0.0, 10.0);
+  ASSERT_TRUE(done.completed());
+
+  EXPECT_EQ(q.Incomplete().size(), 3u);
+  EXPECT_EQ(q.Placed().size(), 1u);
+  EXPECT_EQ(q.Placed()[0], &running);
+  const auto awaiting = q.AwaitingPlacement();
+  ASSERT_EQ(awaiting.size(), 2u);
+  EXPECT_EQ(awaiting[0], &queued);
+  EXPECT_EQ(awaiting[1], &suspended);
+  EXPECT_EQ(q.Completed().size(), 1u);
+  EXPECT_EQ(q.num_completed(), 1u);
+}
+
+TEST(JobQueueTest, NullSubmitThrows) {
+  JobQueue q;
+  EXPECT_THROW(q.Submit(nullptr), std::logic_error);
+}
+
+TEST(JobQueueTest, ConstFind) {
+  JobQueue q;
+  q.Submit(MakeJob(5));
+  const JobQueue& cq = q;
+  EXPECT_NE(cq.Find(5), nullptr);
+  EXPECT_EQ(cq.Find(6), nullptr);
+}
+
+}  // namespace
+}  // namespace mwp

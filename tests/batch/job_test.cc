@@ -1,0 +1,282 @@
+#include "batch/job.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mwp {
+namespace {
+
+JobProfile SimpleProfile(Megacycles work = 4'000.0, MHz speed = 1'000.0,
+                         Megabytes mem = 750.0) {
+  return JobProfile::SingleStage(work, speed, mem);
+}
+
+Job MakeJob(double factor = 5.0, Seconds submit = 0.0) {
+  JobProfile p = SimpleProfile();
+  return Job(1, "J1", p, JobGoal::FromFactor(submit, factor,
+                                             p.min_execution_time()));
+}
+
+TEST(JobProfileTest, SingleStageDerivedQuantities) {
+  const JobProfile p = SimpleProfile();
+  EXPECT_EQ(p.num_stages(), 1);
+  EXPECT_DOUBLE_EQ(p.total_work(), 4'000.0);
+  EXPECT_DOUBLE_EQ(p.min_execution_time(), 4.0);
+  EXPECT_DOUBLE_EQ(p.max_memory(), 750.0);
+}
+
+TEST(JobProfileTest, MultiStageAggregates) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 500.0},
+                      JobStage{2'000.0, 500.0, 0.0, 900.0}});
+  EXPECT_EQ(p.num_stages(), 2);
+  EXPECT_DOUBLE_EQ(p.total_work(), 3'000.0);
+  EXPECT_DOUBLE_EQ(p.min_execution_time(), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(p.max_memory(), 900.0);
+}
+
+TEST(JobProfileTest, StageAtTracksProgress) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 500.0},
+                      JobStage{2'000.0, 500.0, 0.0, 500.0}});
+  EXPECT_EQ(p.StageAt(0.0), 0);
+  EXPECT_EQ(p.StageAt(999.0), 0);
+  EXPECT_EQ(p.StageAt(1'000.0), 1);
+  EXPECT_EQ(p.StageAt(2'999.0), 1);
+  EXPECT_EQ(p.StageAt(3'000.0), 2);  // == num_stages when complete
+}
+
+TEST(JobProfileTest, RemainingTimeAtSpeedCapsPerStage) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 500.0},
+                      JobStage{2'000.0, 500.0, 0.0, 500.0}});
+  // Allocating 2,000 MHz: stage 1 runs at 1,000 (1 s), stage 2 at 500 (4 s).
+  EXPECT_DOUBLE_EQ(p.RemainingTimeAtSpeed(0.0, 2'000.0), 5.0);
+  // Allocating 500 MHz: 2 s + 4 s.
+  EXPECT_DOUBLE_EQ(p.RemainingTimeAtSpeed(0.0, 500.0), 6.0);
+}
+
+TEST(JobProfileTest, RemainingTimeZeroSpeedIsForever) {
+  const JobProfile p = SimpleProfile();
+  EXPECT_EQ(p.RemainingTimeAtSpeed(0.0, 0.0), kTimeForever);
+}
+
+TEST(JobProfileTest, WorkAfterRunningRespectsStageCaps) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 500.0},
+                      JobStage{2'000.0, 500.0, 0.0, 500.0}});
+  // 2 s at 2,000 MHz: 1 s finishes stage 1 (1,000 Mc), 1 s does 500 Mc of
+  // stage 2.
+  EXPECT_DOUBLE_EQ(p.WorkAfterRunning(0.0, 2'000.0, 2.0), 1'500.0);
+  // Never exceeds total work.
+  EXPECT_DOUBLE_EQ(p.WorkAfterRunning(0.0, 2'000.0, 100.0), 3'000.0);
+}
+
+TEST(JobProfileTest, WorkAfterRunningFromMidStage) {
+  const JobProfile p = SimpleProfile();
+  EXPECT_DOUBLE_EQ(p.WorkAfterRunning(1'000.0, 1'000.0, 1.5), 2'500.0);
+}
+
+TEST(JobGoalTest, FromFactorMatchesPaperExample) {
+  // Table 2: factor 2.7 on a 17,600 s job -> goal 47,520 s after submission.
+  const JobGoal g = JobGoal::FromFactor(0.0, 2.7, 17'600.0);
+  EXPECT_DOUBLE_EQ(g.completion_goal, 47'520.0);
+  EXPECT_DOUBLE_EQ(g.relative_goal(), 47'520.0);
+}
+
+TEST(JobGoalTest, SubmitOffsetShiftsGoal) {
+  const JobGoal g = JobGoal::FromFactor(100.0, 2.0, 50.0);
+  EXPECT_DOUBLE_EQ(g.desired_start, 100.0);
+  EXPECT_DOUBLE_EQ(g.completion_goal, 200.0);
+  EXPECT_DOUBLE_EQ(g.relative_goal(), 100.0);
+}
+
+TEST(JobTest, InitialState) {
+  Job j = MakeJob();
+  EXPECT_EQ(j.status(), JobStatus::kNotStarted);
+  EXPECT_FALSE(j.placed());
+  EXPECT_FALSE(j.completed());
+  EXPECT_DOUBLE_EQ(j.work_done(), 0.0);
+  EXPECT_EQ(j.node(), kInvalidNode);
+  EXPECT_FALSE(j.ever_started());
+}
+
+TEST(JobTest, PlaceRunAndComplete) {
+  Job j = MakeJob();  // 4,000 Mc at max 1,000 MHz, goal 20 s
+  j.Place(0, 0.0, 0.0);
+  EXPECT_TRUE(j.placed());
+  EXPECT_TRUE(j.ever_started());
+  j.SetAllocation(1'000.0);
+  EXPECT_FALSE(j.AdvanceTo(0.0, 2.0));
+  EXPECT_DOUBLE_EQ(j.work_done(), 2'000.0);
+  EXPECT_TRUE(j.AdvanceTo(2.0, 5.0));
+  EXPECT_TRUE(j.completed());
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 4.0);
+  // u = (20 - 4) / 20 = 0.8 — the value in Figure 1's cycle 2.
+  EXPECT_NEAR(j.achieved_utility(), 0.8, 1e-9);
+}
+
+TEST(JobTest, AllocationAboveMaxSpeedIsWasted) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(5'000.0);  // stage cap is 1,000
+  EXPECT_DOUBLE_EQ(j.effective_speed(), 1'000.0);
+  j.AdvanceTo(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'000.0);
+}
+
+TEST(JobTest, OverheadDelaysProgress) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, /*overhead=*/2.0);  // e.g. VM boot
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'000.0);  // only 1 s of real execution
+}
+
+TEST(JobTest, CompletionTimeAccountsForOverhead) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 1.5);
+  j.SetAllocation(1'000.0);
+  EXPECT_TRUE(j.AdvanceTo(0.0, 10.0));
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 5.5);
+}
+
+TEST(JobTest, SuspendPreservesProgress) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 1.0);
+  j.Suspend(1.0);
+  EXPECT_EQ(j.status(), JobStatus::kSuspended);
+  EXPECT_EQ(j.node(), kInvalidNode);
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'000.0);
+  // No progress while suspended.
+  EXPECT_FALSE(j.AdvanceTo(1.0, 5.0));
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'000.0);
+  // Resume on another node.
+  j.Place(1, 5.0, 0.0);
+  j.SetAllocation(1'000.0);
+  EXPECT_TRUE(j.AdvanceTo(5.0, 10.0));
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 8.0);
+}
+
+TEST(JobTest, PauseZeroesAllocation) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(500.0);
+  j.Pause(0.5);
+  EXPECT_EQ(j.status(), JobStatus::kPaused);
+  EXPECT_TRUE(j.placed());
+  EXPECT_FALSE(j.AdvanceTo(0.5, 2.0));
+  EXPECT_DOUBLE_EQ(j.work_done(), 0.0);
+  j.SetAllocation(250.0);
+  EXPECT_EQ(j.status(), JobStatus::kRunning);
+}
+
+TEST(JobTest, UtilityForCompletionMatchesEq2) {
+  // J2 of §4.3 S1: submit 1, factor 4 on 4 s -> goal 17, relative goal 16.
+  JobProfile p = JobProfile::SingleStage(2'000.0, 500.0, 750.0);
+  Job j(2, "J2", p, JobGoal::FromFactor(1.0, 4.0, p.min_execution_time()));
+  EXPECT_DOUBLE_EQ(j.goal().completion_goal, 17.0);
+  // Completing at 6 gives u = (17-6)/16 = 0.6875 (the "0.65 ≈ (16-5)/16"
+  // value in the paper's prose).
+  EXPECT_NEAR(j.UtilityForCompletion(6.0), 0.6875, 1e-9);
+  EXPECT_DOUBLE_EQ(j.UtilityForCompletion(17.0), 0.0);
+  EXPECT_LT(j.UtilityForCompletion(20.0), 0.0);
+}
+
+TEST(JobTest, MaxAchievableUtilityDecaysWhileQueued) {
+  Job j = MakeJob();  // 4 s at full speed, goal 20
+  const Utility at0 = j.MaxAchievableUtility(0.0);   // (20-4)/20 = 0.8
+  const Utility at4 = j.MaxAchievableUtility(4.0);   // (20-8)/20 = 0.6
+  EXPECT_NEAR(at0, 0.8, 1e-9);
+  EXPECT_NEAR(at4, 0.6, 1e-9);
+  EXPECT_GT(at0, at4);
+}
+
+TEST(JobTest, EarliestCompletionHonoursOverhead) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(j.EarliestCompletion(0.0), 7.0);
+}
+
+TEST(JobTest, AchievedUtilityBeforeCompletionThrows) {
+  Job j = MakeJob();
+  EXPECT_THROW(j.achieved_utility(), std::logic_error);
+}
+
+TEST(JobTest, SuspendUnplacedThrows) {
+  Job j = MakeJob();
+  EXPECT_THROW(j.Suspend(0.0), std::logic_error);
+}
+
+TEST(JobTest, AllocationOnUnplacedThrows) {
+  Job j = MakeJob();
+  EXPECT_THROW(j.SetAllocation(100.0), std::logic_error);
+}
+
+TEST(JobTest, MultiStageCompletionCrossesStages) {
+  JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 500.0},
+                JobStage{2'000.0, 500.0, 0.0, 500.0}});
+  Job j(3, "multi", p, JobGoal::FromFactor(0.0, 3.0, p.min_execution_time()));
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  // Stage 1: 1 s at 1,000; stage 2 capped at 500: 4 s. Total 5 s.
+  EXPECT_TRUE(j.AdvanceTo(0.0, 6.0));
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 5.0);
+}
+
+TEST(JobTest, ExtendOverheadMonotone) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(j.overhead_until(), 1.0);
+  j.ExtendOverhead(3.0);
+  EXPECT_DOUBLE_EQ(j.overhead_until(), 3.0);
+  j.ExtendOverhead(2.0);  // never shrinks
+  EXPECT_DOUBLE_EQ(j.overhead_until(), 3.0);
+}
+
+TEST(JobTest, SuspendResumeOverheadChain) {
+  // Suspend charges its cost as an overhead window; a prompt resume must
+  // not start executing before both the suspend tail and the resume cost.
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 1.0);
+  j.Suspend(1.0);
+  j.ExtendOverhead(1.0 + 0.5);  // suspend cost
+  j.Place(1, 1.0, 0.8);         // resume cost from now
+  // Overhead = max(1.5, 1.8) = 1.8.
+  EXPECT_DOUBLE_EQ(j.overhead_until(), 1.8);
+  j.SetAllocation(1'000.0);
+  EXPECT_TRUE(j.AdvanceTo(1.0, 10.0));
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 1.8 + 3.0);
+}
+
+TEST(JobTest, AdvanceBackwardsRejected) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(500.0);
+  EXPECT_THROW(j.AdvanceTo(2.0, 1.0), std::logic_error);
+}
+
+TEST(JobTest, EffectiveSpeedTracksStage) {
+  JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                JobStage{1'000.0, 250.0, 0.0, 100.0}});
+  Job j(4, "staged", p, JobGoal::FromFactor(0.0, 4.0, p.min_execution_time()));
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(800.0);
+  EXPECT_DOUBLE_EQ(j.effective_speed(), 800.0);
+  j.AdvanceTo(0.0, 1.25);  // finishes stage 1 at t = 1.25
+  EXPECT_EQ(j.current_stage(), 1);
+  EXPECT_DOUBLE_EQ(j.effective_speed(), 250.0);
+}
+
+TEST(JobTest, ZeroRelativeGoalRejected) {
+  JobProfile p = SimpleProfile();
+  JobGoal g;
+  g.submit_time = 0.0;
+  g.desired_start = 5.0;
+  g.completion_goal = 5.0;  // no slack at all
+  EXPECT_THROW(Job(9, "bad", p, g), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

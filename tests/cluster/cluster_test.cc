@@ -1,0 +1,51 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(NodeSpecTest, TotalCpuIsProduct) {
+  const NodeSpec n{4, 3'900.0, 16'384.0};
+  EXPECT_DOUBLE_EQ(n.total_cpu(), 15'600.0);
+}
+
+TEST(ClusterSpecTest, UniformClusterShape) {
+  // The paper's testbed: 25 nodes of 4 x 3.9 GHz / 16 GB.
+  const ClusterSpec c =
+      ClusterSpec::Uniform(25, NodeSpec{4, 3'900.0, 16'384.0});
+  EXPECT_EQ(c.num_nodes(), 25);
+  EXPECT_DOUBLE_EQ(c.total_cpu(), 390'000.0);
+  EXPECT_DOUBLE_EQ(c.total_memory(), 25.0 * 16'384.0);
+  EXPECT_DOUBLE_EQ(c.node(7).cpu_speed_mhz, 3'900.0);
+}
+
+TEST(ClusterSpecTest, HeterogeneousNodes) {
+  const ClusterSpec c({NodeSpec{1, 1'000.0, 2'000.0},
+                       NodeSpec{2, 2'000.0, 8'000.0}});
+  EXPECT_EQ(c.num_nodes(), 2);
+  EXPECT_DOUBLE_EQ(c.node(0).total_cpu(), 1'000.0);
+  EXPECT_DOUBLE_EQ(c.node(1).total_cpu(), 4'000.0);
+  EXPECT_DOUBLE_EQ(c.total_cpu(), 5'000.0);
+}
+
+TEST(ClusterSpecTest, EmptyCluster) {
+  const ClusterSpec c;
+  EXPECT_EQ(c.num_nodes(), 0);
+  EXPECT_DOUBLE_EQ(c.total_cpu(), 0.0);
+}
+
+TEST(ClusterSpecTest, OutOfRangeNodeThrows) {
+  const ClusterSpec c = ClusterSpec::Uniform(2, NodeSpec{1, 100.0, 100.0});
+  EXPECT_THROW(c.node(2), std::logic_error);
+  EXPECT_THROW(c.node(-1), std::logic_error);
+}
+
+TEST(ClusterSpecTest, ToStringMentionsShape) {
+  const ClusterSpec c = ClusterSpec::Uniform(3, NodeSpec{1, 500.0, 1'000.0});
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("3 nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,118 @@
+// Property tests: DiffPlacements must be a faithful delta encoding —
+// applying the change list to the source placement reproduces the target,
+// with migrations never synthesized out of thin air.
+#include <gtest/gtest.h>
+
+#include "cluster/placement.h"
+#include "common/rng.h"
+
+namespace mwp {
+namespace {
+
+PlacementMatrix RandomPlacement(Rng& rng, int apps, int nodes,
+                                bool single_instance_jobs) {
+  PlacementMatrix p(apps, nodes);
+  for (int m = 0; m < apps; ++m) {
+    if (single_instance_jobs) {
+      if (rng.Uniform01() < 0.6) {
+        p.at(m, static_cast<int>(rng.UniformInt(0, nodes - 1))) = 1;
+      }
+    } else {
+      const int instances = static_cast<int>(rng.UniformInt(0, 3));
+      for (int k = 0; k < instances; ++k) {
+        p.at(m, static_cast<int>(rng.UniformInt(0, nodes - 1))) += 1;
+      }
+    }
+  }
+  return p;
+}
+
+PlacementMatrix Apply(const PlacementMatrix& from,
+                      const std::vector<PlacementChange>& changes) {
+  PlacementMatrix result = from;
+  for (const PlacementChange& ch : changes) {
+    switch (ch.kind) {
+      case PlacementChange::Kind::kStart:
+      case PlacementChange::Kind::kResume:
+        result.at(ch.app, ch.to_node) += 1;
+        break;
+      case PlacementChange::Kind::kStop:
+      case PlacementChange::Kind::kSuspend:
+        result.at(ch.app, ch.from_node) -= 1;
+        break;
+      case PlacementChange::Kind::kMigrate:
+        result.at(ch.app, ch.from_node) -= 1;
+        result.at(ch.app, ch.to_node) += 1;
+        break;
+    }
+  }
+  return result;
+}
+
+class DiffRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffRoundTrip, ApplyingChangesReproducesTarget) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 25; ++trial) {
+    const int apps = static_cast<int>(rng.UniformInt(1, 6));
+    const int nodes = static_cast<int>(rng.UniformInt(1, 5));
+    const bool jobs = rng.Uniform01() < 0.5;
+    const PlacementMatrix from = RandomPlacement(rng, apps, nodes, jobs);
+    const PlacementMatrix to = RandomPlacement(rng, apps, nodes, jobs);
+    const auto changes = DiffPlacements(from, to);
+    EXPECT_EQ(Apply(from, changes), to)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(DiffRoundTrip, MigrationsPreserveInstanceCounts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1'000);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int apps = static_cast<int>(rng.UniformInt(1, 6));
+    const int nodes = static_cast<int>(rng.UniformInt(2, 5));
+    const PlacementMatrix from = RandomPlacement(rng, apps, nodes, false);
+    const PlacementMatrix to = RandomPlacement(rng, apps, nodes, false);
+    for (const PlacementChange& ch : DiffPlacements(from, to)) {
+      if (ch.kind == PlacementChange::Kind::kMigrate) {
+        // A migration must connect two distinct, valid nodes of one app
+        // whose total count did not shrink below the number it moves.
+        EXPECT_NE(ch.from_node, ch.to_node);
+        EXPECT_GE(ch.from_node, 0);
+        EXPECT_GE(ch.to_node, 0);
+        EXPECT_GT(from.at(ch.app, ch.from_node), 0);
+      }
+    }
+  }
+}
+
+TEST_P(DiffRoundTrip, ChangeCountIsMinimalPerApp) {
+  // For each app the number of changes equals
+  // max(removals, additions) across nodes — removals and additions pair
+  // into migrations first.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2'000);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int apps = static_cast<int>(rng.UniformInt(1, 4));
+    const int nodes = static_cast<int>(rng.UniformInt(1, 4));
+    const PlacementMatrix from = RandomPlacement(rng, apps, nodes, false);
+    const PlacementMatrix to = RandomPlacement(rng, apps, nodes, false);
+    std::vector<int> per_app(static_cast<std::size_t>(apps), 0);
+    for (const PlacementChange& ch : DiffPlacements(from, to)) {
+      ++per_app[static_cast<std::size_t>(ch.app)];
+    }
+    for (int m = 0; m < apps; ++m) {
+      int removed = 0, added = 0;
+      for (int n = 0; n < nodes; ++n) {
+        const int d = to.at(m, n) - from.at(m, n);
+        if (d < 0) removed -= d;
+        if (d > 0) added += d;
+      }
+      EXPECT_EQ(per_app[static_cast<std::size_t>(m)], std::max(removed, added))
+          << "app " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffRoundTrip, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,48 @@
+#include "cluster/vm_cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(VmCostModelTest, PaperMeasuredConstants) {
+  const VmCostModel m = VmCostModel::PaperMeasured();
+  // §5: Suspend = footprint * 0.0353 s, Resume = * 0.0333 s,
+  // Migrate = * 0.0132 s, boot 3.6 s.
+  EXPECT_NEAR(m.SuspendCost(1'000.0), 35.3, 1e-9);
+  EXPECT_NEAR(m.ResumeCost(1'000.0), 33.3, 1e-9);
+  EXPECT_NEAR(m.MigrateCost(1'000.0), 13.2, 1e-9);
+  EXPECT_DOUBLE_EQ(m.BootCost(), 3.6);
+}
+
+TEST(VmCostModelTest, ExperimentOneJobFootprint) {
+  // The 4,320 MB job of Table 2: suspending costs ~152.5 s.
+  const VmCostModel m = VmCostModel::PaperMeasured();
+  EXPECT_NEAR(m.SuspendCost(4'320.0), 152.496, 1e-3);
+  EXPECT_NEAR(m.ResumeCost(4'320.0), 143.856, 1e-3);
+  EXPECT_NEAR(m.MigrateCost(4'320.0), 57.024, 1e-3);
+}
+
+TEST(VmCostModelTest, CostsScaleLinearlyWithFootprint) {
+  const VmCostModel m = VmCostModel::PaperMeasured();
+  EXPECT_DOUBLE_EQ(m.SuspendCost(2'000.0), 2.0 * m.SuspendCost(1'000.0));
+  EXPECT_DOUBLE_EQ(m.MigrateCost(500.0), 0.5 * m.MigrateCost(1'000.0));
+}
+
+TEST(VmCostModelTest, FreeModelIsZero) {
+  const VmCostModel m = VmCostModel::Free();
+  EXPECT_DOUBLE_EQ(m.SuspendCost(10'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.ResumeCost(10'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.MigrateCost(10'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.BootCost(), 0.0);
+}
+
+TEST(VmCostModelTest, NegativeFootprintThrows) {
+  const VmCostModel m = VmCostModel::PaperMeasured();
+  EXPECT_THROW(m.SuspendCost(-1.0), std::logic_error);
+  EXPECT_THROW(m.ResumeCost(-1.0), std::logic_error);
+  EXPECT_THROW(m.MigrateCost(-1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

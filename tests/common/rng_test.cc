@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mwp {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform01() != b.Uniform01()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(99);
+  RunningStats stats;
+  const double mean = 260.0;  // Experiment One's inter-arrival mean
+  for (int i = 0; i < 50'000; ++i) stats.Add(rng.Exponential(mean));
+  EXPECT_NEAR(stats.mean(), mean, mean * 0.03);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(RngTest, DiscreteMixtureProportions) {
+  Rng rng(5);
+  // Experiment Two's goal-factor mixture: 10% / 30% / 60%.
+  int counts[3] = {0, 0, 0};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Discrete({0.1, 0.3, 0.6})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.10, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.30, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.60, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // Child's stream differs from a continuation of the parent's.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform01() != child.Uniform01()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngDeathTest, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0.0), std::logic_error);
+  EXPECT_THROW(rng.Exponential(-1.0), std::logic_error);
+  EXPECT_THROW(rng.Uniform(2.0, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsNaN) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleTest, PercentilesOfKnownData) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(25.0), 25.75, 1e-9);
+}
+
+TEST(SampleTest, SingleElement) {
+  Sample s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.0), 7.0);
+}
+
+TEST(SampleTest, MeanMinMax) {
+  Sample s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(SampleTest, AddAfterPercentileQuery) {
+  Sample s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleTest, EmptyIsNaN) {
+  Sample s;
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.median()));
+}
+
+TEST(TimeSeriesTest, MeanInWindow) {
+  TimeSeries ts("test");
+  ts.Add(0.0, 1.0);
+  ts.Add(10.0, 3.0);
+  ts.Add(20.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(0.0, 15.0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(0.0, 25.0), 3.0);
+  EXPECT_TRUE(std::isnan(ts.MeanInWindow(100.0, 200.0)));
+}
+
+TEST(TimeSeriesTest, WindowIsHalfOpen) {
+  TimeSeries ts;
+  ts.Add(10.0, 1.0);
+  EXPECT_TRUE(std::isnan(ts.MeanInWindow(0.0, 10.0)));  // [0, 10) excludes 10
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(10.0, 20.0), 1.0);
+}
+
+TEST(TimeSeriesTest, BucketedDownsample) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.Add(i, static_cast<double>(i));
+  TimeSeries b = ts.Bucketed(10.0);
+  ASSERT_GE(b.size(), 9u);
+  // First bucket covers values 0..9 -> mean 4.5.
+  EXPECT_DOUBLE_EQ(b.points().front().value, 4.5);
+}
+
+TEST(TimeSeriesTest, LabelPreserved) {
+  TimeSeries ts("series-label");
+  ts.Add(0.0, 1.0);
+  EXPECT_EQ(ts.Bucketed(1.0).label(), "series-label");
+}
+
+}  // namespace
+}  // namespace mwp

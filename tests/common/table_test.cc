@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(TableTest, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"a", "b", "c"});
+  t.AddNumericRow({1.5, 2.0, 0.125}, 3);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("1.5"), std::string::npos);
+  EXPECT_NE(csv.find(",2,"), std::string::npos);  // trailing zeros trimmed
+  EXPECT_NE(csv.find("0.125"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table t({"x"});
+  t.AddRow({std::string("a,b")});
+  t.AddRow({std::string("q\"q")});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(TableTest, MismatchedRowThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({std::string("only-one")}), std::logic_error);
+}
+
+TEST(TableTest, RowAndColumnCounts) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatNumber(2.0), "2");
+  EXPECT_EQ(FormatNumber(2.50), "2.5");
+  EXPECT_EQ(FormatNumber(0.125, 3), "0.125");
+}
+
+TEST(FormatNumberTest, NegativeZeroNormalized) {
+  EXPECT_EQ(FormatNumber(-0.0001, 2), "0");
+}
+
+TEST(FormatNumberTest, NanRendered) { EXPECT_EQ(FormatNumber(0.0 / 0.0), "nan"); }
+
+TEST(FormatNumberTest, PrecisionControl) {
+  EXPECT_EQ(FormatNumber(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatNumber(3.14159, 4), "3.1416");
+}
+
+}  // namespace
+}  // namespace mwp

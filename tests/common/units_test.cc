@@ -1,0 +1,46 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(UnitsTest, ApproxEqualExactValues) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+  EXPECT_TRUE(ApproxEqual(-5.5, -5.5));
+}
+
+TEST(UnitsTest, ApproxEqualWithinTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-9));
+  EXPECT_TRUE(ApproxEqual(1e6, 1e6 + 0.5));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.1));
+  EXPECT_FALSE(ApproxEqual(0.0, 1.0));
+}
+
+TEST(UnitsTest, ApproxEqualSymmetric) {
+  EXPECT_EQ(ApproxEqual(3.0, 3.000001), ApproxEqual(3.000001, 3.0));
+  EXPECT_EQ(ApproxEqual(-2.0, 2.0), ApproxEqual(2.0, -2.0));
+}
+
+TEST(UnitsTest, ApproxEqualCustomTolerance) {
+  EXPECT_TRUE(ApproxEqual(100.0, 101.0, 0.01));
+  EXPECT_FALSE(ApproxEqual(100.0, 105.0, 0.01));
+}
+
+TEST(UnitsTest, SentinelValues) {
+  EXPECT_LT(kInvalidNode, 0);
+  EXPECT_LT(kInvalidApp, 0);
+  EXPECT_GT(kTimeForever, 1e300);
+  EXPECT_LT(kUtilityFloor, -1.0);
+}
+
+TEST(UnitsTest, WorkSpeedTimeRelation) {
+  // 68,640,000 Mcycles at 3,900 MHz is the paper's 17,600 s job (Table 2).
+  const Megacycles work = 68'640'000.0;
+  const MHz speed = 3'900.0;
+  EXPECT_DOUBLE_EQ(work / speed, 17'600.0);
+}
+
+}  // namespace
+}  // namespace mwp

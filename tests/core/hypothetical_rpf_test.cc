@@ -1,0 +1,297 @@
+#include "core/hypothetical_rpf.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+// The §4.3 example, evaluated at the start of cycle 3 (t = 2 s) under
+// placement P2 of cycle 2 (J1 ran alone at 1,000 MHz): J1 has 2,000 Mc done,
+// J2 none. See the worked numbers in Figure 1.
+struct Example43Cycle2 {
+  JobProfile j1 = JobProfile::SingleStage(4'000.0, 1'000.0, 750.0);
+  JobProfile j2 = JobProfile::SingleStage(2'000.0, 500.0, 750.0);
+  JobGoal g1 = JobGoal::FromFactor(0.0, 5.0, 4.0);  // goal 20
+
+  HypotheticalRpf Make(double j2_factor, Megacycles j1_done,
+                       Megacycles j2_done) {
+    JobGoal g2 = JobGoal::FromFactor(1.0, j2_factor, 4.0);
+    std::vector<HypotheticalJobState> states = {
+        {&j1, g1, j1_done, 0.0},
+        {&j2, g2, j2_done, 0.0},
+    };
+    return HypotheticalRpf(std::move(states), /*t_eval=*/2.0);
+  }
+};
+
+TEST(HypotheticalRpfTest, Eq3SpeedForTarget) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(/*j2_factor=*/4.0, 2'000.0, 0.0);
+  // J1: rem 2,000, t(0.7) = 20 - 0.7*20 = 6, budget 4 s → 500 MHz.
+  EXPECT_NEAR(hyp.SpeedFor(0, 0.7), 500.0, 1e-9);
+  // J2 (goal 17, rel 16): t(0.5) = 17 - 8 = 9, budget 7 s → 285.7 MHz.
+  EXPECT_NEAR(hyp.SpeedFor(1, 0.5), 2'000.0 / 7.0, 1e-6);
+}
+
+TEST(HypotheticalRpfTest, MaxAchievableMatchesPaper) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  // J1: earliest completion 2 + 2 = 4 → (20-4)/20 = 0.8.
+  EXPECT_NEAR(hyp.MaxAchievable(0), 0.8, 1e-9);
+  // J2: earliest completion 2 + 4 = 6 → (17-6)/16 = 0.6875.
+  EXPECT_NEAR(hyp.MaxAchievable(1), 0.6875, 1e-9);
+}
+
+TEST(HypotheticalRpfTest, SpeedClampsAtMaxAchievable) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  // Beyond u_max the required speed stays at the saturating value (Eq. 4).
+  EXPECT_DOUBLE_EQ(hyp.SpeedFor(1, 0.9), hyp.SpeedFor(1, 0.6875));
+  EXPECT_NEAR(hyp.SpeedFor(1, 0.9), 500.0, 1e-6);
+}
+
+TEST(HypotheticalRpfTest, EvaluateScenario1Placement2) {
+  // Figure 1, S1 cycle 2, P2 boxes: with ω_g = 1,000 MHz the interpolation
+  // yields u ≈ 0.7 for J1 (500 MHz) and u ≈ 0.69 for J2 (500 MHz).
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  const auto outcomes = hyp.Evaluate(1'000.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_NEAR(outcomes[0].utility, 0.70, 0.02);
+  EXPECT_NEAR(outcomes[0].speed, 500.0, 25.0);
+  EXPECT_NEAR(outcomes[1].utility, 0.6875, 0.02);
+  EXPECT_NEAR(outcomes[1].speed, 500.0, 25.0);
+}
+
+TEST(HypotheticalRpfTest, EvaluateScenario1Placement1) {
+  // Figure 1, S1 cycle 2, P1 boxes: J1 done 1,500 / J2 done 500 at t = 2,
+  // ω_g = 1,000 → u ≈ 0.7 each with speeds ≈ (612, 387).
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 1'500.0, 500.0);
+  const auto outcomes = hyp.Evaluate(1'000.0);
+  EXPECT_NEAR(outcomes[0].utility, 0.695, 0.02);
+  EXPECT_NEAR(outcomes[1].utility, 0.695, 0.02);
+  EXPECT_NEAR(outcomes[0].speed, 615.0, 30.0);
+  EXPECT_NEAR(outcomes[1].speed, 390.0, 30.0);
+}
+
+TEST(HypotheticalRpfTest, EvaluateScenario2ShowsClamping) {
+  // Figure 1, S2 cycle 2, P2 boxes: J2's tightened goal (13 s) caps its
+  // achievable RP at (12-5)/12 ≈ 0.583; J1 takes the slack and lands ≈ 0.7.
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(3.0, 2'000.0, 0.0);
+  const auto outcomes = hyp.Evaluate(1'000.0);
+  EXPECT_NEAR(outcomes[1].utility, 0.583, 0.02);
+  EXPECT_NEAR(outcomes[1].speed, 500.0, 10.0);
+  EXPECT_NEAR(outcomes[0].utility, 0.70, 0.02);
+  EXPECT_NEAR(outcomes[0].speed, 500.0, 25.0);
+}
+
+TEST(HypotheticalRpfTest, EvaluateScenario2Placement1Equalizes) {
+  // Figure 1, S2 cycle 2, P1 boxes: (0.65, 0.65) with speeds ≈ (516, 483).
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(3.0, 1'500.0, 500.0);
+  const auto outcomes = hyp.Evaluate(1'000.0);
+  EXPECT_NEAR(outcomes[0].utility, 0.655, 0.02);
+  EXPECT_NEAR(outcomes[1].utility, 0.655, 0.02);
+  EXPECT_NEAR(outcomes[0].speed + outcomes[1].speed, 1'000.0, 1.0);
+}
+
+TEST(HypotheticalRpfTest, AggregateAllocationForSumsJobSpeeds) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  EXPECT_NEAR(hyp.AggregateAllocationFor(0.5),
+              hyp.SpeedFor(0, 0.5) + hyp.SpeedFor(1, 0.5), 1e-9);
+}
+
+TEST(HypotheticalRpfTest, RowAggregatesMonotone) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 1'000.0, 200.0);
+  for (int i = 1; i < hyp.grid_size(); ++i) {
+    EXPECT_GE(hyp.RowAggregate(i), hyp.RowAggregate(i - 1) - 1e-9);
+  }
+}
+
+TEST(HypotheticalRpfTest, AbundantCapacityGivesEveryoneMax) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  const auto outcomes = hyp.Evaluate(1'000'000.0);
+  EXPECT_NEAR(outcomes[0].utility, 0.8, 1e-6);
+  EXPECT_NEAR(outcomes[1].utility, 0.6875, 1e-6);
+}
+
+TEST(HypotheticalRpfTest, ZeroAggregateGivesFloorUtilities) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  const auto outcomes = hyp.Evaluate(0.0);
+  EXPECT_LE(outcomes[0].utility, kUtilityFloor + 1.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].speed, 0.0);
+}
+
+TEST(HypotheticalRpfTest, MoreAggregateNeverHurtsAnyJob) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(3.0, 1'500.0, 500.0);
+  std::vector<double> prev = {kUtilityFloor - 1.0, kUtilityFloor - 1.0};
+  for (MHz w = 0.0; w <= 2'000.0; w += 50.0) {
+    const auto outcomes = hyp.Evaluate(w);
+    for (std::size_t m = 0; m < outcomes.size(); ++m) {
+      EXPECT_GE(outcomes[m].utility, prev[m] - 1e-9)
+          << "job " << m << " at aggregate " << w;
+      prev[m] = outcomes[m].utility;
+    }
+  }
+}
+
+TEST(HypotheticalRpfTest, StartDelayLowersAchievable) {
+  Example43Cycle2 ex;
+  JobGoal g2 = JobGoal::FromFactor(1.0, 4.0, 4.0);
+  std::vector<HypotheticalJobState> with_delay = {{&ex.j2, g2, 0.0, 2.0}};
+  std::vector<HypotheticalJobState> without = {{&ex.j2, g2, 0.0, 0.0}};
+  HypotheticalRpf delayed(std::move(with_delay), 2.0);
+  HypotheticalRpf prompt(std::move(without), 2.0);
+  EXPECT_LT(delayed.MaxAchievable(0), prompt.MaxAchievable(0));
+}
+
+TEST(HypotheticalRpfTest, MinAndAverageUtility) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(3.0, 2'000.0, 0.0);
+  const auto outcomes = hyp.Evaluate(1'000.0);
+  EXPECT_DOUBLE_EQ(
+      hyp.MinUtility(1'000.0),
+      std::min(outcomes[0].utility, outcomes[1].utility));
+  EXPECT_NEAR(hyp.AverageUtility(1'000.0),
+              (outcomes[0].utility + outcomes[1].utility) / 2.0, 1e-12);
+}
+
+TEST(HypotheticalRpfTest, CompletedJobRejected) {
+  JobProfile p = JobProfile::SingleStage(100.0, 100.0, 1.0);
+  JobGoal g = JobGoal::FromFactor(0.0, 2.0, 1.0);
+  std::vector<HypotheticalJobState> states = {{&p, g, 100.0, 0.0}};
+  EXPECT_THROW(HypotheticalRpf(std::move(states), 0.0), std::logic_error);
+}
+
+TEST(HypotheticalRpfTest, GridMustEndAtOne) {
+  JobProfile p = JobProfile::SingleStage(100.0, 100.0, 1.0);
+  JobGoal g = JobGoal::FromFactor(0.0, 2.0, 1.0);
+  std::vector<HypotheticalJobState> states = {{&p, g, 0.0, 0.0}};
+  const std::vector<double> bad_grid = {-1.0, 0.0, 0.5};
+  EXPECT_THROW(HypotheticalRpf(states, 0.0, bad_grid), std::logic_error);
+}
+
+TEST(HypotheticalRpfTest, UniformGridShape) {
+  const auto grid = HypotheticalRpf::UniformGrid(8);
+  EXPECT_EQ(grid.size(), 8u);
+  EXPECT_DOUBLE_EQ(grid.front(), kUtilityFloor);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(HypotheticalRpfTest, DefaultGridValid) {
+  const auto grid = HypotheticalRpf::DefaultGrid();
+  EXPECT_GT(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+}
+
+TEST(BatchAggregateRpfTest, AdapterDelegates) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 2'000.0, 0.0);
+  BatchAggregateRpf rpf(&hyp);
+  EXPECT_DOUBLE_EQ(rpf.UtilityAt(1'000.0), hyp.LevelFor(1'000.0));
+  EXPECT_DOUBLE_EQ(rpf.AllocationFor(0.5), hyp.AggregateAllocationFor(0.5));
+  EXPECT_DOUBLE_EQ(rpf.saturation_allocation(),
+                   hyp.RowAggregate(hyp.grid_size() - 1));
+  EXPECT_DOUBLE_EQ(rpf.max_utility(), 1.0);  // the grid's top level
+}
+
+TEST(HypotheticalRpfTest, LevelForInvertsAggregateCurve) {
+  Example43Cycle2 ex;
+  auto hyp = ex.Make(4.0, 1'500.0, 500.0);
+  for (Utility u : {-1.0, 0.0, 0.3, 0.5, 0.65}) {
+    const MHz agg = hyp.AggregateAllocationFor(u);
+    // Round trip within the grid's interpolation error.
+    EXPECT_NEAR(hyp.LevelFor(agg), u, 0.05) << "u=" << u;
+  }
+  EXPECT_DOUBLE_EQ(hyp.LevelFor(0.0), kUtilityFloor);
+  EXPECT_DOUBLE_EQ(hyp.LevelFor(1e9), 1.0);
+}
+
+TEST(HypotheticalRpfTest, MultiStageSpeedInversion) {
+  // A two-stage job: 1,000 Mc at up to 1,000 MHz then 2,000 Mc at up to
+  // 500 MHz. Required speeds must respect the per-stage caps via the
+  // time-at-speed inversion, not a naive remaining/budget division.
+  JobProfile profile({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                      JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  JobGoal goal = JobGoal::FromFactor(0.0, 3.0, profile.min_execution_time());
+  std::vector<HypotheticalJobState> states = {{&profile, goal, 0.0, 0.0}};
+  HypotheticalRpf hyp(std::move(states), 0.0);
+  // Goal 15 s; u = 0 → budget 15 s: below both caps, ω = 3,000/15 = 200.
+  EXPECT_NEAR(hyp.SpeedFor(0, 0.0), 200.0, 1.0);
+  // Budget 5.5 s (u = 9.5/15): stage 2 pins at its 500 MHz cap (4 s),
+  // leaving 1.5 s for stage 1 → ω = 1,000/1.5 ≈ 666.7 MHz.
+  EXPECT_NEAR(hyp.SpeedFor(0, 9.5 / 15.0), 1'000.0 / 1.5, 2.0);
+  // u_max: min time 1 + 4 = 5 → (15 − 5)/15 = 2/3.
+  EXPECT_NEAR(hyp.MaxAchievable(0), 2.0 / 3.0, 1e-9);
+}
+
+TEST(HypotheticalRpfTest, MultiStageProgressRespectsStageBoundaries) {
+  JobProfile profile({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                      JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  JobGoal goal = JobGoal::FromFactor(0.0, 3.0, profile.min_execution_time());
+  // Mid-stage-2 progress: only the slow stage remains; required speeds are
+  // capped at 500 MHz no matter how tight the target.
+  std::vector<HypotheticalJobState> states = {{&profile, goal, 1'500.0, 0.0}};
+  HypotheticalRpf hyp(std::move(states), 0.0);
+  for (int i = 0; i < hyp.grid_size(); ++i) {
+    EXPECT_LE(hyp.W(i, 0), 500.0 + 1e-6) << "grid point " << i;
+  }
+}
+
+TEST(HypotheticalRpfTest, MixedStageJobsAggregateConsistently) {
+  JobProfile single = JobProfile::SingleStage(4'000.0, 1'000.0, 100.0);
+  JobProfile staged({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                     JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  JobGoal g1 = JobGoal::FromFactor(0.0, 4.0, single.min_execution_time());
+  JobGoal g2 = JobGoal::FromFactor(0.0, 4.0, staged.min_execution_time());
+  std::vector<HypotheticalJobState> states = {{&single, g1, 0.0, 0.0},
+                                              {&staged, g2, 0.0, 0.0}};
+  HypotheticalRpf hyp(std::move(states), 0.0);
+  // Aggregate rows remain monotone and Evaluate splits them exactly.
+  for (MHz w : {100.0, 400.0, 800.0, 1'200.0}) {
+    const auto outcomes = hyp.Evaluate(w);
+    EXPECT_NEAR(outcomes[0].speed + outcomes[1].speed, std::min(w,
+                hyp.RowAggregate(hyp.grid_size() - 1)), 1e-6);
+  }
+}
+
+class HypotheticalGridResolution : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypotheticalGridResolution, CoarseGridsStayConsistent) {
+  // Property: for any grid resolution R, per-job utilities remain monotone
+  // in the aggregate and clamped at u_max — the approximation degrades
+  // smoothly (the paper's "R is a small constant").
+  Example43Cycle2 ex;
+  JobGoal g2 = JobGoal::FromFactor(1.0, 3.0, 4.0);
+  std::vector<HypotheticalJobState> states = {
+      {&ex.j1, ex.g1, 1'500.0, 0.0},
+      {&ex.j2, g2, 500.0, 0.0},
+  };
+  const auto grid = HypotheticalRpf::UniformGrid(GetParam());
+  HypotheticalRpf hyp(std::move(states), 2.0, grid);
+  double prev_min = -1e9;
+  for (MHz w = 0.0; w <= 1'600.0; w += 100.0) {
+    const auto outcomes = hyp.Evaluate(w);
+    const double mn = std::min(outcomes[0].utility, outcomes[1].utility);
+    EXPECT_GE(mn, prev_min - 1e-9);
+    prev_min = mn;
+    EXPECT_LE(outcomes[0].utility, hyp.MaxAchievable(0) + 1e-9);
+    EXPECT_LE(outcomes[1].utility, hyp.MaxAchievable(1) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSweep, HypotheticalGridResolution,
+                         ::testing::Values(3, 4, 6, 10, 16, 32, 64));
+
+}  // namespace
+}  // namespace mwp

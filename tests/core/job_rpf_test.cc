@@ -1,0 +1,109 @@
+#include "core/job_rpf.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+// J1 of §4.3: 4,000 Mc, max 1,000 MHz, goal 20 s from t = 0.
+struct Fixture {
+  JobProfile profile = JobProfile::SingleStage(4'000.0, 1'000.0, 750.0);
+  JobGoal goal = JobGoal::FromFactor(0.0, 5.0, 4.0);
+};
+
+TEST(JobCompletionRpfTest, UtilityAtFullSpeed) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, /*ref_time=*/0.0);
+  // Completing at 4 s: u = (20-4)/20 = 0.8.
+  EXPECT_NEAR(rpf.UtilityAt(1'000.0), 0.8, 1e-9);
+  EXPECT_NEAR(rpf.max_utility(), 0.8, 1e-9);
+}
+
+TEST(JobCompletionRpfTest, UtilityAtHalfSpeed) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, 0.0);
+  // 8 s completion: u = (20-8)/20 = 0.6.
+  EXPECT_NEAR(rpf.UtilityAt(500.0), 0.6, 1e-9);
+}
+
+TEST(JobCompletionRpfTest, ZeroAllocationIsFloor) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(rpf.UtilityAt(0.0), kUtilityFloor);
+}
+
+TEST(JobCompletionRpfTest, ProgressImprovesUtility) {
+  Fixture f;
+  JobCompletionRpf fresh(&f.profile, f.goal, 0.0, 2.0);
+  JobCompletionRpf advanced(&f.profile, f.goal, 2'000.0, 2.0);
+  EXPECT_GT(advanced.UtilityAt(500.0), fresh.UtilityAt(500.0));
+}
+
+TEST(JobCompletionRpfTest, AllocationForRoundTrips) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 1'000.0, 1.0);
+  for (Utility u : {-1.0, -0.2, 0.0, 0.3, 0.5, 0.7}) {
+    if (u >= rpf.max_utility()) continue;
+    const MHz w = rpf.AllocationFor(u);
+    EXPECT_NEAR(rpf.UtilityAt(w), u, 1e-6) << "u=" << u;
+  }
+}
+
+TEST(JobCompletionRpfTest, AllocationForMatchesEq3ClosedForm) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, 0.0);
+  // Eq. 3: ω(u) = remaining / (t(u) − t_now); u = 0.5 → t = 10 → 400 MHz.
+  EXPECT_NEAR(rpf.AllocationFor(0.5), 400.0, 1e-9);
+}
+
+TEST(JobCompletionRpfTest, UnreachableTargetReturnsSaturation) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(rpf.AllocationFor(0.95), 1'000.0);
+  EXPECT_DOUBLE_EQ(rpf.saturation_allocation(), 1'000.0);
+}
+
+TEST(JobCompletionRpfTest, LateReferenceTimeLowersMaxUtility) {
+  Fixture f;
+  JobCompletionRpf early(&f.profile, f.goal, 0.0, 0.0);
+  JobCompletionRpf late(&f.profile, f.goal, 0.0, 10.0);
+  EXPECT_NEAR(late.max_utility(), (20.0 - 14.0) / 20.0, 1e-9);
+  EXPECT_LT(late.max_utility(), early.max_utility());
+}
+
+TEST(JobCompletionRpfTest, MissedGoalGivesNegativeUtility) {
+  Fixture f;
+  // Reference time past the goal: even max speed violates the SLA.
+  JobCompletionRpf rpf(&f.profile, f.goal, 0.0, 19.0);
+  EXPECT_LT(rpf.max_utility(), 0.0);
+  EXPECT_LT(rpf.UtilityAt(1'000.0), 0.0);
+}
+
+TEST(JobCompletionRpfTest, CompletedJobRejected) {
+  Fixture f;
+  EXPECT_THROW(JobCompletionRpf(&f.profile, f.goal, 4'000.0, 0.0),
+               std::logic_error);
+}
+
+TEST(JobCompletionRpfTest, MonotoneUtility) {
+  Fixture f;
+  JobCompletionRpf rpf(&f.profile, f.goal, 500.0, 1.0);
+  Utility prev = rpf.UtilityAt(0.0);
+  for (MHz w = 10.0; w <= 1'500.0; w += 10.0) {
+    const Utility u = rpf.UtilityAt(w);
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+}
+
+TEST(JobCompletionRpfTest, MultiStageCompletionTime) {
+  JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  JobGoal goal = JobGoal::FromFactor(0.0, 4.0, p.min_execution_time());
+  JobCompletionRpf rpf(&p, goal, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(rpf.CompletionTime(1'000.0), 5.0);
+  EXPECT_DOUBLE_EQ(rpf.CompletionTime(500.0), 6.0);
+}
+
+}  // namespace
+}  // namespace mwp

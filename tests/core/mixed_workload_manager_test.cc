@@ -1,0 +1,97 @@
+#include "core/mixed_workload_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+ApcController::Config FastConfig() {
+  ApcController::Config cfg;
+  cfg.control_cycle = 10.0;
+  cfg.costs = VmCostModel::Free();
+  return cfg;
+}
+
+ClusterSpec SmallCluster() {
+  return ClusterSpec::Uniform(2, NodeSpec{2, 1'000.0, 8'192.0});
+}
+
+TEST(MixedWorkloadManagerTest, RunsJobsEndToEnd) {
+  MixedWorkloadManager mgr(SmallCluster(), FastConfig());
+  Simulation sim;
+  mgr.Start(sim);
+  const AppId id = mgr.SubmitJob(
+      sim, "etl", JobProfile::SingleStage(20'000.0, 2'000.0, 1'024.0), 3.0);
+  sim.RunUntil(100.0);
+  mgr.Finish(sim);
+  const Job* job = mgr.jobs().Find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_TRUE(job->completed());
+  EXPECT_EQ(mgr.Outcomes().size(), 1u);
+}
+
+TEST(MixedWorkloadManagerTest, ProfiledResubmissionUsesHistory) {
+  MixedWorkloadManager mgr(SmallCluster(), FastConfig());
+  Simulation sim;
+  mgr.Start(sim);
+  // Unknown class: no estimate yet.
+  EXPECT_FALSE(mgr.SubmitProfiledJob(sim, "nightly", 3.0).has_value());
+
+  mgr.SubmitJob(sim, "nightly",
+                JobProfile::SingleStage(10'000.0, 1'000.0, 512.0), 3.0);
+  sim.RunUntil(60.0);
+  mgr.Finish(sim);
+  ASSERT_EQ(mgr.job_profiler().ObservationCount("nightly"), 1u);
+
+  // Second submission of the class needs no explicit profile.
+  const auto id = mgr.SubmitProfiledJob(sim, "nightly", 3.0);
+  ASSERT_TRUE(id.has_value());
+  const Job* job = mgr.jobs().Find(*id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_DOUBLE_EQ(job->profile().total_work(), 10'000.0);
+  sim.RunUntil(150.0);
+  mgr.Finish(sim);
+  EXPECT_TRUE(mgr.jobs().Find(*id)->completed());
+  EXPECT_EQ(mgr.job_profiler().ObservationCount("nightly"), 2u);
+}
+
+TEST(MixedWorkloadManagerTest, WebAndBatchCoexist) {
+  MixedWorkloadManager mgr(SmallCluster(), FastConfig());
+  Simulation sim;
+  TransactionalAppSpec web;
+  web.id = 1'000;
+  web.name = "web";
+  web.memory_per_instance = 256.0;
+  web.response_time_goal = 1.0;
+  web.demand_per_request = 4.0;
+  web.min_response_time = 0.2;
+  web.saturation_allocation = 2'000.0;
+  mgr.AddWebApplication(web, std::make_shared<ConstantRate>(300.0));
+  mgr.Start(sim);
+  mgr.SubmitJob(sim, "batch",
+                JobProfile::SingleStage(40'000.0, 2'000.0, 1'024.0), 3.0);
+  sim.RunUntil(200.0);
+  mgr.Finish(sim);
+  EXPECT_EQ(mgr.Outcomes().size(), 1u);
+  const auto& cycles = mgr.controller().cycles();
+  ASSERT_FALSE(cycles.empty());
+  EXPECT_GT(cycles.back().tx_allocations.at(0), 0.0);
+}
+
+TEST(MixedWorkloadManagerTest, GoalFactorAppliedFromSubmissionTime) {
+  MixedWorkloadManager mgr(SmallCluster(), FastConfig());
+  Simulation sim;
+  mgr.Start(sim);
+  sim.RunUntil(50.0);
+  const AppId id = mgr.SubmitJob(
+      sim, "late", JobProfile::SingleStage(10'000.0, 1'000.0, 512.0), 2.0);
+  const Job* job = mgr.jobs().Find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_DOUBLE_EQ(job->goal().submit_time, 50.0);
+  EXPECT_DOUBLE_EQ(job->goal().completion_goal, 50.0 + 2.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace mwp

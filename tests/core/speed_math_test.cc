@@ -1,0 +1,59 @@
+#include "core/speed_math.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+TEST(SpeedMathTest, MaxUsefulSpeedSingleStage) {
+  const JobProfile p = JobProfile::SingleStage(1'000.0, 750.0, 100.0);
+  EXPECT_DOUBLE_EQ(speed_math::MaxUsefulSpeed(p, 0.0), 750.0);
+  EXPECT_DOUBLE_EQ(speed_math::MaxUsefulSpeed(p, 500.0), 750.0);
+}
+
+TEST(SpeedMathTest, MaxUsefulSpeedSkipsFinishedStages) {
+  const JobProfile p({JobStage{1'000.0, 2'000.0, 0.0, 100.0},
+                      JobStage{1'000.0, 500.0, 0.0, 100.0}});
+  EXPECT_DOUBLE_EQ(speed_math::MaxUsefulSpeed(p, 0.0), 2'000.0);
+  // After stage 1 finishes, only the slow stage remains.
+  EXPECT_DOUBLE_EQ(speed_math::MaxUsefulSpeed(p, 1'000.0), 500.0);
+}
+
+TEST(SpeedMathTest, InvertSingleStageClosedForm) {
+  const JobProfile p = JobProfile::SingleStage(4'000.0, 1'000.0, 100.0);
+  EXPECT_DOUBLE_EQ(speed_math::InvertRemainingTime(p, 0.0, 8.0), 500.0);
+  EXPECT_DOUBLE_EQ(speed_math::InvertRemainingTime(p, 2'000.0, 4.0), 500.0);
+}
+
+TEST(SpeedMathTest, InvertClampsAtMaxSpeed) {
+  const JobProfile p = JobProfile::SingleStage(4'000.0, 1'000.0, 100.0);
+  // Budget shorter than the 4 s minimum: answer saturates at max speed.
+  EXPECT_DOUBLE_EQ(speed_math::InvertRemainingTime(p, 0.0, 2.0), 1'000.0);
+}
+
+TEST(SpeedMathTest, InvertMultiStageRoundTrips) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                      JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  for (Seconds budget : {5.5, 6.0, 8.0, 12.0, 30.0}) {
+    const MHz speed = speed_math::InvertRemainingTime(p, 0.0, budget);
+    EXPECT_NEAR(p.RemainingTimeAtSpeed(0.0, speed), budget, 1e-6)
+        << "budget=" << budget;
+  }
+}
+
+TEST(SpeedMathTest, InvertMultiStageBelowMinTimeSaturates) {
+  const JobProfile p({JobStage{1'000.0, 1'000.0, 0.0, 100.0},
+                      JobStage{2'000.0, 500.0, 0.0, 100.0}});
+  // Minimum remaining time is 5 s; a 3 s budget cannot be met.
+  EXPECT_DOUBLE_EQ(speed_math::InvertRemainingTime(p, 0.0, 3.0), 1'000.0);
+}
+
+TEST(SpeedMathTest, InvertRequiresPositiveBudgetAndWork) {
+  const JobProfile p = JobProfile::SingleStage(100.0, 100.0, 1.0);
+  EXPECT_THROW(speed_math::InvertRemainingTime(p, 0.0, 0.0), std::logic_error);
+  EXPECT_THROW(speed_math::InvertRemainingTime(p, 100.0, 1.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

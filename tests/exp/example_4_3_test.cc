@@ -1,0 +1,105 @@
+// End-to-end verification of the paper's §4.3 illustrative example: the
+// cycle-by-cycle decisions of Figure 1 for both scenarios.
+#include "exp/example_4_3.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+const JobCycleDetail* FindJob(const CycleStats& cycle, AppId id) {
+  for (const JobCycleDetail& d : cycle.job_details) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+TEST(Example43Test, Scenario1Cycle1RunsJ1AtFullSpeed) {
+  const auto result = RunExample43({.scenario = 1, .cycles = 12});
+  ASSERT_GE(result.cycles.size(), 2u);
+  const auto* j1 = FindJob(result.cycles[0], 1);
+  ASSERT_NE(j1, nullptr);
+  EXPECT_TRUE(j1->placed);
+  EXPECT_NEAR(j1->allocation, 1'000.0, 5.0);
+}
+
+TEST(Example43Test, Scenario1Cycle2KeepsJ2Queued) {
+  // Figure 1 S1 cycle 2: "P2 is selected, since it does not require any
+  // placement changes" — J1 keeps the whole node, J2 waits.
+  const auto result = RunExample43({.scenario = 1, .cycles = 12});
+  const CycleStats& c2 = result.cycles[1];
+  const auto* j1 = FindJob(c2, 1);
+  const auto* j2 = FindJob(c2, 2);
+  ASSERT_NE(j1, nullptr);
+  ASSERT_NE(j2, nullptr);
+  EXPECT_TRUE(j1->placed);
+  EXPECT_NEAR(j1->allocation, 1'000.0, 5.0);
+  EXPECT_FALSE(j2->placed);
+  // Both predicted near 0.7 (the tie that favours the incumbent).
+  EXPECT_NEAR(j1->predicted_utility, 0.70, 0.03);
+  EXPECT_NEAR(j2->predicted_utility, 0.69, 0.03);
+}
+
+TEST(Example43Test, Scenario2Cycle2StartsJ2) {
+  // Figure 1 S2 cycle 2: tightened goal → P1 equalizes at (0.65, 0.65) with
+  // both jobs running at 500 MHz.
+  const auto result = RunExample43({.scenario = 2, .cycles = 12});
+  const CycleStats& c2 = result.cycles[1];
+  const auto* j1 = FindJob(c2, 1);
+  const auto* j2 = FindJob(c2, 2);
+  ASSERT_NE(j1, nullptr);
+  ASSERT_NE(j2, nullptr);
+  EXPECT_TRUE(j1->placed);
+  EXPECT_TRUE(j2->placed);
+  EXPECT_NEAR(j1->allocation, 500.0, 25.0);
+  EXPECT_NEAR(j2->allocation, 500.0, 25.0);
+  EXPECT_NEAR(j1->predicted_utility, 0.65, 0.03);
+  EXPECT_NEAR(j2->predicted_utility, 0.65, 0.03);
+}
+
+TEST(Example43Test, WorkAccountingMatchesFigureBoxes) {
+  // S1 cycle 2 boxes: J1 outstanding 3,000 / done 1,000.
+  const auto result = RunExample43({.scenario = 1, .cycles = 12});
+  const auto* j1 = FindJob(result.cycles[1], 1);
+  ASSERT_NE(j1, nullptr);
+  EXPECT_NEAR(j1->work_done, 1'000.0, 5.0);
+  EXPECT_NEAR(j1->outstanding, 3'000.0, 5.0);
+}
+
+TEST(Example43Test, AllJobsCompleteInBothScenarios) {
+  for (int scenario : {1, 2}) {
+    const auto result = RunExample43({.scenario = scenario, .cycles = 20});
+    EXPECT_EQ(result.outcomes.size(), 3u) << "scenario " << scenario;
+  }
+}
+
+TEST(Example43Test, J3GoalIsUnreachableWithoutImmediateStart) {
+  // J3 (factor 1) needs its full 8 s at max speed from arrival; sharing the
+  // node with anything makes it late. The algorithm should nonetheless keep
+  // its violation small.
+  const auto result = RunExample43({.scenario = 1, .cycles = 20});
+  const JobOutcomeRecord* j3 = nullptr;
+  for (const auto& r : result.outcomes) {
+    if (r.id == 3) j3 = &r;
+  }
+  ASSERT_NE(j3, nullptr);
+  EXPECT_GE(j3->achieved_utility, -1.0);
+  EXPECT_LE(j3->achieved_utility, 0.05);
+}
+
+TEST(Example43Test, ScenariosDivergeAtCycle2) {
+  const auto s1 = RunExample43({.scenario = 1, .cycles = 12});
+  const auto s2 = RunExample43({.scenario = 2, .cycles = 12});
+  const auto* j2_s1 = FindJob(s1.cycles[1], 2);
+  const auto* j2_s2 = FindJob(s2.cycles[1], 2);
+  ASSERT_NE(j2_s1, nullptr);
+  ASSERT_NE(j2_s2, nullptr);
+  EXPECT_NE(j2_s1->placed, j2_s2->placed);
+}
+
+TEST(Example43Test, InvalidScenarioThrows) {
+  EXPECT_THROW(RunExample43({.scenario = 3, .cycles = 5}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,139 @@
+// Property sweep: controller invariants under randomized mixed workloads.
+//
+// For a matrix of seeds and workload intensities, run the full control loop
+// and assert the invariants that must hold regardless of the workload:
+// capacity is never oversubscribed, jobs never run above their stage caps,
+// every job eventually completes when capacity suffices, accounting is
+// internally consistent, and runs are bit-for-bit repeatable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "batch/job_queue.h"
+#include "common/rng.h"
+#include "core/apc_controller.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+struct RandomRun {
+  ClusterSpec cluster;
+  JobQueue queue;
+  Simulation sim;
+  std::unique_ptr<ApcController> controller;
+  int submitted = 0;
+
+  RandomRun(std::uint64_t seed, double intensity) {
+    Rng rng(seed);
+    const int nodes = static_cast<int>(rng.UniformInt(2, 4));
+    cluster = ClusterSpec::Uniform(
+        nodes, NodeSpec{2, rng.Uniform(800.0, 1'500.0), 8'192.0});
+
+    ApcController::Config cfg;
+    cfg.control_cycle = 20.0;
+    cfg.costs = rng.Uniform01() < 0.5 ? VmCostModel::Free()
+                                      : VmCostModel::PaperMeasured();
+    controller = std::make_unique<ApcController>(&cluster, &queue, cfg);
+
+    if (rng.Uniform01() < 0.5) {
+      TransactionalAppSpec web;
+      web.id = 1;
+      web.name = "web";
+      web.memory_per_instance = rng.Uniform(128.0, 1'024.0);
+      web.response_time_goal = 1.0;
+      web.demand_per_request = rng.Uniform(1.0, 4.0);
+      web.min_response_time = 0.1;
+      web.saturation_allocation = rng.Uniform(800.0, 2'500.0);
+      controller->AddTransactionalApp(
+          web, std::make_shared<ConstantRate>(rng.Uniform(50.0, 400.0)));
+    }
+
+    const int jobs = static_cast<int>(rng.UniformInt(4, 14));
+    submitted = jobs;
+    const double gap = 40.0 / intensity;
+    for (int i = 0; i < jobs; ++i) {
+      const Seconds at = gap * i;
+      const Megacycles work = rng.Uniform(2'000.0, 40'000.0);
+      const MHz speed = rng.Uniform(300.0, 1'500.0);
+      const Megabytes mem = rng.Uniform(256.0, 3'500.0);
+      const double factor = rng.Uniform(1.3, 6.0);
+      sim.ScheduleAt(at, [this, i, work, speed, mem, factor](Simulation& s) {
+        JobProfile p = JobProfile::SingleStage(work, speed, mem);
+        queue.Submit(std::make_unique<Job>(
+            100 + i, "job", p,
+            JobGoal::FromFactor(s.now(), factor, p.min_execution_time())));
+        controller->OnJobSubmitted(s);
+      });
+    }
+    controller->Attach(sim, 0.0);
+  }
+
+  void Run(Seconds horizon) {
+    sim.RunUntil(horizon);
+    controller->AdvanceJobsTo(sim.now());
+  }
+};
+
+class ControllerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ControllerPropertyTest, InvariantsHold) {
+  const auto [seed, intensity_pct] = GetParam();
+  const double intensity = intensity_pct / 100.0;
+  RandomRun run(static_cast<std::uint64_t>(seed), intensity);
+  run.Run(4'000.0);
+
+  // Invariant 1: every job completed (horizon is generous vs total work).
+  EXPECT_EQ(run.queue.num_completed(),
+            static_cast<std::size_t>(run.submitted))
+      << "seed " << seed;
+
+  for (const CycleStats& c : run.controller->cycles()) {
+    // Invariant 2: capacity never oversubscribed.
+    EXPECT_LE(c.cluster_utilization, 1.0 + 1e-6);
+    EXPECT_GE(c.batch_allocation, -1e-9);
+    EXPECT_GE(c.tx_allocation, -1e-9);
+    // Invariant 3: job status counts account for every incomplete job.
+    EXPECT_EQ(c.running_jobs + c.queued_jobs + c.suspended_jobs, c.num_jobs);
+    // Invariant 4: predictions are bounded above by the grid top.
+    if (c.num_jobs > 0) {
+      EXPECT_LE(c.avg_job_rp, 1.0 + 1e-9);
+      EXPECT_GE(c.min_job_rp, kUtilityFloor - 1e-9);
+    }
+  }
+
+  // Invariant 5: outcome utilities match the Eq. 2 arithmetic.
+  for (const Job* job : run.queue.Completed()) {
+    const double u = (job->goal().completion_goal - *job->completion_time()) /
+                     job->goal().relative_goal();
+    EXPECT_NEAR(job->achieved_utility(), u, 1e-9);
+  }
+}
+
+TEST_P(ControllerPropertyTest, RunsAreDeterministic) {
+  const auto [seed, intensity_pct] = GetParam();
+  const double intensity = intensity_pct / 100.0;
+  RandomRun a(static_cast<std::uint64_t>(seed), intensity);
+  RandomRun b(static_cast<std::uint64_t>(seed), intensity);
+  a.Run(2'000.0);
+  b.Run(2'000.0);
+  ASSERT_EQ(a.queue.num_completed(), b.queue.num_completed());
+  const auto ja = a.queue.Completed();
+  const auto jb = b.queue.Completed();
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(*ja[i]->completion_time(), *jb[i]->completion_time());
+  }
+  ASSERT_EQ(a.controller->cycles().size(), b.controller->cycles().size());
+  EXPECT_EQ(a.controller->total_placement_changes(),
+            b.controller->total_placement_changes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLoads, ControllerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13),
+                       ::testing::Values(60, 100, 180)));
+
+}  // namespace
+}  // namespace mwp

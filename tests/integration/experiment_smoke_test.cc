@@ -1,0 +1,166 @@
+// Scaled-down smoke runs of the three paper experiments: the full-size
+// parameter sets run in the bench binaries; here we verify the harness
+// machinery end-to-end with small workloads.
+#include <gtest/gtest.h>
+
+#include "exp/experiment1.h"
+#include "exp/experiment2.h"
+#include "exp/experiment3.h"
+
+namespace mwp {
+namespace {
+
+TEST(Experiment1SmokeTest, SmallRunCompletesAndPredicts) {
+  Experiment1Config cfg;
+  cfg.num_nodes = 4;
+  cfg.num_jobs = 30;
+  cfg.mean_interarrival = 1'000.0;
+  cfg.seed = 1;
+  const auto result = RunExperiment1(cfg);
+  EXPECT_EQ(result.completed, 30u);
+  EXPECT_FALSE(result.hypothetical_rp.empty());
+  EXPECT_EQ(result.completion_rp.size(), 30u);
+  // Identical jobs: optimal policy makes no disruptive changes (§5.1).
+  EXPECT_EQ(result.disruptive_changes, 0);
+  // Max achievable RP is 0.63; predictions must respect the bound.
+  for (const auto& pt : result.hypothetical_rp.points()) {
+    EXPECT_LE(pt.value, 0.631);
+  }
+  for (const auto& r : result.outcomes) {
+    EXPECT_LE(r.achieved_utility, 0.631);
+  }
+}
+
+TEST(Experiment1SmokeTest, HypotheticalPredictsCompletionUtility) {
+  // Under light load every job should achieve close to the 0.63 bound, and
+  // the prediction should agree with the realized value.
+  Experiment1Config cfg;
+  cfg.num_nodes = 4;
+  cfg.num_jobs = 12;
+  cfg.mean_interarrival = 4'000.0;  // no queueing at all
+  cfg.seed = 2;
+  const auto result = RunExperiment1(cfg);
+  ASSERT_EQ(result.completed, 12u);
+  for (const auto& r : result.outcomes) {
+    EXPECT_NEAR(r.achieved_utility, 0.63, 0.02);
+  }
+  double avg_pred = 0.0;
+  for (const auto& pt : result.hypothetical_rp.points()) {
+    avg_pred += pt.value;
+  }
+  avg_pred /= static_cast<double>(result.hypothetical_rp.size());
+  EXPECT_NEAR(avg_pred, 0.63, 0.03);
+}
+
+class Experiment2SmokeTest
+    : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(Experiment2SmokeTest, SmallRunProducesOutcomes) {
+  Experiment2Config cfg;
+  cfg.num_nodes = 4;
+  cfg.completed_jobs_target = 40;
+  cfg.mean_interarrival = 400.0;
+  cfg.scheduler = GetParam();
+  cfg.seed = 3;
+  const auto result = RunExperiment2(cfg);
+  ASSERT_EQ(result.outcomes.size(), 40u);
+  EXPECT_GE(result.deadline_satisfaction, 0.0);
+  EXPECT_LE(result.deadline_satisfaction, 1.0);
+  if (GetParam() == SchedulerKind::kFcfs) {
+    EXPECT_EQ(result.disruptive_changes, 0) << "FCFS never reconfigures";
+  }
+  // Same seed → same workload: outcomes exist for each goal factor class.
+  const auto f13 = FilterByGoalFactor(result.outcomes, 1.3);
+  const auto f25 = FilterByGoalFactor(result.outcomes, 2.5);
+  const auto f40 = FilterByGoalFactor(result.outcomes, 4.0);
+  EXPECT_EQ(f13.size() + f25.size() + f40.size(), result.outcomes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, Experiment2SmokeTest,
+                         ::testing::Values(SchedulerKind::kApc,
+                                           SchedulerKind::kEdf,
+                                           SchedulerKind::kFcfs),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(Experiment2SmokeTest, SchedulerKindNames) {
+  EXPECT_STREQ(ToString(SchedulerKind::kApc), "APC");
+  EXPECT_STREQ(ToString(SchedulerKind::kEdf), "EDF");
+  EXPECT_STREQ(ToString(SchedulerKind::kFcfs), "FCFS");
+}
+
+TEST(Experiment3SmokeTest, DynamicModeSharesResources) {
+  Experiment3Config cfg;
+  cfg.num_nodes = 6;
+  cfg.duration = 20'000.0;
+  cfg.burst_interarrival = 1'200.0;
+  cfg.ease_time = 15'000.0;
+  cfg.tx_arrival_rate = 500.0;
+  cfg.tx_saturation = 30'000.0;  // ~2 nodes' worth on the small cluster
+  cfg.seed = 4;
+  cfg.mode = Experiment3Mode::kDynamicApc;
+  const auto result = RunExperiment3(cfg);
+  EXPECT_GT(result.jobs_submitted, 0u);
+  EXPECT_FALSE(result.tx_rp.empty());
+  EXPECT_FALSE(result.tx_alloc.empty());
+  // TX allocation bounded by its saturation.
+  for (const auto& pt : result.tx_alloc.points()) {
+    EXPECT_LE(pt.value, 30'000.0 + 1.0);
+  }
+}
+
+TEST(Experiment3SmokeTest, StaticModesUseFixedTxAllocation) {
+  for (auto mode : {Experiment3Mode::kStatic9Tx16Lr,
+                    Experiment3Mode::kStatic6Tx19Lr}) {
+    Experiment3Config cfg;
+    cfg.duration = 10'000.0;
+    cfg.burst_interarrival = 2'000.0;
+    cfg.ease_time = 8'000.0;
+    cfg.seed = 5;
+    cfg.mode = mode;
+    const auto result = RunExperiment3(cfg);
+    ASSERT_FALSE(result.tx_alloc.empty());
+    const double first = result.tx_alloc.points().front().value;
+    for (const auto& pt : result.tx_alloc.points()) {
+      EXPECT_DOUBLE_EQ(pt.value, first) << ToString(mode);
+    }
+    const int tx_nodes = mode == Experiment3Mode::kStatic9Tx16Lr ? 9 : 6;
+    EXPECT_LE(first, tx_nodes * 15'600.0 + 1.0);
+  }
+}
+
+TEST(Experiment3SmokeTest, NineNodePartitionSatisfiesTx) {
+  Experiment3Config cfg;
+  cfg.duration = 5'000.0;
+  cfg.burst_interarrival = 2'000.0;
+  cfg.seed = 6;
+  cfg.mode = Experiment3Mode::kStatic9Tx16Lr;
+  const auto result = RunExperiment3(cfg);
+  // 9 nodes > saturation: the paper's "maximum achievable" 0.66.
+  for (const auto& pt : result.tx_rp.points()) {
+    EXPECT_NEAR(pt.value, 0.66, 1e-6);
+  }
+}
+
+TEST(Experiment3SmokeTest, SixNodePartitionDegradesTx) {
+  Experiment3Config cfg;
+  cfg.duration = 5'000.0;
+  cfg.burst_interarrival = 2'000.0;
+  cfg.seed = 7;
+  cfg.mode = Experiment3Mode::kStatic6Tx19Lr;
+  const auto result = RunExperiment3(cfg);
+  for (const auto& pt : result.tx_rp.points()) {
+    EXPECT_LT(pt.value, 0.60);
+    EXPECT_GT(pt.value, 0.0);
+  }
+}
+
+TEST(Experiment3SmokeTest, ModeNames) {
+  EXPECT_STREQ(ToString(Experiment3Mode::kDynamicApc), "APC dynamic sharing");
+  EXPECT_STREQ(ToString(Experiment3Mode::kStatic9Tx16Lr), "static TX=9 LR=16");
+  EXPECT_STREQ(ToString(Experiment3Mode::kStatic6Tx19Lr), "static TX=6 LR=19");
+}
+
+}  // namespace
+}  // namespace mwp

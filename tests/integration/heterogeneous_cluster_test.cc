@@ -1,0 +1,183 @@
+// Integration: heterogeneous machines and multiple transactional apps.
+//
+// §3.1: "a set of heterogeneous physical machines". These tests drive the
+// whole stack — snapshot, distributor (flow routing), optimizer, controller
+// — on clusters whose nodes differ in CPU and memory, and with several
+// transactional applications contending at once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "batch/job_queue.h"
+#include "common/rng.h"
+#include "core/apc_controller.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+std::unique_ptr<Job> MakeJob(AppId id, Seconds submit, Megacycles work,
+                             MHz speed, double factor, Megabytes mem) {
+  JobProfile p = JobProfile::SingleStage(work, speed, mem);
+  return std::make_unique<Job>(id, "job-" + std::to_string(id), p,
+                               JobGoal::FromFactor(submit, factor,
+                                                   p.min_execution_time()));
+}
+
+ApcController::Config FastConfig() {
+  ApcController::Config cfg;
+  cfg.control_cycle = 10.0;
+  cfg.costs = VmCostModel::Free();
+  return cfg;
+}
+
+TEST(HeterogeneousClusterTest, BigJobNeedsTheBigNode) {
+  // Node 0 is small (1 GB), node 1 is big (8 GB). A 4 GB job fits only on
+  // node 1; a small job can go anywhere.
+  const ClusterSpec cluster({NodeSpec{1, 1'000.0, 1'024.0},
+                             NodeSpec{4, 1'000.0, 8'192.0}});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  queue.Submit(MakeJob(1, 0.0, 20'000.0, 2'000.0, 3.0, /*mem=*/4'096.0));
+  queue.Submit(MakeJob(2, 0.0, 10'000.0, 1'000.0, 3.0, /*mem=*/512.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(5.0);  // before either job can complete
+  EXPECT_EQ(queue.Find(1)->node(), 1);
+  EXPECT_TRUE(queue.Find(2)->placed());
+  sim.RunUntil(100.0);
+  controller.AdvanceJobsTo(sim.now());
+  EXPECT_EQ(queue.num_completed(), 2u);
+}
+
+TEST(HeterogeneousClusterTest, FastNodeFinishesMoreWork) {
+  // Same memory, very different CPU: two identical jobs pinned by capacity
+  // to different nodes complete at speeds matching their hosts.
+  const ClusterSpec cluster({NodeSpec{1, 500.0, 4'096.0},
+                             NodeSpec{1, 2'000.0, 4'096.0}});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  // Each job can use up to 2,000 MHz; memory allows one per node.
+  queue.Submit(MakeJob(1, 0.0, 20'000.0, 2'000.0, 10.0, 3'000.0));
+  queue.Submit(MakeJob(2, 0.0, 20'000.0, 2'000.0, 10.0, 3'000.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(200.0);
+  controller.AdvanceJobsTo(sim.now());
+  ASSERT_EQ(queue.num_completed(), 2u);
+  // One finished at ~10 s (2,000 MHz), the other at ~40 s (500 MHz).
+  std::vector<Seconds> times = {*queue.Find(1)->completion_time(),
+                                *queue.Find(2)->completion_time()};
+  std::sort(times.begin(), times.end());
+  EXPECT_NEAR(times[0], 10.0, 1.0);
+  EXPECT_NEAR(times[1], 40.0, 2.0);
+}
+
+TEST(HeterogeneousClusterTest, TwoTxAppsShareByNeed) {
+  // Two transactional apps on a 2-node cluster; app B carries four times
+  // app A's load. Equalizing relative performance gives B more CPU.
+  const ClusterSpec cluster = ClusterSpec::Uniform(2, NodeSpec{2, 1'000.0,
+                                                               8'192.0});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  auto make_spec = [](AppId id, MHz sat) {
+    TransactionalAppSpec spec;
+    spec.id = id;
+    spec.name = "tx-" + std::to_string(id);
+    spec.memory_per_instance = 512.0;
+    spec.response_time_goal = 1.0;
+    spec.demand_per_request = 2.0;
+    spec.min_response_time = 0.1;
+    spec.saturation_allocation = sat;
+    return spec;
+  };
+  controller.AddTransactionalApp(make_spec(1, 1'500.0),
+                                 std::make_shared<ConstantRate>(200.0));
+  controller.AddTransactionalApp(make_spec(2, 3'000.0),
+                                 std::make_shared<ConstantRate>(800.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(50.0);
+  const CycleStats& c = controller.cycles().back();
+  ASSERT_EQ(c.tx_allocations.size(), 2u);
+  // Combined saturation demand (4,500) exceeds capacity (4,000): the
+  // distributor equalizes their relative performance, with the loaded app
+  // taking the larger share.
+  EXPECT_GT(c.tx_allocations[1], 2.0 * c.tx_allocations[0] - 600.0);
+  EXPECT_LE(c.tx_allocations[0] + c.tx_allocations[1], 4'000.0 + 1.0);
+  EXPECT_NEAR(c.tx_utilities[0], c.tx_utilities[1], 0.02);
+}
+
+TEST(HeterogeneousClusterTest, TwoTxAppsUnderContentionEqualize) {
+  // One 2,000 MHz node; both apps want more than half. The distributor's
+  // flow must split the node so neither is starved and utilities are close.
+  const ClusterSpec cluster = ClusterSpec::Uniform(1, NodeSpec{2, 1'000.0,
+                                                               8'192.0});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  auto make_spec = [](AppId id) {
+    TransactionalAppSpec spec;
+    spec.id = id;
+    spec.name = "tx-" + std::to_string(id);
+    spec.memory_per_instance = 512.0;
+    spec.response_time_goal = 1.0;
+    spec.demand_per_request = 2.0;
+    spec.min_response_time = 0.1;
+    spec.saturation_allocation = 1'600.0;
+    return spec;
+  };
+  controller.AddTransactionalApp(make_spec(1),
+                                 std::make_shared<ConstantRate>(400.0));
+  controller.AddTransactionalApp(make_spec(2),
+                                 std::make_shared<ConstantRate>(400.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(50.0);
+  const CycleStats& c = controller.cycles().back();
+  EXPECT_GT(c.tx_allocations[0], 800.0);
+  EXPECT_GT(c.tx_allocations[1], 800.0);
+  EXPECT_LE(c.tx_allocations[0] + c.tx_allocations[1], 2'000.0 + 1.0);
+  EXPECT_NEAR(c.tx_utilities[0], c.tx_utilities[1], 0.05);
+}
+
+TEST(HeterogeneousClusterTest, MixedClusterExperimentDrains) {
+  // A ragtag cluster: different core counts, speeds, memory. A burst of
+  // varied jobs and one web app must all be served without capacity
+  // violations.
+  const ClusterSpec cluster({NodeSpec{1, 800.0, 2'048.0},
+                             NodeSpec{2, 1'500.0, 4'096.0},
+                             NodeSpec{4, 2'400.0, 16'384.0}});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  TransactionalAppSpec web;
+  web.id = 1;
+  web.name = "web";
+  web.memory_per_instance = 256.0;
+  web.response_time_goal = 1.0;
+  web.demand_per_request = 2.0;
+  web.min_response_time = 0.1;
+  web.saturation_allocation = 2'000.0;
+  controller.AddTransactionalApp(web, std::make_shared<ConstantRate>(500.0));
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    const Seconds at = 5.0 * i;
+    sim.ScheduleAt(at, [&queue, &controller, &rng, i](Simulation& s) {
+      queue.Submit(MakeJob(100 + i, s.now(), rng.Uniform(2'000.0, 30'000.0),
+                           rng.Uniform(400.0, 2'400.0),
+                           rng.Uniform(1.5, 4.0),
+                           rng.Uniform(256.0, 3'000.0)));
+      controller.OnJobSubmitted(s);
+    });
+  }
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(500.0);
+  controller.AdvanceJobsTo(sim.now());
+  EXPECT_EQ(queue.num_completed(), 12u);
+  for (const CycleStats& c : controller.cycles()) {
+    EXPECT_LE(c.cluster_utilization, 1.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,166 @@
+// Integration: Experiment Three's equalization mechanism at unit scale.
+//
+// A miniature of §5.3: a transactional app with a gradually degrading
+// utility curve shares a small cluster with a stream of batch jobs. Under
+// pressure the APC must pull the transactional allocation below its
+// saturation and keep the two workloads' relative performance close; when
+// pressure ends, the transactional app must recover its ceiling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "batch/job_queue.h"
+#include "core/apc_controller.h"
+#include "sched/static_partition.h"
+#include "web/queuing_model.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+struct MiniExp3 {
+  // 4 nodes x 4,000 MHz = 16,000 MHz; jobs are 2,000 MHz / 4,096 MB (three
+  // per 16,384 MB node beside the 1,024 MB tx instance).
+  ClusterSpec cluster = ClusterSpec::Uniform(4, NodeSpec{2, 2'000.0, 16'384.0});
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller;
+
+  static TransactionalAppSpec TxSpec() {
+    // u = 0.6 at 8,000 MHz saturation; stability at 3,600 MHz: utility
+    // degrades visibly over the whole contended range.
+    const QueuingModel m =
+        QueuingModel::Calibrate(10.0, 1.0, 0.6, 8'000.0, 0.45);
+    TransactionalAppSpec spec;
+    spec.id = 1;
+    spec.name = "tx";
+    spec.memory_per_instance = 1'024.0;
+    spec.response_time_goal = m.params().response_time_goal;
+    spec.demand_per_request = m.params().demand_per_request;
+    spec.min_response_time = m.params().min_response_time;
+    spec.saturation_allocation = m.params().saturation_allocation;
+    return spec;
+  }
+
+  static ApcController::Config MakeConfig() {
+    ApcController::Config cfg;
+    cfg.control_cycle = 100.0;
+    cfg.costs = VmCostModel::Free();
+    return cfg;
+  }
+
+  MiniExp3() : controller(&cluster, &queue, MakeConfig()) {
+    controller.AddTransactionalApp(TxSpec(),
+                                   std::make_shared<ConstantRate>(10.0));
+  }
+
+  /// Submit `count` jobs (1,000 s at 2,000 MHz, goal factor 3), spaced
+  /// `gap` seconds apart starting at `start`.
+  void SubmitJobs(int count, Seconds start, Seconds gap) {
+    for (int i = 0; i < count; ++i) {
+      sim.ScheduleAt(start + gap * i, [this, i](Simulation& s) {
+        JobProfile p =
+            JobProfile::SingleStage(2'000'000.0, 2'000.0, 4'096.0);
+        queue.Submit(std::make_unique<Job>(
+            100 + i, "job", p,
+            JobGoal::FromFactor(s.now(), 3.0, p.min_execution_time())));
+        controller.OnJobSubmitted(s);
+      });
+    }
+  }
+};
+
+TEST(HeterogeneousEqualizationTest, TxSqueezedUnderPressureAndRecovers) {
+  MiniExp3 m;
+  // 10 jobs of 2,000 MHz each want 20,000 MHz on a 16,000 MHz cluster.
+  m.SubmitJobs(10, 0.0, 50.0);
+  m.controller.Attach(m.sim, 0.0);
+  m.sim.RunUntil(6'000.0);
+  m.controller.AdvanceJobsTo(m.sim.now());
+
+  MHz min_tx_alloc = 1e9;
+  Utility min_tx_rp = 1e9;
+  for (const CycleStats& c : m.controller.cycles()) {
+    min_tx_alloc = std::min(min_tx_alloc, c.tx_allocations.at(0));
+    min_tx_rp = std::min(min_tx_rp, c.tx_utilities.at(0));
+  }
+  EXPECT_LT(min_tx_alloc, 7'000.0) << "tx never squeezed below saturation";
+  EXPECT_LT(min_tx_rp, 0.55) << "squeeze never visible in RP";
+
+  // After the batch drains, the tx app recovers its ceiling.
+  const CycleStats& last = m.controller.cycles().back();
+  EXPECT_NEAR(last.tx_allocations.at(0), 8'000.0, 50.0);
+  EXPECT_NEAR(last.tx_utilities.at(0), 0.6, 0.01);
+  EXPECT_EQ(m.queue.num_completed(), 10u);
+}
+
+TEST(HeterogeneousEqualizationTest, WorkloadsEqualizedAtPeak) {
+  MiniExp3 m;
+  m.SubmitJobs(10, 0.0, 50.0);
+  m.controller.Attach(m.sim, 0.0);
+  m.sim.RunUntil(6'000.0);
+  m.controller.AdvanceJobsTo(m.sim.now());
+
+  // At the cycle where tx is squeezed hardest, the two workloads' RP are
+  // comparable — the paper's fairness outcome.
+  const CycleStats* worst = nullptr;
+  for (const CycleStats& c : m.controller.cycles()) {
+    if (c.num_jobs == 0) continue;
+    if (worst == nullptr ||
+        c.tx_utilities.at(0) < worst->tx_utilities.at(0)) {
+      worst = &c;
+    }
+  }
+  ASSERT_NE(worst, nullptr);
+  EXPECT_NEAR(worst->tx_utilities.at(0), worst->avg_job_rp, 0.2);
+}
+
+TEST(HeterogeneousEqualizationTest, DynamicBeatsStaticOnWorstWorkload) {
+  // The §5.3 comparison at unit scale: the dynamic controller's worse-off
+  // workload does better than under either static split.
+  auto run_static = [](int tx_nodes) {
+    MiniExp3 m;  // for the cluster/spec helpers
+    JobQueue queue;
+    Simulation sim;
+    StaticPartition partition(&m.cluster, &queue, MiniExp3::TxSpec(), tx_nodes,
+                              VmCostModel::Free());
+    for (int i = 0; i < 10; ++i) {
+      sim.ScheduleAt(50.0 * i, [&queue, &partition, i](Simulation& s) {
+        JobProfile p = JobProfile::SingleStage(2'000'000.0, 2'000.0, 4'096.0);
+        queue.Submit(std::make_unique<Job>(
+            100 + i, "job", p,
+            JobGoal::FromFactor(s.now(), 3.0, p.min_execution_time())));
+        partition.OnJobSubmitted(s);
+      });
+    }
+    sim.RunUntil(6'000.0);
+    partition.AdvanceJobsTo(sim.now());
+    Utility worst_job = 1.0;
+    for (const Job* job : queue.Completed()) {
+      worst_job = std::min(worst_job, job->achieved_utility());
+    }
+    return std::min(worst_job, partition.TxUtility(10.0));
+  };
+
+  MiniExp3 dynamic;
+  dynamic.SubmitJobs(10, 0.0, 50.0);
+  dynamic.controller.Attach(dynamic.sim, 0.0);
+  dynamic.sim.RunUntil(6'000.0);
+  dynamic.controller.AdvanceJobsTo(dynamic.sim.now());
+  Utility dynamic_worst = 1.0;
+  for (const Job* job : dynamic.queue.Completed()) {
+    dynamic_worst = std::min(dynamic_worst, job->achieved_utility());
+  }
+  for (const CycleStats& c : dynamic.controller.cycles()) {
+    dynamic_worst = std::min(dynamic_worst, c.tx_utilities.at(0));
+  }
+
+  // Static with 2 tx nodes (8,000 MHz = saturation) starves jobs; with 1
+  // (4,000 MHz, near stability) it cripples the tx app.
+  EXPECT_GT(dynamic_worst, run_static(2));
+  EXPECT_GT(dynamic_worst, run_static(1));
+}
+
+}  // namespace
+}  // namespace mwp

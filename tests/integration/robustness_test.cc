@@ -1,0 +1,148 @@
+// Robustness: hostile and degenerate inputs must not crash the controller
+// or starve well-behaved workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "batch/job_queue.h"
+#include "core/apc_controller.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+ClusterSpec SmallCluster(int nodes = 2) {
+  return ClusterSpec::Uniform(nodes, NodeSpec{1, 1'000.0, 2'000.0});
+}
+
+std::unique_ptr<Job> MakeJob(AppId id, Seconds submit, Megacycles work,
+                             MHz speed, double factor, Megabytes mem) {
+  JobProfile p = JobProfile::SingleStage(work, speed, mem);
+  return std::make_unique<Job>(id, "job-" + std::to_string(id), p,
+                               JobGoal::FromFactor(submit, factor,
+                                                   p.min_execution_time()));
+}
+
+ApcController::Config FastConfig() {
+  ApcController::Config cfg;
+  cfg.control_cycle = 1.0;
+  cfg.costs = VmCostModel::Free();
+  return cfg;
+}
+
+TEST(RobustnessTest, JobTooBigForAnyNodeIsQueuedForever) {
+  const ClusterSpec cluster = SmallCluster();
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  queue.Submit(MakeJob(1, 0.0, 1'000.0, 1'000.0, 3.0, /*mem=*/9'999.0));
+  queue.Submit(MakeJob(2, 0.0, 1'000.0, 1'000.0, 3.0, /*mem=*/500.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(10.0);
+  controller.AdvanceJobsTo(sim.now());
+  // The oversized job never crashes the controller and never places; the
+  // normal job completes unimpeded.
+  EXPECT_EQ(queue.Find(1)->status(), JobStatus::kNotStarted);
+  EXPECT_TRUE(queue.Find(2)->completed());
+}
+
+TEST(RobustnessTest, GoalAlreadyHopelessStillRuns) {
+  const ClusterSpec cluster = SmallCluster(1);
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  // Minimum execution time 10 s, goal factor 1.01: hopeless after any delay.
+  queue.Submit(MakeJob(1, 0.0, 10'000.0, 1'000.0, 1.01, 500.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(0.5);
+  // Submit a competitor so the hopeless job is genuinely contended.
+  queue.Submit(MakeJob(2, 0.5, 10'000.0, 1'000.0, 5.0, 500.0));
+  controller.OnJobSubmitted(sim);
+  sim.RunUntil(60.0);
+  controller.AdvanceJobsTo(sim.now());
+  EXPECT_EQ(queue.num_completed(), 2u);
+  // The hopeless job still finished (max-min gives it what it can use).
+  EXPECT_TRUE(queue.Find(1)->completed());
+}
+
+TEST(RobustnessTest, ExtremeArrivalRateClampsToFloorNotCrash) {
+  const ClusterSpec cluster = SmallCluster();
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  TransactionalAppSpec spec;
+  spec.id = 1;
+  spec.name = "ddos";
+  spec.memory_per_instance = 100.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 1.0;
+  spec.min_response_time = 0.05;
+  spec.saturation_allocation = 1'500.0;
+  // 1e9 req/s: stability boundary light-years past cluster capacity.
+  controller.AddTransactionalApp(spec, std::make_shared<ConstantRate>(1e9));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(3.0);
+  const CycleStats& c = controller.cycles().back();
+  ASSERT_EQ(c.tx_utilities.size(), 1u);
+  EXPECT_GE(c.tx_utilities[0], kUtilityFloor);
+  EXPECT_TRUE(std::isfinite(c.tx_response_times[0]));
+}
+
+TEST(RobustnessTest, BurstOfManyTinyJobsDrains) {
+  const ClusterSpec cluster = SmallCluster(2);
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  for (int i = 0; i < 60; ++i) {
+    queue.Submit(MakeJob(i + 1, 0.0, 100.0, 500.0, 10.0, 600.0));
+  }
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(60.0);
+  controller.AdvanceJobsTo(sim.now());
+  EXPECT_EQ(queue.num_completed(), 60u);
+}
+
+TEST(RobustnessTest, ZeroJobCyclesAreCheapAndStable) {
+  const ClusterSpec cluster = SmallCluster();
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(100.0);
+  EXPECT_EQ(controller.cycles().size(), 101u);
+  for (const CycleStats& c : controller.cycles()) {
+    EXPECT_TRUE(std::isnan(c.avg_job_rp));
+    EXPECT_EQ(c.evaluations, 1);
+  }
+}
+
+TEST(RobustnessTest, AlternatingLoadSurges) {
+  const ClusterSpec cluster = SmallCluster(2);
+  JobQueue queue;
+  Simulation sim;
+  ApcController controller(&cluster, &queue, FastConfig());
+  TransactionalAppSpec spec;
+  spec.id = 1;
+  spec.name = "spiky";
+  spec.memory_per_instance = 100.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 1.0;
+  spec.min_response_time = 0.05;
+  spec.saturation_allocation = 1'200.0;
+  // Rate flips between idle and heavy every ~7 s.
+  controller.AddTransactionalApp(
+      spec, std::make_shared<SinusoidalRate>(500.0, 500.0, 14.0));
+  for (int i = 0; i < 8; ++i) {
+    queue.Submit(MakeJob(i + 1, 0.0, 5'000.0, 800.0, 8.0, 700.0));
+  }
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(200.0);
+  controller.AdvanceJobsTo(sim.now());
+  EXPECT_EQ(queue.num_completed(), 8u);
+  for (const CycleStats& c : controller.cycles()) {
+    EXPECT_LE(c.cluster_utilization, 1.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mwp

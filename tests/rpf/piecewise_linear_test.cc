@@ -1,0 +1,88 @@
+#include "rpf/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+PiecewiseLinearCurve Ramp() {
+  return PiecewiseLinearCurve({{0.0, 0.0}, {10.0, 1.0}});
+}
+
+TEST(PiecewiseLinearTest, EvalInterpolates) {
+  const auto c = Ramp();
+  EXPECT_DOUBLE_EQ(c.Eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Eval(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.Eval(10.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, EvalClampsOutsideDomain) {
+  const auto c = Ramp();
+  EXPECT_DOUBLE_EQ(c.Eval(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Eval(50.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, InverseRoundTrips) {
+  const PiecewiseLinearCurve c(
+      {{0.0, -1.0}, {100.0, 0.0}, {500.0, 0.5}, {2'000.0, 0.9}});
+  for (double y : {-0.9, -0.5, 0.0, 0.25, 0.5, 0.7, 0.9}) {
+    const double x = c.Inverse(y);
+    EXPECT_NEAR(c.Eval(x), y, 1e-9) << "y=" << y;
+  }
+}
+
+TEST(PiecewiseLinearTest, InverseClamps) {
+  const auto c = Ramp();
+  EXPECT_DOUBLE_EQ(c.Inverse(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Inverse(2.0), 10.0);
+}
+
+TEST(PiecewiseLinearTest, FlatSegmentInverseReturnsLeftEdge) {
+  const PiecewiseLinearCurve c({{0.0, 0.0}, {5.0, 1.0}, {10.0, 1.0}});
+  // Smallest x achieving y=1 is 5, not 10.
+  EXPECT_DOUBLE_EQ(c.Inverse(1.0), 5.0);
+}
+
+TEST(PiecewiseLinearTest, SingleKnot) {
+  const PiecewiseLinearCurve c({{3.0, 7.0}});
+  EXPECT_DOUBLE_EQ(c.Eval(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.Eval(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.Inverse(7.0), 3.0);
+}
+
+TEST(PiecewiseLinearTest, NonIncreasingXThrows) {
+  EXPECT_THROW(PiecewiseLinearCurve({{1.0, 0.0}, {1.0, 1.0}}),
+               std::logic_error);
+  EXPECT_THROW(PiecewiseLinearCurve({{2.0, 0.0}, {1.0, 1.0}}),
+               std::logic_error);
+}
+
+TEST(PiecewiseLinearTest, DecreasingYThrows) {
+  EXPECT_THROW(PiecewiseLinearCurve({{0.0, 1.0}, {1.0, 0.0}}),
+               std::logic_error);
+}
+
+TEST(PiecewiseLinearTest, BoundsAccessors) {
+  const PiecewiseLinearCurve c({{-1.0, -2.0}, {4.0, 8.0}});
+  EXPECT_DOUBLE_EQ(c.min_x(), -1.0);
+  EXPECT_DOUBLE_EQ(c.max_x(), 4.0);
+  EXPECT_DOUBLE_EQ(c.min_y(), -2.0);
+  EXPECT_DOUBLE_EQ(c.max_y(), 8.0);
+}
+
+class PiecewiseLinearMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PiecewiseLinearMonotonicity, EvalIsMonotone) {
+  const PiecewiseLinearCurve c(
+      {{0.0, -3.0}, {10.0, -1.0}, {50.0, 0.0}, {200.0, 0.6}, {1'000.0, 0.63}});
+  const double x = GetParam();
+  EXPECT_LE(c.Eval(x), c.Eval(x + 1.0) + 1e-12);
+  EXPECT_LE(c.Eval(x), c.Eval(x + 100.0) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepX, PiecewiseLinearMonotonicity,
+                         ::testing::Values(-10.0, 0.0, 5.0, 9.9, 49.0, 120.0,
+                                           500.0, 999.0, 2'000.0));
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,134 @@
+#include "sched/edf_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+ClusterSpec SmallCluster(int nodes = 1) {
+  return ClusterSpec::Uniform(nodes, NodeSpec{1, 1'000.0, 2'000.0});
+}
+
+std::unique_ptr<Job> MakeJob(AppId id, Seconds submit, Megacycles work,
+                             MHz speed, double factor,
+                             Megabytes mem = 1'500.0) {
+  JobProfile p = JobProfile::SingleStage(work, speed, mem);
+  return std::make_unique<Job>(id, "job-" + std::to_string(id), p,
+                               JobGoal::FromFactor(submit, factor,
+                                                   p.min_execution_time()));
+}
+
+struct Harness {
+  ClusterSpec cluster;
+  JobQueue queue;
+  Simulation sim;
+  EdfScheduler scheduler;
+
+  explicit Harness(int nodes = 1,
+                   BaselineScheduler::Config cfg = {VmCostModel::Free(), {}})
+      : cluster(SmallCluster(nodes)), scheduler(&cluster, &queue, cfg) {}
+
+  void Submit(std::unique_ptr<Job> job, Seconds at) {
+    auto holder = std::make_shared<std::unique_ptr<Job>>(std::move(job));
+    sim.ScheduleAt(at, [this, holder](Simulation& s) {
+      queue.Submit(std::move(*holder));
+      scheduler.OnJobSubmitted(s);
+    });
+  }
+};
+
+TEST(EdfSchedulerTest, SingleJobRuns) {
+  Harness h;
+  h.Submit(MakeJob(1, 0.0, 4'000.0, 1'000.0, 5.0), 0.0);
+  h.sim.RunUntil(10.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  ASSERT_EQ(h.queue.num_completed(), 1u);
+  EXPECT_NEAR(*h.queue.Find(1)->completion_time(), 4.0, 1e-6);
+}
+
+TEST(EdfSchedulerTest, PreemptsForEarlierDeadline) {
+  Harness h;
+  // Relaxed job running; tight job arrives and has the earlier deadline.
+  h.Submit(MakeJob(1, 0.0, 50'000.0, 1'000.0, 20.0), 0.0);
+  h.Submit(MakeJob(2, 5.0, 1'000.0, 1'000.0, 1.5), 5.0);
+  h.sim.RunUntil(5.5);
+  EXPECT_TRUE(h.queue.Find(2)->placed()) << "urgent job took the slot";
+  EXPECT_EQ(h.queue.Find(1)->status(), JobStatus::kSuspended);
+  EXPECT_GE(h.scheduler.changes().suspends, 1);
+
+  h.sim.RunUntil(200.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  EXPECT_EQ(h.queue.num_completed(), 2u);
+  // Urgent job met its deadline thanks to preemption.
+  EXPECT_LE(*h.queue.Find(2)->completion_time(),
+            h.queue.Find(2)->goal().completion_goal);
+  EXPECT_GE(h.scheduler.changes().resumes, 1);
+}
+
+TEST(EdfSchedulerTest, NoPreemptionWhenCapacitySuffices) {
+  Harness h(2);
+  h.Submit(MakeJob(1, 0.0, 10'000.0, 1'000.0, 5.0), 0.0);
+  h.Submit(MakeJob(2, 1.0, 10'000.0, 1'000.0, 2.0), 1.0);
+  h.sim.RunUntil(50.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  EXPECT_EQ(h.scheduler.changes().disruptive(), 0);
+  EXPECT_EQ(h.queue.num_completed(), 2u);
+}
+
+TEST(EdfSchedulerTest, RunningJobKeepsNodeWhenStillScheduled) {
+  Harness h(2);
+  h.Submit(MakeJob(1, 0.0, 10'000.0, 1'000.0, 5.0), 0.0);
+  h.sim.RunUntil(1.0);
+  const NodeId original = h.queue.Find(1)->node();
+  h.Submit(MakeJob(2, 1.0, 5'000.0, 1'000.0, 1.2), 1.0);
+  h.sim.RunUntil(2.0);
+  EXPECT_EQ(h.queue.Find(1)->node(), original) << "no gratuitous migration";
+  EXPECT_EQ(h.scheduler.changes().migrations, 0);
+}
+
+TEST(EdfSchedulerTest, DeadlineOrderUnderOverload) {
+  Harness h;
+  // Three jobs, one slot. Deadlines: job 2 < job 3 < job 1.
+  h.Submit(MakeJob(1, 0.0, 8'000.0, 1'000.0, 10.0), 0.0);  // goal 80
+  h.Submit(MakeJob(2, 0.0, 8'000.0, 1'000.0, 2.0), 0.0);   // goal 16
+  h.Submit(MakeJob(3, 0.0, 8'000.0, 1'000.0, 4.0), 0.0);   // goal 32
+  h.sim.RunUntil(100.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  ASSERT_EQ(h.queue.num_completed(), 3u);
+  EXPECT_LT(*h.queue.Find(2)->completion_time(),
+            *h.queue.Find(3)->completion_time());
+  EXPECT_LT(*h.queue.Find(3)->completion_time(),
+            *h.queue.Find(1)->completion_time());
+}
+
+TEST(EdfSchedulerTest, ChurnsMoreThanFcfsUnderLoad) {
+  // Qualitative Figure 4 check at unit scale: EDF preempts, so its
+  // disruptive change count is positive under overload.
+  Harness h;
+  for (int j = 0; j < 6; ++j) {
+    // Interleaved tight/loose deadlines force repeated preemption.
+    const double factor = (j % 2 == 0) ? 8.0 : 1.5;
+    h.Submit(MakeJob(j + 1, j * 2.0, 6'000.0, 1'000.0, factor), j * 2.0);
+  }
+  h.sim.RunUntil(500.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  EXPECT_EQ(h.queue.num_completed(), 6u);
+  EXPECT_GT(h.scheduler.changes().disruptive(), 0);
+}
+
+TEST(EdfSchedulerTest, SuspendResumeCostsCharged) {
+  BaselineScheduler::Config cfg;
+  cfg.costs = VmCostModel::PaperMeasured();
+  Harness h(1, cfg);
+  h.Submit(MakeJob(1, 0.0, 100'000.0, 1'000.0, 20.0), 0.0);
+  h.Submit(MakeJob(2, 10.0, 1'000.0, 1'000.0, 1.5), 10.0);
+  h.sim.RunUntil(1'000.0);
+  h.scheduler.AdvanceJobsTo(h.sim.now());
+  ASSERT_EQ(h.queue.num_completed(), 2u);
+  // Job 1: 100 s of work + boot + suspend/resume overhead pushes completion
+  // past the cost-free 101 s.
+  EXPECT_GT(*h.queue.Find(1)->completion_time(), 101.0 + 3.6);
+}
+
+}  // namespace
+}  // namespace mwp

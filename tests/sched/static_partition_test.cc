@@ -1,0 +1,100 @@
+#include "sched/static_partition.h"
+
+#include <gtest/gtest.h>
+
+namespace mwp {
+namespace {
+
+ClusterSpec PaperishCluster(int nodes = 5) {
+  return ClusterSpec::Uniform(nodes, NodeSpec{4, 1'000.0, 16'384.0});
+}
+
+TransactionalAppSpec TxSpec(MHz saturation) {
+  TransactionalAppSpec spec;
+  spec.id = 1;
+  spec.name = "tx";
+  spec.memory_per_instance = 512.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 5.0;
+  spec.min_response_time = 0.2;
+  spec.saturation_allocation = saturation;
+  return spec;
+}
+
+TEST(StaticPartitionTest, TxAllocationCappedBySaturation) {
+  const ClusterSpec cluster = PaperishCluster();
+  JobQueue queue;
+  // 2 nodes = 8,000 MHz > 6,000 saturation: allocation caps at saturation.
+  StaticPartition p(&cluster, &queue, TxSpec(6'000.0), /*tx_nodes=*/2);
+  EXPECT_DOUBLE_EQ(p.tx_allocation(), 6'000.0);
+}
+
+TEST(StaticPartitionTest, TxAllocationCappedByPartition) {
+  const ClusterSpec cluster = PaperishCluster();
+  JobQueue queue;
+  // 1 node = 4,000 MHz < 6,000 saturation: partition is the cap.
+  StaticPartition p(&cluster, &queue, TxSpec(6'000.0), /*tx_nodes=*/1);
+  EXPECT_DOUBLE_EQ(p.tx_allocation(), 4'000.0);
+}
+
+TEST(StaticPartitionTest, UtilityConstantOverTime) {
+  const ClusterSpec cluster = PaperishCluster();
+  JobQueue queue;
+  StaticPartition p(&cluster, &queue, TxSpec(6'000.0), 2);
+  const Utility u = p.TxUtility(400.0);
+  EXPECT_GT(u, 0.0);
+  EXPECT_DOUBLE_EQ(p.TxUtility(400.0), u);
+  EXPECT_GT(p.TxResponseTime(400.0), 0.0);
+}
+
+TEST(StaticPartitionTest, BatchRestrictedToItsNodes) {
+  const ClusterSpec cluster = PaperishCluster(3);
+  JobQueue queue;
+  Simulation sim;
+  StaticPartition p(&cluster, &queue, TxSpec(3'000.0), /*tx_nodes=*/1,
+                    VmCostModel::Free());
+  JobProfile profile = JobProfile::SingleStage(4'000.0, 1'000.0, 2'048.0);
+  queue.Submit(std::make_unique<Job>(10, "j", profile,
+                                     JobGoal::FromFactor(0.0, 5.0, 4.0)));
+  p.OnJobSubmitted(sim);
+  const Job* job = queue.Find(10);
+  ASSERT_TRUE(job->placed());
+  EXPECT_GE(job->node(), 1) << "node 0 belongs to the tx partition";
+  sim.RunUntil(10.0);
+  p.AdvanceJobsTo(sim.now());
+  EXPECT_TRUE(job->completed());
+}
+
+TEST(StaticPartitionTest, BatchAllocationSumsPlacedSpeeds) {
+  const ClusterSpec cluster = PaperishCluster(3);
+  JobQueue queue;
+  Simulation sim;
+  StaticPartition p(&cluster, &queue, TxSpec(3'000.0), 1, VmCostModel::Free());
+  JobProfile profile = JobProfile::SingleStage(40'000.0, 1'000.0, 2'048.0);
+  queue.Submit(std::make_unique<Job>(10, "a", profile,
+                                     JobGoal::FromFactor(0.0, 5.0, 40.0)));
+  queue.Submit(std::make_unique<Job>(11, "b", profile,
+                                     JobGoal::FromFactor(0.0, 5.0, 40.0)));
+  p.OnJobSubmitted(sim);
+  EXPECT_DOUBLE_EQ(p.BatchAllocation(), 2'000.0);
+}
+
+TEST(StaticPartitionTest, DegenerateSplitsRejected) {
+  const ClusterSpec cluster = PaperishCluster(2);
+  JobQueue queue;
+  EXPECT_THROW(StaticPartition(&cluster, &queue, TxSpec(1'000.0), 0),
+               std::logic_error);
+  EXPECT_THROW(StaticPartition(&cluster, &queue, TxSpec(1'000.0), 2),
+               std::logic_error);
+}
+
+TEST(StaticPartitionTest, NodeCountsExposed) {
+  const ClusterSpec cluster = PaperishCluster(5);
+  JobQueue queue;
+  StaticPartition p(&cluster, &queue, TxSpec(1'000.0), 2);
+  EXPECT_EQ(p.tx_nodes(), 2);
+  EXPECT_EQ(p.batch_nodes(), 3);
+}
+
+}  // namespace
+}  // namespace mwp

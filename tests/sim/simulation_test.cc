@@ -1,0 +1,194 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mwp {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, EventsExecuteInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&](Simulation&) { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&](Simulation&) { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&](Simulation&) { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5.0, [&](Simulation&) { order.push_back(1); });
+  sim.ScheduleAt(5.0, [&](Simulation&) { order.push_back(2); });
+  sim.ScheduleAt(5.0, [&](Simulation&) { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, ClockShowsEventTimeDuringExecution) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.ScheduleAt(7.5, [&](Simulation& s) { seen = s.now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(10.0, [&](Simulation& s) {
+    s.ScheduleAfter(5.0, [&](Simulation& inner) { fired_at = inner.now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulationTest, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.ScheduleAt(10.0, [](Simulation& s) {
+    EXPECT_THROW(s.ScheduleAt(5.0, [](Simulation&) {}), std::logic_error);
+  });
+  sim.RunToCompletion();
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&](Simulation&) { ++fired; });
+  sim.ScheduleAt(10.0, [&](Simulation&) { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // clock advanced to the horizon
+  sim.RunUntil(10.0);                // event at exactly the horizon fires
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h = sim.ScheduleAt(1.0, [&](Simulation&) { ++fired; });
+  sim.Cancel(h);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulationTest, CancelAfterFireIsHarmless) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h = sim.ScheduleAt(1.0, [&](Simulation&) { ++fired; });
+  sim.RunToCompletion();
+  sim.Cancel(h);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, PeriodicFiresRepeatedly) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.SchedulePeriodic(0.0, 600.0,
+                       [&](Simulation& s) { times.push_back(s.now()); });
+  sim.RunUntil(2'400.0);
+  // Fires at 0, 600, 1200, 1800, 2400.
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[4], 2'400.0);
+}
+
+TEST(SimulationTest, PeriodicCancelStopsChain) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h =
+      sim.SchedulePeriodic(0.0, 1.0, [&](Simulation&) { ++fired; });
+  sim.ScheduleAt(2.5, [&, h](Simulation& s) { s.Cancel(h); });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);  // t = 0, 1, 2
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&](Simulation&) { ++fired; });
+  sim.ScheduleAt(2.0, [&](Simulation&) { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, ExecutedEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(i, [](Simulation&) {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(SimulationTest, PeriodicCancelFromInsideOwnCallback) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.SchedulePeriodic(0.0, 1.0, [&](Simulation& s) {
+    if (++fired == 2) s.Cancel(h);
+  });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, CancelledEventsDoNotAdvanceClockPastHorizon) {
+  Simulation sim;
+  EventHandle h = sim.ScheduleAt(50.0, [](Simulation&) {});
+  sim.Cancel(h);
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.RunToCompletion();
+  // The cancelled event is drained without executing.
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulationTest, TwoPeriodicChainsInterleave) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.SchedulePeriodic(0.0, 2.0, [&](Simulation&) { order.push_back(1); });
+  sim.SchedulePeriodic(1.0, 2.0, [&](Simulation&) { order.push_back(2); });
+  sim.RunUntil(4.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1}));
+}
+
+TEST(SimulationTest, StepRespectsHorizon) {
+  Simulation sim;
+  sim.ScheduleAt(5.0, [](Simulation&) {});
+  EXPECT_FALSE(sim.Step(4.0));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.Step(5.0));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, NullCallbackRejected) {
+  Simulation sim;
+  EXPECT_THROW(sim.ScheduleAt(1.0, nullptr), std::logic_error);
+}
+
+TEST(SimulationTest, EventsCanScheduleCascades) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void(Simulation&)> cascade = [&](Simulation& s) {
+    if (++depth < 10) s.ScheduleAfter(1.0, cascade);
+  };
+  sim.ScheduleAt(0.0, cascade);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,170 @@
+#include "web/queuing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwp {
+namespace {
+
+QueuingModel Simple() {
+  QueuingModelParams p;
+  p.arrival_rate = 100.0;          // req/s
+  p.demand_per_request = 10.0;     // Mcycles -> stability at 1,000 MHz
+  p.response_time_goal = 1.0;      // s
+  p.min_response_time = 0.05;
+  p.saturation_allocation = 5'000.0;
+  return QueuingModel(p);
+}
+
+TEST(QueuingModelTest, StabilityBoundary) {
+  EXPECT_DOUBLE_EQ(Simple().stability_boundary(), 1'000.0);
+}
+
+TEST(QueuingModelTest, ResponseTimeFollowsMM1AboveBoundary) {
+  const QueuingModel m = Simple();
+  // t = t_min + c/(w - λc) = 0.05 + 10/(2,000-1,000) = 0.06.
+  EXPECT_NEAR(m.ResponseTime(2'000.0), 0.06, 1e-9);
+  EXPECT_NEAR(m.ResponseTime(1'500.0), 0.05 + 10.0 / 500.0, 1e-9);
+}
+
+TEST(QueuingModelTest, ResponseTimeMonotoneDecreasing) {
+  const QueuingModel m = Simple();
+  Seconds prev = m.ResponseTime(0.0);
+  for (MHz w = 100.0; w <= 6'000.0; w += 100.0) {
+    const Seconds t = m.ResponseTime(w);
+    EXPECT_LE(t, prev + 1e-12) << "at " << w;
+    prev = t;
+  }
+}
+
+TEST(QueuingModelTest, ResponseTimeFiniteBelowBoundary) {
+  const QueuingModel m = Simple();
+  const Seconds t = m.ResponseTime(500.0);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, m.ResponseTime(1'100.0));
+}
+
+TEST(QueuingModelTest, UtilityMonotoneIncreasing) {
+  const QueuingModel m = Simple();
+  Utility prev = m.UtilityAt(0.0);
+  for (MHz w = 50.0; w <= 6'000.0; w += 50.0) {
+    const Utility u = m.UtilityAt(w);
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+}
+
+TEST(QueuingModelTest, UtilityZeroWhenResponseEqualsGoal) {
+  const QueuingModel m = Simple();
+  // Find ω with t = τ: 1.0 = 0.05 + 10/(w-1000) -> w = 1000 + 10/0.95.
+  const MHz w = 1'000.0 + 10.0 / 0.95;
+  EXPECT_NEAR(m.UtilityAt(w), 0.0, 1e-9);
+}
+
+TEST(QueuingModelTest, UtilityCapsAtSaturation) {
+  const QueuingModel m = Simple();
+  EXPECT_DOUBLE_EQ(m.UtilityAt(5'000.0), m.UtilityAt(50'000.0));
+  EXPECT_DOUBLE_EQ(m.max_utility(), m.UtilityAt(m.saturation_allocation()));
+}
+
+TEST(QueuingModelTest, UtilityClampedAtFloor) {
+  const QueuingModel m = Simple();
+  EXPECT_GE(m.UtilityAt(0.0), kUtilityFloor);
+}
+
+TEST(QueuingModelTest, AllocationForInvertsUtility) {
+  const QueuingModel m = Simple();
+  for (Utility u : {-2.0, -1.0, -0.5, 0.0, 0.3, 0.6, 0.8}) {
+    if (u >= m.max_utility()) continue;
+    const MHz w = m.AllocationFor(u);
+    EXPECT_NEAR(m.UtilityAt(w), u, 1e-6) << "u=" << u;
+  }
+}
+
+TEST(QueuingModelTest, AllocationForUnreachableTargetReturnsSaturation) {
+  const QueuingModel m = Simple();
+  EXPECT_DOUBLE_EQ(m.AllocationFor(0.999), m.saturation_allocation());
+  EXPECT_DOUBLE_EQ(m.AllocationFor(m.max_utility() + 0.1),
+                   m.saturation_allocation());
+}
+
+TEST(QueuingModelTest, CalibrateHitsOperatingPoint) {
+  // The paper's Experiment Three point: u = 0.66 at 130,000 MHz.
+  const QueuingModel m =
+      QueuingModel::Calibrate(1'000.0, 1.0, 0.66, 130'000.0, 0.715);
+  EXPECT_NEAR(m.UtilityAt(130'000.0), 0.66, 1e-9);
+  EXPECT_DOUBLE_EQ(m.saturation_allocation(), 130'000.0);
+  EXPECT_NEAR(m.stability_boundary(), 0.715 * 130'000.0, 1e-6);
+  // More CPU does not help ("will not further increase its satisfaction").
+  EXPECT_DOUBLE_EQ(m.UtilityAt(200'000.0), m.UtilityAt(130'000.0));
+}
+
+TEST(QueuingModelTest, CalibratedSixNodePartitionDegrades) {
+  // 6 nodes of the paper's machines: 93,600 MHz — between the stability
+  // boundary (92,950) and saturation, so utility is visibly below 0.66.
+  const QueuingModel m =
+      QueuingModel::Calibrate(1'000.0, 1.0, 0.66, 130'000.0, 0.715);
+  const Utility u6 = m.UtilityAt(6 * 15'600.0);
+  EXPECT_LT(u6, 0.55);
+  EXPECT_GT(u6, 0.0);
+  // 9 nodes (140,400 MHz) fully satisfies.
+  EXPECT_NEAR(m.UtilityAt(9 * 15'600.0), 0.66, 1e-9);
+}
+
+TEST(QueuingModelTest, WithArrivalRateShiftsBoundary) {
+  const QueuingModel m = Simple();
+  const QueuingModel doubled = m.WithArrivalRate(200.0);
+  EXPECT_DOUBLE_EQ(doubled.stability_boundary(), 2'000.0);
+  // Same allocation now yields worse utility.
+  EXPECT_LT(doubled.UtilityAt(2'500.0), m.UtilityAt(2'500.0));
+}
+
+TEST(QueuingModelTest, WithArrivalRateRepairsSwallowedSaturation) {
+  const QueuingModel m = Simple();
+  // A huge rate pushes the boundary past the old saturation point; the
+  // derived model must stay self-consistent.
+  const QueuingModel heavy = m.WithArrivalRate(10'000.0);
+  EXPECT_GT(heavy.saturation_allocation(), heavy.stability_boundary());
+}
+
+TEST(QueuingModelTest, InvalidParamsThrow) {
+  QueuingModelParams p;
+  p.arrival_rate = 0.0;
+  p.demand_per_request = 1.0;
+  p.response_time_goal = 1.0;
+  EXPECT_THROW(QueuingModel{p}, std::logic_error);
+  p.arrival_rate = 10.0;
+  p.min_response_time = 2.0;  // above the goal
+  EXPECT_THROW(QueuingModel{p}, std::logic_error);
+}
+
+TEST(QueuingModelTest, InfeasibleCalibrationThrows) {
+  // Stability fraction so close to 1 that the queuing delay at saturation
+  // exceeds the whole response budget.
+  EXPECT_THROW(
+      QueuingModel::Calibrate(1.0, 1.0, 0.99, 1'000.0, 0.999999),
+      std::logic_error);
+}
+
+class QueuingRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueuingRoundTrip, AllocationUtilityConsistency) {
+  const QueuingModel m =
+      QueuingModel::Calibrate(1'000.0, 1.0, 0.66, 130'000.0, 0.715);
+  const MHz w = GetParam();
+  const Utility u = m.UtilityAt(w);
+  const MHz w2 = m.AllocationFor(u);
+  // Inverse returns the cheapest allocation achieving u.
+  EXPECT_LE(w2, std::max(w, m.saturation_allocation()) + 1e-6);
+  EXPECT_NEAR(m.UtilityAt(w2), u, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllocationSweep, QueuingRoundTrip,
+                         ::testing::Values(95'000.0, 100'000.0, 110'000.0,
+                                           120'000.0, 129'000.0, 130'000.0,
+                                           150'000.0));
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,87 @@
+#include "web/request_router.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mwp {
+namespace {
+
+TransactionalApp MakeApp() {
+  TransactionalAppSpec spec;
+  spec.id = 1;
+  spec.name = "web";
+  spec.memory_per_instance = 512.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 10.0;
+  spec.min_response_time = 0.05;
+  spec.saturation_allocation = 10'000.0;
+  return TransactionalApp(spec);
+}
+
+TEST(RequestRouterTest, WeightsProportionalToAllocation) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router;
+  const auto d = router.Route(app, 50.0, {1'000.0, 3'000.0});
+  ASSERT_EQ(d.weights.size(), 2u);
+  EXPECT_NEAR(d.weights[0], 0.25, 1e-9);
+  EXPECT_NEAR(d.weights[1], 0.75, 1e-9);
+  EXPECT_NEAR(d.weights[0] + d.weights[1], 1.0, 1e-9);
+}
+
+TEST(RequestRouterTest, AdmitsAllUnderCapacity) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router(0.95);
+  // Capacity: 4,000 MHz / 10 Mc * 0.95 = 380 req/s.
+  const auto d = router.Route(app, 100.0, {2'000.0, 2'000.0});
+  EXPECT_DOUBLE_EQ(d.admitted_rate, 100.0);
+  EXPECT_DOUBLE_EQ(d.rejected_rate, 0.0);
+}
+
+TEST(RequestRouterTest, OverloadProtectionCapsAdmission) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router(0.95);
+  const auto d = router.Route(app, 1'000.0, {2'000.0, 2'000.0});
+  EXPECT_NEAR(d.admitted_rate, 380.0, 1e-9);
+  EXPECT_NEAR(d.rejected_rate, 620.0, 1e-9);
+}
+
+TEST(RequestRouterTest, ZeroAllocationRejectsEverything) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router;
+  const auto d = router.Route(app, 100.0, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.admitted_rate, 0.0);
+  EXPECT_DOUBLE_EQ(d.rejected_rate, 100.0);
+}
+
+TEST(RequestRouterTest, ZeroArrivalIsQuiet) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router;
+  const auto d = router.Route(app, 0.0, {1'000.0});
+  EXPECT_DOUBLE_EQ(d.admitted_rate, 0.0);
+  EXPECT_DOUBLE_EQ(d.rejected_rate, 0.0);
+  EXPECT_DOUBLE_EQ(d.response_time, 0.0);
+}
+
+TEST(RequestRouterTest, ResponseTimeFromAggregateModel) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router;
+  const auto d = router.Route(app, 100.0, {1'500.0, 1'500.0});
+  EXPECT_NEAR(d.response_time, app.ResponseTime(100.0, 3'000.0), 1e-9);
+}
+
+TEST(RequestRouterTest, InstancesWithZeroAllocationGetNoLoad) {
+  const TransactionalApp app = MakeApp();
+  RequestRouter router;
+  const auto d = router.Route(app, 10.0, {2'000.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.weights[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.weights[0], 1.0);
+}
+
+TEST(RequestRouterTest, InvalidHeadroomThrows) {
+  EXPECT_THROW(RequestRouter(0.0), std::logic_error);
+  EXPECT_THROW(RequestRouter(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp

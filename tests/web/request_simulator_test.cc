@@ -1,0 +1,143 @@
+// Validation of the §3.3 analytic model against request-level simulation.
+#include "web/request_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "web/queuing_model.h"
+
+namespace mwp {
+namespace {
+
+RequestSimConfig BaseConfig() {
+  RequestSimConfig cfg;
+  cfg.arrival_rate = 50.0;        // req/s
+  cfg.mean_demand = 10.0;         // Mc -> stability boundary at 500 MHz
+  cfg.capacity = 1'000.0;         // ρ = 0.5
+  cfg.fixed_latency = 0.05;
+  cfg.total_requests = 40'000;
+  cfg.warmup_requests = 2'000;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(RequestSimulatorTest, MeanResponseMatchesAnalyticModel) {
+  const RequestSimConfig cfg = BaseConfig();
+  const auto results = SimulateRequests(cfg);
+  // Analytic M/G/1-PS: t = t_min + c/(ω − λc) = 0.05 + 10/500 = 0.07.
+  const double analytic = 0.05 + 10.0 / (1'000.0 - 500.0);
+  EXPECT_NEAR(results.mean_response_time, analytic, analytic * 0.05);
+}
+
+TEST(RequestSimulatorTest, MatchesQueuingModelObject) {
+  const RequestSimConfig cfg = BaseConfig();
+  const auto results = SimulateRequests(cfg);
+  QueuingModelParams p;
+  p.arrival_rate = cfg.arrival_rate;
+  p.demand_per_request = cfg.mean_demand;
+  p.response_time_goal = 1.0;
+  p.min_response_time = cfg.fixed_latency;
+  p.saturation_allocation = 5'000.0;
+  const QueuingModel model(p);
+  EXPECT_NEAR(results.mean_response_time, model.ResponseTime(cfg.capacity),
+              0.01);
+}
+
+TEST(RequestSimulatorTest, UtilizationMatchesOfferedLoad) {
+  const RequestSimConfig cfg = BaseConfig();
+  const auto results = SimulateRequests(cfg);
+  // ρ = λc/ω = 0.5.
+  EXPECT_NEAR(results.utilization, 0.5, 0.02);
+}
+
+TEST(RequestSimulatorTest, LittlesLawHolds) {
+  const RequestSimConfig cfg = BaseConfig();
+  const auto results = SimulateRequests(cfg);
+  // L = λ·W (W excluding the fixed latency, which is outside the station).
+  const double w = results.mean_response_time - cfg.fixed_latency;
+  EXPECT_NEAR(results.mean_in_system, cfg.arrival_rate * w,
+              results.mean_in_system * 0.06);
+}
+
+TEST(RequestSimulatorTest, ProcessorSharingInsensitivity) {
+  // The PS queue's mean response time depends on the demand distribution
+  // only through its mean — the property that makes the single analytic
+  // formula valid for real (non-exponential) request mixes.
+  RequestSimConfig cfg = BaseConfig();
+  cfg.demand_distribution = DemandDistribution::kExponential;
+  const double exp_mean = SimulateRequests(cfg).mean_response_time;
+  cfg.demand_distribution = DemandDistribution::kDeterministic;
+  const double det_mean = SimulateRequests(cfg).mean_response_time;
+  cfg.demand_distribution = DemandDistribution::kHyperexp2;
+  const double hyper_mean = SimulateRequests(cfg).mean_response_time;
+  EXPECT_NEAR(det_mean, exp_mean, exp_mean * 0.06);
+  EXPECT_NEAR(hyper_mean, exp_mean, exp_mean * 0.10);
+}
+
+TEST(RequestSimulatorTest, MoreCapacityLowersResponse) {
+  RequestSimConfig cfg = BaseConfig();
+  cfg.total_requests = 10'000;
+  cfg.capacity = 700.0;
+  const double slow = SimulateRequests(cfg).mean_response_time;
+  cfg.capacity = 2'000.0;
+  const double fast = SimulateRequests(cfg).mean_response_time;
+  EXPECT_LT(fast, slow);
+}
+
+TEST(RequestSimulatorTest, OverloadDiverges) {
+  RequestSimConfig cfg = BaseConfig();
+  cfg.capacity = 400.0;  // below the 500 MHz stability boundary
+  cfg.total_requests = 5'000;
+  cfg.warmup_requests = 100;
+  const auto results = SimulateRequests(cfg);
+  // Unstable: response times blow far past the stable-configuration value.
+  EXPECT_GT(results.mean_response_time, 1.0);
+  EXPECT_GT(results.utilization, 0.98);
+}
+
+TEST(RequestSimulatorTest, DeterministicGivenSeed) {
+  const RequestSimConfig cfg = BaseConfig();
+  const auto a = SimulateRequests(cfg);
+  const auto b = SimulateRequests(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_response_time, b.mean_response_time);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(RequestSimulatorTest, PercentilesOrdered) {
+  const auto results = SimulateRequests(BaseConfig());
+  EXPECT_LE(results.p50_response_time, results.p95_response_time);
+  EXPECT_LE(results.p95_response_time, results.max_response_time);
+  EXPECT_GE(results.p50_response_time, 0.05);  // never below fixed latency
+}
+
+TEST(RequestSimulatorTest, InvalidConfigsThrow) {
+  RequestSimConfig cfg = BaseConfig();
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(SimulateRequests(cfg), std::logic_error);
+  cfg = BaseConfig();
+  cfg.warmup_requests = cfg.total_requests;
+  EXPECT_THROW(SimulateRequests(cfg), std::logic_error);
+}
+
+class ResponseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResponseSweep, AnalyticModelTracksSimulationAcrossLoads) {
+  // Property: across utilizations 0.2 … 0.85 the analytic curve stays
+  // within a few percent of the request-level measurement — the §3.3 model
+  // is trustworthy exactly where the placement controller operates.
+  const double rho = GetParam();
+  RequestSimConfig cfg = BaseConfig();
+  cfg.capacity = 500.0 / rho;
+  cfg.total_requests = 60'000;
+  cfg.warmup_requests = 5'000;
+  const auto results = SimulateRequests(cfg);
+  const double analytic =
+      cfg.fixed_latency + cfg.mean_demand / (cfg.capacity - 500.0);
+  EXPECT_NEAR(results.mean_response_time, analytic, analytic * 0.08)
+      << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, ResponseSweep,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8, 0.85));
+
+}  // namespace
+}  // namespace mwp

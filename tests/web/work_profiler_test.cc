@@ -1,0 +1,70 @@
+#include "web/work_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mwp {
+namespace {
+
+TEST(WorkProfilerTest, FallbackBeforeObservations) {
+  WorkProfiler p;
+  EXPECT_DOUBLE_EQ(p.EstimateDemandPerRequest(42.0), 42.0);
+  EXPECT_EQ(p.observation_count(), 0u);
+}
+
+TEST(WorkProfilerTest, ExactRecoveryFromCleanData) {
+  WorkProfiler p;
+  const double c = 108.0;  // Mcycles per request
+  for (double lambda : {100.0, 500.0, 1'000.0}) {
+    p.Observe(lambda, c * lambda);
+  }
+  EXPECT_NEAR(p.EstimateDemandPerRequest(), c, 1e-9);
+}
+
+TEST(WorkProfilerTest, NoisyDataConverges) {
+  WorkProfiler p;
+  Rng rng(13);
+  const double c = 90.0;
+  for (int i = 0; i < 5'000; ++i) {
+    const double lambda = rng.Uniform(100.0, 1'000.0);
+    const double noise = rng.Uniform(0.9, 1.1);
+    p.Observe(lambda, c * lambda * noise);
+  }
+  EXPECT_NEAR(p.EstimateDemandPerRequest(), c, c * 0.02);
+}
+
+TEST(WorkProfilerTest, ZeroThroughputIsUninformative) {
+  WorkProfiler p;
+  p.Observe(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.EstimateDemandPerRequest(7.0), 7.0);
+  p.Observe(10.0, 100.0);
+  EXPECT_NEAR(p.EstimateDemandPerRequest(), 10.0, 1e-9);
+}
+
+TEST(WorkProfilerTest, ForgettingAdaptsToDrift) {
+  WorkProfiler adaptive(/*forgetting=*/0.9);
+  WorkProfiler frozen(/*forgetting=*/1.0);
+  // Old regime: c = 50; new regime: c = 100.
+  for (int i = 0; i < 200; ++i) {
+    adaptive.Observe(100.0, 50.0 * 100.0);
+    frozen.Observe(100.0, 50.0 * 100.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    adaptive.Observe(100.0, 100.0 * 100.0);
+    frozen.Observe(100.0, 100.0 * 100.0);
+  }
+  EXPECT_NEAR(adaptive.EstimateDemandPerRequest(), 100.0, 1.0);
+  EXPECT_LT(frozen.EstimateDemandPerRequest(), 70.0);
+}
+
+TEST(WorkProfilerTest, InvalidInputsThrow) {
+  WorkProfiler p;
+  EXPECT_THROW(p.Observe(-1.0, 10.0), std::logic_error);
+  EXPECT_THROW(p.Observe(10.0, -1.0), std::logic_error);
+  EXPECT_THROW(WorkProfiler(0.0), std::logic_error);
+  EXPECT_THROW(WorkProfiler(1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mwp
