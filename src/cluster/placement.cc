@@ -1,5 +1,6 @@
 #include "cluster/placement.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mwp {
@@ -10,6 +11,13 @@ std::vector<int> PlacementMatrix::NodesOf(int app) const {
     if (at(app, n) > 0) nodes.push_back(n);
   }
   return nodes;
+}
+
+int FirstNodeOf(const PlacementMatrix& p, int app) {
+  for (int n = 0; n < p.num_nodes(); ++n) {
+    if (p.at(app, n) > 0) return n;
+  }
+  return kInvalidNode;
 }
 
 std::string PlacementMatrix::ToString() const {
@@ -58,14 +66,19 @@ std::vector<PlacementChange> DiffPlacements(
   MWP_CHECK(static_cast<int>(addition_is_resume.size()) == from.num_apps());
 
   std::vector<PlacementChange> changes;
+  std::vector<int> removed_nodes;
+  std::vector<int> added_nodes;
   for (int m = 0; m < from.num_apps(); ++m) {
     // Per-node deltas for this app; removals and additions are paired into
     // migrations first (a removal on one node with a matching addition on
     // another is one live migration, not a stop + start).
-    std::vector<int> removed_nodes;
-    std::vector<int> added_nodes;
+    const int* from_row = from.RowData(m);
+    const int* to_row = to.RowData(m);
+    if (std::equal(from_row, from_row + from.num_nodes(), to_row)) continue;
+    removed_nodes.clear();
+    added_nodes.clear();
     for (int n = 0; n < from.num_nodes(); ++n) {
-      int delta = to.at(m, n) - from.at(m, n);
+      int delta = to_row[n] - from_row[n];
       for (; delta < 0; ++delta) removed_nodes.push_back(n);
       for (; delta > 0; --delta) added_nodes.push_back(n);
     }

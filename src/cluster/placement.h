@@ -48,17 +48,39 @@ class DenseMatrix {
                   static_cast<std::size_t>(node)];
   }
 
+  /// Direct pointer to one application's row (num_nodes() cells). Bounds-
+  /// checks the row once — for hot loops that would otherwise pay a
+  /// per-cell check through at().
+  const T* RowData(int app) const {
+    MWP_CHECK_MSG(app >= 0 && app < num_apps_, "row " << app << " out of "
+                                                      << num_apps_);
+    return cells_.data() +
+           static_cast<std::size_t>(app) * static_cast<std::size_t>(num_nodes_);
+  }
+
   /// Sum over nodes for one application (a row sum).
   T RowSum(int app) const {
+    MWP_CHECK_MSG(app >= 0 && app < num_apps_, "row " << app << " out of "
+                                                      << num_apps_);
+    const std::size_t base =
+        static_cast<std::size_t>(app) * static_cast<std::size_t>(num_nodes_);
     T total{};
-    for (int n = 0; n < num_nodes_; ++n) total += at(app, n);
+    for (int n = 0; n < num_nodes_; ++n) {
+      total += cells_[base + static_cast<std::size_t>(n)];
+    }
     return total;
   }
 
   /// Sum over applications for one node (a column sum).
   T ColSum(int node) const {
+    MWP_CHECK_MSG(node >= 0 && node < num_nodes_, "col " << node << " out of "
+                                                         << num_nodes_);
+    const auto stride = static_cast<std::size_t>(num_nodes_);
     T total{};
-    for (int m = 0; m < num_apps_; ++m) total += at(m, node);
+    for (std::size_t i = static_cast<std::size_t>(node); i < cells_.size();
+         i += stride) {
+      total += cells_[i];
+    }
     return total;
   }
 
@@ -97,6 +119,11 @@ class PlacementMatrix : public internal::DenseMatrix<int> {
 
   std::string ToString() const;
 };
+
+/// First node hosting `app`, or kInvalidNode when unplaced. Allocation-free
+/// replacement for NodesOf(app).front() on single-instance entities — the
+/// evaluator calls this once per job per candidate.
+int FirstNodeOf(const PlacementMatrix& p, int app);
 
 /// CPU-load matrix L, MHz per (app, node) cell.
 class LoadMatrix : public internal::DenseMatrix<MHz> {

@@ -1,0 +1,42 @@
+#include "core/evaluation_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mwp {
+
+HypColumnCache::HypColumnCache(Seconds t_eval, std::vector<double> grid,
+                               int num_jobs)
+    : t_eval_(t_eval), grid_(std::move(grid)) {
+  MWP_CHECK(!grid_.empty());
+  MWP_CHECK(num_jobs >= 0);
+  per_job_.resize(static_cast<std::size_t>(num_jobs));
+}
+
+const HypotheticalRpf::Column* HypColumnCache::Get(
+    int job, const HypotheticalJobState& s) {
+  auto& map = per_job_.at(static_cast<std::size_t>(job));
+  const Key key{std::bit_cast<std::uint64_t>(s.work_done),
+                std::bit_cast<std::uint64_t>(s.start_delay)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.get();
+    }
+  }
+  // Compute outside the lock; columns are deterministic in (state, t_eval,
+  // grid), so a concurrent duplicate computation yields the same bits and
+  // the loser's copy is simply dropped.
+  auto col = std::make_unique<HypotheticalRpf::Column>(
+      HypotheticalRpf::ComputeColumn(s, t_eval_, grid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map.try_emplace(key, std::move(col));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
+}
+
+}  // namespace mwp

@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -17,13 +18,36 @@ PlacementEvaluator::PlacementEvaluator(const PlacementSnapshot* snapshot,
       distributor_(snapshot, options_.distributor) {
   MWP_CHECK(snapshot_ != nullptr);
   MWP_CHECK(options_.tie_tolerance >= 0.0);
+  grid_ = options_.grid.empty() ? HypotheticalRpf::DefaultGrid() : options_.grid;
+
+  const PlacementSnapshot& snap = *snapshot_;
+  removal_is_suspend_.assign(static_cast<std::size_t>(snap.num_entities()),
+                             false);
+  addition_is_resume_.assign(static_cast<std::size_t>(snap.num_entities()),
+                             false);
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    removal_is_suspend_[static_cast<std::size_t>(snap.EntityOfJob(j))] = true;
+    addition_is_resume_[static_cast<std::size_t>(snap.EntityOfJob(j))] =
+        snap.job(j).status == JobStatus::kSuspended;
+  }
+
+  if (options_.incremental) {
+    column_cache_ = std::make_unique<HypColumnCache>(
+        snap.now() + snap.control_cycle(), grid_, snap.num_jobs());
+  }
 }
 
 PlacementEvaluation PlacementEvaluator::Evaluate(
     const PlacementMatrix& p) const {
+  return Evaluate(p, scratch_, nullptr);
+}
+
+PlacementEvaluation PlacementEvaluator::Evaluate(
+    const PlacementMatrix& p, EvalScratch& scratch,
+    const PlacementEvaluation* reject_bound) const {
   const PlacementSnapshot& snap = *snapshot_;
   PlacementEvaluation eval;
-  eval.distribution = distributor_.Distribute(p);
+  eval.distribution = distributor_.Distribute(p, scratch.distributor);
   eval.entity_utilities.assign(static_cast<std::size_t>(snap.num_entities()),
                                kUtilityFloor);
   eval.job_future_speeds.assign(static_cast<std::size_t>(snap.num_jobs()), 0.0);
@@ -32,9 +56,10 @@ PlacementEvaluation PlacementEvaluator::Evaluate(
 
   // Advance each job through the next cycle; collect still-incomplete jobs
   // for the hypothetical RPF evaluated at cycle end.
-  std::vector<HypotheticalJobState> hyp_jobs;
-  std::vector<int> hyp_index;  // job index per hyp entry
-  hyp_jobs.reserve(static_cast<std::size_t>(snap.num_jobs()));
+  std::vector<HypotheticalJobState>& hyp_jobs = scratch.hyp_jobs;
+  std::vector<int>& hyp_index = scratch.hyp_index;  // job index per hyp entry
+  hyp_jobs.clear();
+  hyp_index.clear();
   for (int j = 0; j < snap.num_jobs(); ++j) {
     const JobView& jv = snap.job(j);
     const int entity = snap.EntityOfJob(j);
@@ -45,8 +70,8 @@ PlacementEvaluation PlacementEvaluator::Evaluate(
     Seconds start_delay_at_end = 0.0;
     if (eval.distribution.placed[static_cast<std::size_t>(entity)] &&
         alloc > 0.0) {
-      const std::vector<int> nodes = p.NodesOf(entity);
-      const Seconds exec_start = JobExecStart(snap, jv, nodes.front());
+      const int node = FirstNodeOf(p, entity);
+      const Seconds exec_start = JobExecStart(snap, jv, node);
       if (exec_start < cycle_end) {
         done = jv.profile->WorkAfterRunning(done, alloc, cycle_end - exec_start);
         if (jv.profile->RemainingWork(done) <= kEpsilon) {
@@ -77,16 +102,54 @@ PlacementEvaluation PlacementEvaluator::Evaluate(
   }
 
   if (!hyp_jobs.empty()) {
-    const std::vector<double> grid =
-        options_.grid.empty() ? HypotheticalRpf::DefaultGrid() : options_.grid;
-    const HypotheticalRpf hyp(std::move(hyp_jobs), cycle_end, grid);
-    const auto outcomes = hyp.Evaluate(eval.batch_allocation);
-    for (std::size_t k = 0; k < outcomes.size(); ++k) {
-      const int entity = snap.EntityOfJob(hyp_index[k]);
-      eval.entity_utilities[static_cast<std::size_t>(entity)] =
-          outcomes[k].utility;
-      eval.job_future_speeds[static_cast<std::size_t>(hyp_index[k])] =
-          outcomes[k].speed;
+    if (column_cache_ != nullptr) {
+      // Assemble the hypothetical RPF from memoized per-job columns; the
+      // interpolation runs through the same EvaluateColumns as the
+      // from-scratch constructor path.
+      std::vector<const HypotheticalRpf::Column*>& cols = scratch.columns;
+      cols.resize(hyp_jobs.size());
+      if (scratch.last_columns.size() !=
+          static_cast<std::size_t>(snap.num_jobs())) {
+        scratch.last_columns.assign(static_cast<std::size_t>(snap.num_jobs()),
+                                    {});
+      }
+      for (std::size_t k = 0; k < hyp_jobs.size(); ++k) {
+        const HypotheticalJobState& hs = hyp_jobs[k];
+        EvalScratch::ColumnMemo& memo =
+            scratch.last_columns[static_cast<std::size_t>(hyp_index[k])];
+        const auto wb = std::bit_cast<std::uint64_t>(hs.work_done);
+        const auto db = std::bit_cast<std::uint64_t>(hs.start_delay);
+        if (memo.col == nullptr || memo.work_bits != wb ||
+            memo.delay_bits != db) {
+          memo = {wb, db, column_cache_->Get(hyp_index[k], hs)};
+        }
+        cols[k] = memo.col;
+      }
+      scratch.row_sums.assign(grid_.size(), 0.0);
+      HypotheticalRpf::AccumulateRowSums(cols, scratch.row_sums);
+      scratch.outcomes.resize(hyp_jobs.size());
+      HypotheticalRpf::EvaluateColumns(cols, scratch.row_sums,
+                                       eval.batch_allocation,
+                                       scratch.outcomes);
+      for (std::size_t k = 0; k < scratch.outcomes.size(); ++k) {
+        const int entity = snap.EntityOfJob(hyp_index[k]);
+        eval.entity_utilities[static_cast<std::size_t>(entity)] =
+            scratch.outcomes[k].utility;
+        eval.job_future_speeds[static_cast<std::size_t>(hyp_index[k])] =
+            scratch.outcomes[k].speed;
+      }
+    } else {
+      const HypotheticalRpf hyp(
+          std::vector<HypotheticalJobState>(hyp_jobs.begin(), hyp_jobs.end()),
+          cycle_end, grid_);
+      const auto outcomes = hyp.Evaluate(eval.batch_allocation);
+      for (std::size_t k = 0; k < outcomes.size(); ++k) {
+        const int entity = snap.EntityOfJob(hyp_index[k]);
+        eval.entity_utilities[static_cast<std::size_t>(entity)] =
+            outcomes[k].utility;
+        eval.job_future_speeds[static_cast<std::size_t>(hyp_index[k])] =
+            outcomes[k].speed;
+      }
     }
   }
 
@@ -104,19 +167,23 @@ PlacementEvaluation PlacementEvaluator::Evaluate(
     }
   }
 
-  // Changes relative to the in-effect placement. Removals of incomplete jobs
-  // are suspensions; additions of previously suspended jobs are resumes.
-  std::vector<bool> removal_is_suspend(
-      static_cast<std::size_t>(snap.num_entities()), false);
-  std::vector<bool> addition_is_resume(
-      static_cast<std::size_t>(snap.num_entities()), false);
-  for (int j = 0; j < snap.num_jobs(); ++j) {
-    removal_is_suspend[static_cast<std::size_t>(snap.EntityOfJob(j))] = true;
-    addition_is_resume[static_cast<std::size_t>(snap.EntityOfJob(j))] =
-        snap.job(j).status == JobStatus::kSuspended;
+  if (reject_bound != nullptr && !eval.entity_utilities.empty() &&
+      !reject_bound->sorted_utilities.empty()) {
+    // Lexicographic early exit: the candidate's minimum utility is its
+    // sorted index 0. Losing there by more than the tolerance is exactly
+    // Compare's first -1 branch — no later index can save the candidate —
+    // so skip materializing the sorted vector and the change list.
+    const Utility cand_min = *std::min_element(eval.entity_utilities.begin(),
+                                               eval.entity_utilities.end());
+    if (cand_min - reject_bound->sorted_utilities[0] <
+        -options_.tie_tolerance) {
+      eval.rejected_by_bound = true;
+      return eval;
+    }
   }
+
   eval.changes = DiffPlacements(snap.current_placement(), p,
-                                removal_is_suspend, addition_is_resume);
+                                removal_is_suspend_, addition_is_resume_);
 
   eval.sorted_utilities = eval.entity_utilities;
   std::sort(eval.sorted_utilities.begin(), eval.sorted_utilities.end());
@@ -125,6 +192,8 @@ PlacementEvaluation PlacementEvaluator::Evaluate(
 
 int PlacementEvaluator::Compare(const PlacementEvaluation& a,
                                 const PlacementEvaluation& b) const {
+  MWP_CHECK_MSG(!a.rejected_by_bound && !b.rejected_by_bound,
+                "bound-rejected evaluations have no sorted vector to compare");
   MWP_CHECK(a.sorted_utilities.size() == b.sorted_utilities.size());
   for (std::size_t i = 0; i < a.sorted_utilities.size(); ++i) {
     const double diff = a.sorted_utilities[i] - b.sorted_utilities[i];
@@ -134,6 +203,14 @@ int PlacementEvaluator::Compare(const PlacementEvaluation& a,
   if (a.changes.size() < b.changes.size()) return 1;
   if (a.changes.size() > b.changes.size()) return -1;
   return 0;
+}
+
+std::size_t PlacementEvaluator::cache_hits() const {
+  return column_cache_ != nullptr ? column_cache_->hits() : 0;
+}
+
+std::size_t PlacementEvaluator::cache_misses() const {
+  return column_cache_ != nullptr ? column_cache_->misses() : 0;
 }
 
 }  // namespace mwp

@@ -16,11 +16,24 @@
 // score; comparison is lexicographic with a tolerance, with the number of
 // placement changes as tie-breaker (the paper keeps the incumbent when RP
 // vectors tie — Figure 1, S1 cycle 2).
+//
+// Hot path: with Options::incremental (the default) step 3 assembles the
+// hypothetical RPF from per-job columns memoized in a HypColumnCache
+// instead of recomputing the W/V matrix, and all per-call buffers live in
+// an EvalScratch. Both paths funnel through the same column / interpolation
+// code, so incremental evaluation is bit-for-bit identical to the
+// from-scratch path (property-tested). Evaluate also accepts an optional
+// reject bound: a candidate whose minimum utility already loses
+// lexicographically against the bound at index 0 is rejected before the
+// full sorted vector and change list are materialized — exactly the
+// outcome Compare would reach, at a fraction of the cost.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "cluster/placement.h"
+#include "core/evaluation_cache.h"
 #include "core/hypothetical_rpf.h"
 #include "core/load_distributor.h"
 #include "core/snapshot.h"
@@ -43,6 +56,11 @@ struct PlacementEvaluation {
   /// W matrix (jobs completing within the cycle carry their current
   /// allocation). Indexed like the snapshot's jobs.
   std::vector<MHz> job_future_speeds;
+  /// True when the evaluation was cut short by the reject bound: the
+  /// candidate's minimum utility loses at sorted index 0, so Compare
+  /// against the bound would return -1. sorted_utilities and changes are
+  /// not populated in that case.
+  bool rejected_by_bound = false;
 };
 
 class PlacementEvaluator {
@@ -58,12 +76,26 @@ class PlacementEvaluator {
     LoadDistributor::Options distributor;
     /// Sampling grid for the hypothetical RPF; empty = default grid.
     std::vector<double> grid;
+    /// true: memoize per-job hypothetical-RPF columns across Evaluate calls
+    /// and reuse scratch buffers. false: rebuild everything from scratch
+    /// each call (the reference path the equivalence tests compare
+    /// against). Results are bit-for-bit identical either way.
+    bool incremental = true;
   };
 
   explicit PlacementEvaluator(const PlacementSnapshot* snapshot);
   PlacementEvaluator(const PlacementSnapshot* snapshot, Options options);
 
   PlacementEvaluation Evaluate(const PlacementMatrix& p) const;
+
+  /// As above with caller-provided scratch (one per thread for concurrent
+  /// evaluation) and an optional reject bound: when `reject_bound` is
+  /// non-null and the candidate's minimum utility loses against
+  /// reject_bound->sorted_utilities[0] by more than the tie tolerance, the
+  /// returned evaluation has rejected_by_bound set and omits the sorted
+  /// vector and change list.
+  PlacementEvaluation Evaluate(const PlacementMatrix& p, EvalScratch& scratch,
+                               const PlacementEvaluation* reject_bound) const;
 
   /// Lexicographic comparison of sorted utility vectors with tolerance:
   /// returns +1 when `a` is strictly better, -1 when worse, 0 when tied.
@@ -73,10 +105,25 @@ class PlacementEvaluator {
   const PlacementSnapshot& snapshot() const { return *snapshot_; }
   const Options& options() const { return options_; }
 
+  /// Column-cache statistics (zero when incremental is off).
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+
  private:
   const PlacementSnapshot* snapshot_;
   Options options_;
   LoadDistributor distributor_;
+  /// The resolved sampling grid (options_.grid or the default).
+  std::vector<double> grid_;
+  /// Change-kind lookups, fixed per snapshot: removals of incomplete jobs
+  /// are suspensions; additions of previously suspended jobs are resumes.
+  std::vector<bool> removal_is_suspend_;
+  std::vector<bool> addition_is_resume_;
+  /// Memoized hypothetical columns (null when incremental is off). The
+  /// cache is behaviourally transparent, hence usable from const Evaluate.
+  std::unique_ptr<HypColumnCache> column_cache_;
+  /// Scratch for the one-argument Evaluate overload.
+  mutable EvalScratch scratch_;
 };
 
 }  // namespace mwp

@@ -14,7 +14,101 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 using speed_math::InvertRemainingTime;
 
+/// Eq. 3 for one job state: speed needed from t_eval to reach utility u;
+/// infinity when the deadline is unreachable.
+MHz RequiredSpeedFor(const HypotheticalJobState& js, Seconds t_eval,
+                     Utility u) {
+  const Seconds deadline = js.goal.completion_goal - u * js.goal.relative_goal();
+  const Seconds budget = deadline - t_eval - js.start_delay;
+  if (budget <= 0.0) return kInf;
+  return InvertRemainingTime(*js.profile, js.work_done, budget);
+}
+
 }  // namespace
+
+HypotheticalRpf::Column HypotheticalRpf::ComputeColumn(
+    const HypotheticalJobState& js, Seconds t_eval,
+    std::span<const double> grid) {
+  MWP_CHECK(js.profile != nullptr);
+  MWP_CHECK_MSG(js.profile->RemainingWork(js.work_done) > kEpsilon,
+                "completed jobs must not enter the hypothetical RPF");
+  MWP_CHECK(js.start_delay >= 0.0);
+
+  Column col;
+  const Seconds earliest =
+      t_eval + js.start_delay + js.profile->MinRemainingTime(js.work_done);
+  const Utility raw =
+      (js.goal.completion_goal - earliest) / js.goal.relative_goal();
+  // Utilities above the top of the grid cannot influence decisions; clamp
+  // so that W/V rows stay well-defined (Eq. 4/5 clamp the same way).
+  col.u_max = std::min(raw, grid.back());
+  col.speed_at_max = RequiredSpeedFor(js, t_eval, col.u_max);
+  MWP_CHECK(std::isfinite(col.speed_at_max));
+
+  const std::size_t rows = grid.size();
+  col.w.resize(rows);
+  col.v.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (grid[i] < col.u_max) {
+      col.w[i] = RequiredSpeedFor(js, t_eval, grid[i]);
+      col.v[i] = grid[i];
+    } else {
+      col.w[i] = col.speed_at_max;
+      col.v[i] = col.u_max;
+    }
+  }
+  return col;
+}
+
+void HypotheticalRpf::AccumulateRowSums(std::span<const Column* const> cols,
+                                        std::span<MHz> row_sums) {
+  // Jobs in index order per row — the same addition order as the seed's
+  // row-major construction, so sums are bit-for-bit reproducible.
+  for (const Column* col : cols) {
+    MWP_CHECK(col != nullptr && col->w.size() == row_sums.size());
+    for (std::size_t i = 0; i < row_sums.size(); ++i) row_sums[i] += col->w[i];
+  }
+}
+
+void HypotheticalRpf::EvaluateColumns(std::span<const Column* const> cols,
+                                      std::span<const MHz> row_sums,
+                                      MHz aggregate,
+                                      std::span<JobOutcome> out) {
+  MWP_CHECK(aggregate >= 0.0);
+  MWP_CHECK(out.size() == cols.size());
+  const std::size_t m_count = cols.size();
+  if (m_count == 0) return;
+  const auto rows = row_sums.size();
+
+  if (aggregate >= row_sums.back()) {
+    // Enough CPU for every job to reach its maximum achievable utility.
+    for (std::size_t m = 0; m < m_count; ++m) {
+      out[m] = {cols[m]->v[rows - 1], cols[m]->w[rows - 1]};
+    }
+    return;
+  }
+  if (aggregate <= row_sums.front()) {
+    // Below even the floor row: scale the floor speeds down proportionally
+    // and report the floor utility (relative performance is clamped below).
+    const double f = row_sums.front() > 0.0 ? aggregate / row_sums.front() : 0.0;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      out[m] = {cols[m]->v[0], cols[m]->w[0] * f};
+    }
+    return;
+  }
+  // Bracket A_k <= aggregate <= A_{k+1} (Eq. 6); row sums are monotone.
+  auto it = std::upper_bound(row_sums.begin(), row_sums.end(), aggregate);
+  const auto hi = static_cast<std::size_t>(it - row_sums.begin());
+  const std::size_t lo = hi - 1;
+  MWP_CHECK(hi < rows);
+  const MHz span = row_sums[hi] - row_sums[lo];
+  const double f = span > kEpsilon ? (aggregate - row_sums[lo]) / span : 0.0;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const MHz speed = cols[m]->w[lo] + f * (cols[m]->w[hi] - cols[m]->w[lo]);
+    const Utility u = cols[m]->v[lo] + f * (cols[m]->v[hi] - cols[m]->v[lo]);
+    out[m] = {u, speed};
+  }
+}
 
 HypotheticalRpf::HypotheticalRpf(std::vector<HypotheticalJobState> jobs,
                                  Seconds t_eval, std::span<const double> grid)
@@ -25,60 +119,24 @@ HypotheticalRpf::HypotheticalRpf(std::vector<HypotheticalJobState> jobs,
   }
   MWP_CHECK_MSG(ApproxEqual(grid_.back(), 1.0), "grid must end at u = 1");
 
-  const int m_count = num_jobs();
-  u_max_.resize(static_cast<std::size_t>(m_count));
-  speed_at_max_.resize(static_cast<std::size_t>(m_count));
-  for (int m = 0; m < m_count; ++m) {
-    const HypotheticalJobState& js = jobs_[static_cast<std::size_t>(m)];
-    MWP_CHECK(js.profile != nullptr);
-    MWP_CHECK_MSG(js.profile->RemainingWork(js.work_done) > kEpsilon,
-                  "completed jobs must not enter the hypothetical RPF");
-    MWP_CHECK(js.start_delay >= 0.0);
-    const Seconds earliest =
-        t_eval_ + js.start_delay + js.profile->MinRemainingTime(js.work_done);
-    const Utility raw =
-        (js.goal.completion_goal - earliest) / js.goal.relative_goal();
-    // Utilities above the top of the grid cannot influence decisions; clamp
-    // so that W/V rows stay well-defined (Eq. 4/5 clamp the same way).
-    u_max_[static_cast<std::size_t>(m)] = std::min(raw, grid_.back());
-    speed_at_max_[static_cast<std::size_t>(m)] =
-        RequiredSpeed(m, u_max_[static_cast<std::size_t>(m)]);
-    MWP_CHECK(std::isfinite(speed_at_max_[static_cast<std::size_t>(m)]));
+  const auto m_count = jobs_.size();
+  cols_.reserve(m_count);
+  for (const HypotheticalJobState& js : jobs_) {
+    cols_.push_back(ComputeColumn(js, t_eval_, grid_));
   }
-
-  const std::size_t rows = grid_.size();
-  w_.assign(rows * static_cast<std::size_t>(m_count), 0.0);
-  v_.assign(rows * static_cast<std::size_t>(m_count), 0.0);
-  row_sum_.assign(rows, 0.0);
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (int m = 0; m < m_count; ++m) {
-      const std::size_t cell = i * static_cast<std::size_t>(m_count) +
-                               static_cast<std::size_t>(m);
-      const Utility u_cap = u_max_[static_cast<std::size_t>(m)];
-      if (grid_[i] < u_cap) {
-        w_[cell] = RequiredSpeed(m, grid_[i]);
-        v_[cell] = grid_[i];
-      } else {
-        w_[cell] = speed_at_max_[static_cast<std::size_t>(m)];
-        v_[cell] = u_cap;
-      }
-      row_sum_[i] += w_[cell];
-    }
-  }
+  row_sum_.assign(grid_.size(), 0.0);
+  std::vector<const Column*> ptrs(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) ptrs[m] = &cols_[m];
+  AccumulateRowSums(ptrs, row_sum_);
 }
 
 MHz HypotheticalRpf::RequiredSpeed(int job, Utility u) const {
-  const HypotheticalJobState& js = jobs_.at(static_cast<std::size_t>(job));
-  const Seconds deadline =
-      js.goal.completion_goal - u * js.goal.relative_goal();
-  const Seconds budget = deadline - t_eval_ - js.start_delay;
-  if (budget <= 0.0) return kInf;
-  return InvertRemainingTime(*js.profile, js.work_done, budget);
+  return RequiredSpeedFor(jobs_.at(static_cast<std::size_t>(job)), t_eval_, u);
 }
 
 MHz HypotheticalRpf::SpeedFor(int job, Utility u) const {
-  const Utility cap = u_max_.at(static_cast<std::size_t>(job));
-  if (u >= cap) return speed_at_max_.at(static_cast<std::size_t>(job));
+  const Column& col = cols_.at(static_cast<std::size_t>(job));
+  if (u >= col.u_max) return col.speed_at_max;
   return RequiredSpeed(job, u);
 }
 
@@ -89,57 +147,25 @@ MHz HypotheticalRpf::AggregateAllocationFor(Utility u) const {
 }
 
 MHz HypotheticalRpf::W(int i, int m) const {
-  return w_.at(static_cast<std::size_t>(i) *
-                   static_cast<std::size_t>(num_jobs()) +
-               static_cast<std::size_t>(m));
+  return cols_.at(static_cast<std::size_t>(m))
+      .w.at(static_cast<std::size_t>(i));
 }
 
 Utility HypotheticalRpf::V(int i, int m) const {
-  return v_.at(static_cast<std::size_t>(i) *
-                   static_cast<std::size_t>(num_jobs()) +
-               static_cast<std::size_t>(m));
+  return cols_.at(static_cast<std::size_t>(m))
+      .v.at(static_cast<std::size_t>(i));
 }
 
 std::vector<HypotheticalRpf::JobOutcome> HypotheticalRpf::Evaluate(
     MHz aggregate) const {
-  MWP_CHECK(aggregate >= 0.0);
   std::vector<JobOutcome> out(static_cast<std::size_t>(num_jobs()));
-  if (num_jobs() == 0) return out;
-  const int rows = grid_size();
-
-  if (aggregate >= row_sum_.back()) {
-    // Enough CPU for every job to reach its maximum achievable utility.
-    for (int m = 0; m < num_jobs(); ++m) {
-      out[static_cast<std::size_t>(m)] = {V(rows - 1, m), W(rows - 1, m)};
-    }
+  if (num_jobs() == 0) {
+    MWP_CHECK(aggregate >= 0.0);
     return out;
   }
-  if (aggregate <= row_sum_.front()) {
-    // Below even the floor row: scale the floor speeds down proportionally
-    // and report the floor utility (relative performance is clamped below).
-    const double f =
-        row_sum_.front() > 0.0 ? aggregate / row_sum_.front() : 0.0;
-    for (int m = 0; m < num_jobs(); ++m) {
-      out[static_cast<std::size_t>(m)] = {V(0, m), W(0, m) * f};
-    }
-    return out;
-  }
-  // Bracket A_k <= aggregate <= A_{k+1} (Eq. 6); row sums are monotone.
-  auto it = std::upper_bound(row_sum_.begin(), row_sum_.end(), aggregate);
-  const int hi = static_cast<int>(it - row_sum_.begin());
-  const int lo = hi - 1;
-  MWP_CHECK(lo >= 0 && hi < rows);
-  const MHz span = row_sum_[static_cast<std::size_t>(hi)] -
-                   row_sum_[static_cast<std::size_t>(lo)];
-  const double f =
-      span > kEpsilon
-          ? (aggregate - row_sum_[static_cast<std::size_t>(lo)]) / span
-          : 0.0;
-  for (int m = 0; m < num_jobs(); ++m) {
-    const MHz speed = W(lo, m) + f * (W(hi, m) - W(lo, m));
-    const Utility u = V(lo, m) + f * (V(hi, m) - V(lo, m));
-    out[static_cast<std::size_t>(m)] = {u, speed};
-  }
+  std::vector<const Column*> ptrs(cols_.size());
+  for (std::size_t m = 0; m < cols_.size(); ++m) ptrs[m] = &cols_[m];
+  EvaluateColumns(ptrs, row_sum_, aggregate, out);
   return out;
 }
 

@@ -16,6 +16,13 @@
 // allocation ω_g, the bracket A_k ≤ ω_g ≤ A_{k+1} is found and each job's
 // speed and utility are linearly interpolated between rows k and k+1 —
 // the paper's approximation that avoids solving a linear system online.
+//
+// The W/V matrix is stored column-per-job: a job's column depends only on
+// its (work_done, start_delay) state at the evaluation instant, so columns
+// can be computed once (ComputeColumn) and shared across the many candidate
+// placements the optimizer scores per cycle (see EvaluationCache). Both the
+// full-matrix constructor and the cached path funnel through ComputeColumn
+// and EvaluateColumns, which keeps them bit-for-bit identical.
 #pragma once
 
 #include <span>
@@ -46,6 +53,16 @@ class HypotheticalRpf {
     MHz speed = 0.0;
   };
 
+  /// One job's column of the W/V matrices: required speed and clamped
+  /// utility per grid row, plus the clamp values (Eqs. 4/5). Depends only
+  /// on the job's state, the evaluation instant and the grid.
+  struct Column {
+    Utility u_max = 0.0;
+    MHz speed_at_max = 0.0;
+    std::vector<MHz> w;      // per grid row
+    std::vector<Utility> v;  // per grid row
+  };
+
   /// `grid` is the sampling grid u_1 < … < u_R (the paper's target relative
   /// performance values); it must end at 1.0. Jobs with no remaining work
   /// must be filtered out by the caller.
@@ -65,7 +82,7 @@ class HypotheticalRpf {
   /// Maximum achievable relative performance of job m (start at t_eval +
   /// start_delay, run at max speed).
   Utility MaxAchievable(int job) const {
-    return u_max_.at(static_cast<std::size_t>(job));
+    return cols_.at(static_cast<std::size_t>(job)).u_max;
   }
 
   /// Aggregate speed needed for every job to reach utility u (Σ_m W(u));
@@ -95,6 +112,25 @@ class HypotheticalRpf {
   Utility V(int i, int m) const;
   MHz RowAggregate(int i) const { return row_sum_.at(static_cast<std::size_t>(i)); }
 
+  /// Computes one job's W/V column for `grid` at `t_eval` — the unit the
+  /// evaluation cache memoizes. Checks the job state invariants (profile
+  /// present, work remaining, non-negative delay).
+  static Column ComputeColumn(const HypotheticalJobState& js, Seconds t_eval,
+                              std::span<const double> grid);
+
+  /// Accumulates row sums A_i = Σ_m cols[m]->w[i] into `row_sums` (which
+  /// must be pre-sized to the grid size and zeroed). Jobs are summed in
+  /// index order so results match the full-matrix constructor exactly.
+  static void AccumulateRowSums(std::span<const Column* const> cols,
+                                std::span<MHz> row_sums);
+
+  /// The Eq. 6 bracket + interpolation over precomputed columns; writes one
+  /// outcome per column into `out` (sized like `cols`). This is the single
+  /// implementation the member Evaluate also uses.
+  static void EvaluateColumns(std::span<const Column* const> cols,
+                              std::span<const MHz> row_sums, MHz aggregate,
+                              std::span<JobOutcome> out);
+
   /// The default sampling grid: a floor point plus a grid dense near the
   /// [0, 1] region where decisions are made.
   static std::vector<double> DefaultGrid();
@@ -107,11 +143,8 @@ class HypotheticalRpf {
   std::vector<HypotheticalJobState> jobs_;
   Seconds t_eval_;
   std::vector<double> grid_;
-  std::vector<Utility> u_max_;        // per job
-  std::vector<MHz> speed_at_max_;     // per job: speed achieving u_max
-  std::vector<MHz> w_;                // grid_size x num_jobs, row-major
-  std::vector<Utility> v_;            // grid_size x num_jobs, row-major
-  std::vector<MHz> row_sum_;          // A_i
+  std::vector<Column> cols_;   // one W/V column per job
+  std::vector<MHz> row_sum_;   // A_i
 
   /// Unclamped required speed (Eq. 3 generalized to stage-capped profiles);
   /// returns infinity when the deadline is unreachable.

@@ -1,9 +1,9 @@
 #include "core/load_distributor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "common/check.h"
 #include "core/job_rpf.h"
@@ -12,76 +12,17 @@
 namespace mwp {
 namespace {
 
-/// Max-flow (Edmonds–Karp) on a small dense graph; capacities are doubles.
-/// Routes fill-entity demands through the nodes hosting their instances.
-class DenseMaxFlow {
- public:
-  explicit DenseMaxFlow(int vertices)
-      : n_(vertices),
-        cap_(static_cast<std::size_t>(vertices) *
-                 static_cast<std::size_t>(vertices),
-             0.0) {}
-
-  void AddCapacity(int from, int to, double capacity) {
-    cap_[Index(from, to)] += capacity;
-  }
-
-  double Run(int source, int sink) {
-    double total = 0.0;
-    std::vector<int> parent(static_cast<std::size_t>(n_));
-    for (;;) {
-      std::fill(parent.begin(), parent.end(), -1);
-      parent[static_cast<std::size_t>(source)] = source;
-      std::queue<int> bfs;
-      bfs.push(source);
-      while (!bfs.empty() && parent[static_cast<std::size_t>(sink)] < 0) {
-        const int u = bfs.front();
-        bfs.pop();
-        for (int v = 0; v < n_; ++v) {
-          if (parent[static_cast<std::size_t>(v)] < 0 &&
-              cap_[Index(u, v)] > kFlowEps) {
-            parent[static_cast<std::size_t>(v)] = u;
-            bfs.push(v);
-          }
-        }
-      }
-      if (parent[static_cast<std::size_t>(sink)] < 0) break;
-      double bottleneck = std::numeric_limits<double>::infinity();
-      for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
-        bottleneck = std::min(
-            bottleneck, cap_[Index(parent[static_cast<std::size_t>(v)], v)]);
-      }
-      for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
-        const int u = parent[static_cast<std::size_t>(v)];
-        cap_[Index(u, v)] -= bottleneck;
-        cap_[Index(v, u)] += bottleneck;
-      }
-      total += bottleneck;
-    }
-    return total;
-  }
-
-  /// Flow pushed over edge (from, to): the reverse residual accumulated.
-  double FlowOn(int from, int to, double original_capacity) const {
-    return original_capacity - cap_[Index(from, to)];
-  }
-
-  static constexpr double kFlowEps = 1e-9;
-
- private:
-  std::size_t Index(int from, int to) const {
-    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(to);
-  }
-  int n_;
-  std::vector<double> cap_;
-};
+constexpr double kFlowEps = 1e-9;
 
 /// Current-stage max speed of a job view.
 MHz StageMaxSpeed(const JobView& jv) {
   const int stage = std::min(jv.profile->StageAt(jv.work_done),
                              jv.profile->num_stages() - 1);
   return jv.profile->stage(stage).max_speed;
+}
+
+std::uint64_t LevelKey(Utility level) {
+  return std::bit_cast<std::uint64_t>(level);
 }
 
 }  // namespace
@@ -99,11 +40,26 @@ struct LoadDistributor::FillEntity {
   bool active = false;
   MHz fixed_demand = 0.0;
   Utility fixed_utility = kUtilityFloor;
+  /// rpf->max_utility(), computed once per build (the RPFs are
+  /// deterministic, so this is the exact value every call would return).
+  Utility max_u = kUtilityFloor;
+  /// Demand curve memo (level bits → allocation); wired only for the batch
+  /// aggregate, whose curve is placement-independent.
+  std::unordered_map<std::uint64_t, MHz>* demand_memo = nullptr;
 
   /// Demand at a common level, clamped at the entity's own maximum.
   MHz DemandAt(Utility level) const {
     MWP_CHECK(rpf != nullptr);
-    return rpf->AllocationFor(std::min(level, rpf->max_utility()));
+    const Utility target = std::min(level, max_u);
+    if (demand_memo != nullptr) {
+      const std::uint64_t key = LevelKey(target);
+      auto it = demand_memo->find(key);
+      if (it != demand_memo->end()) return it->second;
+      const MHz alloc = rpf->AllocationFor(target);
+      demand_memo->emplace(key, alloc);
+      return alloc;
+    }
+    return rpf->AllocationFor(target);
   }
 };
 
@@ -140,29 +96,42 @@ LoadDistributor::LoadDistributor(const PlacementSnapshot* snapshot,
 }
 
 std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
-    const PlacementMatrix& p) const {
+    const PlacementMatrix& p, DistributorScratch& scratch) const {
   const PlacementSnapshot& snap = *snapshot_;
   std::vector<FillEntity> entities;
 
   if (options_.batch_aggregate) {
     // One entity for the whole batch workload, routed through the placed
-    // job instances.
+    // job instances. Per-node caps accumulate jobs in index order (the
+    // addition order determines the exact double). The hosting node of
+    // each job is recorded on the way for the final decomposition.
     FillEntity batch;
-    batch.kind = FillEntity::Kind::kBatch;
-    for (int n = 0; n < snap.num_nodes(); ++n) {
-      MHz cap = 0.0;
-      for (int j = 0; j < snap.num_jobs(); ++j) {
-        if (p.at(snap.EntityOfJob(j), n) > 0) cap += StageMaxSpeed(snap.job(j));
-      }
-      if (cap > 0.0) {
-        batch.nodes.push_back(n);
-        batch.edge_caps.push_back(cap);
+    std::vector<MHz> node_cap(static_cast<std::size_t>(snap.num_nodes()), 0.0);
+    scratch.job_node.assign(static_cast<std::size_t>(snap.num_jobs()), -1);
+    for (int j = 0; j < snap.num_jobs(); ++j) {
+      const int entity = snap.EntityOfJob(j);
+      const MHz stage_max = StageMaxSpeed(snap.job(j));
+      const int* row = p.RowData(entity);
+      for (int n = 0; n < snap.num_nodes(); ++n) {
+        if (row[n] > 0) {
+          node_cap[static_cast<std::size_t>(n)] += stage_max;
+          scratch.job_node[static_cast<std::size_t>(j)] = n;
+        }
       }
     }
+    for (int n = 0; n < snap.num_nodes(); ++n) {
+      if (node_cap[static_cast<std::size_t>(n)] > 0.0) {
+        batch.nodes.push_back(n);
+        batch.edge_caps.push_back(node_cap[static_cast<std::size_t>(n)]);
+      }
+    }
+    batch.kind = FillEntity::Kind::kBatch;
     if (!batch.nodes.empty()) {
       MWP_CHECK(hypothetical_ != nullptr);
       batch.rpf = std::make_unique<BatchAggregateRpf>(hypothetical_.get());
       batch.active = true;
+      batch.max_u = batch.rpf->max_utility();
+      batch.demand_memo = &scratch.batch_demand_memo;
       entities.push_back(std::move(batch));
     }
   } else {
@@ -182,6 +151,7 @@ std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
           jv.profile, jv.goal, jv.work_done,
           JobExecStart(snap, jv, nodes.front()));
       e.active = true;
+      e.max_u = e.rpf->max_utility();
       entities.push_back(std::move(e));
     }
   }
@@ -207,18 +177,76 @@ std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
     } else {
       e.rpf = std::make_unique<QueuingModel>(tv.app->ModelAt(tv.arrival_rate));
       e.active = true;
+      e.max_u = e.rpf->max_utility();
     }
     entities.push_back(std::move(e));
   }
   return entities;
 }
 
+void LoadDistributor::PrepareFlowNetwork(
+    const std::vector<FillEntity>& entities, DistributorScratch& scratch) const {
+  const PlacementSnapshot& snap = *snapshot_;
+  const int num_nodes = snap.num_nodes();
+  const int e_count = static_cast<int>(entities.size());
+  const int vertices = 2 + e_count + num_nodes;
+  const auto v_count = static_cast<std::size_t>(vertices);
+
+  scratch.vertices = vertices;
+  scratch.num_fill_entities = e_count;
+  scratch.cap_template.assign(v_count * v_count, 0.0);
+  auto tcap = [&](int from, int to) -> double& {
+    return scratch.cap_template[static_cast<std::size_t>(from) * v_count +
+                                static_cast<std::size_t>(to)];
+  };
+  const int sink = 1 + e_count + num_nodes;
+  for (int i = 0; i < e_count; ++i) {
+    const FillEntity& e = entities[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < e.nodes.size(); ++k) {
+      tcap(1 + i, 1 + e_count + e.nodes[k]) += e.edge_caps[k];
+    }
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    tcap(1 + e_count + n, sink) += snap.cluster().node(n).total_cpu();
+  }
+
+  // Neighbour lists in ascending vertex order so the BFS visits candidates
+  // exactly as the dense row scan it replaces did. An edge (u, v) can carry
+  // residual capacity iff the template has capacity on (u, v) or (v, u), or
+  // it is a source→entity demand edge (set per probe).
+  scratch.adj.assign(v_count, {});
+  auto connected = [&](int u, int v) {
+    if (scratch.cap_template[static_cast<std::size_t>(u) * v_count +
+                             static_cast<std::size_t>(v)] > 0.0 ||
+        scratch.cap_template[static_cast<std::size_t>(v) * v_count +
+                             static_cast<std::size_t>(u)] > 0.0) {
+      return true;
+    }
+    const auto is_entity = [&](int x) { return x >= 1 && x <= e_count; };
+    return (u == 0 && is_entity(v)) || (v == 0 && is_entity(u));
+  };
+  for (int u = 0; u < vertices; ++u) {
+    for (int v = 0; v < vertices; ++v) {
+      if (u != v && connected(u, v)) {
+        scratch.adj[static_cast<std::size_t>(u)].push_back(v);
+      }
+    }
+  }
+
+  scratch.cap.resize(v_count * v_count);
+  scratch.parent.resize(v_count);
+  scratch.bfs_queue.reserve(v_count);
+}
+
 bool LoadDistributor::RouteDemands(const std::vector<FillEntity>& entities,
                                    const std::vector<MHz>& demands,
+                                   DistributorScratch& scratch,
                                    std::vector<std::vector<MHz>>* routing) const {
   const PlacementSnapshot& snap = *snapshot_;
   const int num_nodes = snap.num_nodes();
   const int e_count = static_cast<int>(entities.size());
+  MWP_CHECK(scratch.num_fill_entities == e_count &&
+            scratch.vertices == 2 + e_count + num_nodes);
 
   MHz demand_total = 0.0;
   for (int i = 0; i < e_count; ++i) demand_total += demands[static_cast<std::size_t>(i)];
@@ -230,26 +258,67 @@ bool LoadDistributor::RouteDemands(const std::vector<FillEntity>& entities,
 
   const int source = 0;
   const int sink = 1 + e_count + num_nodes;
-  DenseMaxFlow flow(sink + 1);
+  const auto v_count = static_cast<std::size_t>(scratch.vertices);
+  std::vector<double>& cap = scratch.cap;
+  std::copy(scratch.cap_template.begin(), scratch.cap_template.end(),
+            cap.begin());
   for (int i = 0; i < e_count; ++i) {
-    const FillEntity& e = entities[static_cast<std::size_t>(i)];
-    flow.AddCapacity(source, 1 + i, demands[static_cast<std::size_t>(i)]);
-    for (std::size_t k = 0; k < e.nodes.size(); ++k) {
-      flow.AddCapacity(1 + i, 1 + e_count + e.nodes[k], e.edge_caps[k]);
+    cap[static_cast<std::size_t>(source) * v_count +
+        static_cast<std::size_t>(1 + i)] = demands[static_cast<std::size_t>(i)];
+  }
+
+  // Edmonds–Karp over the adjacency lists; BFS buffers are reused across
+  // probes and augmentations.
+  std::vector<int>& parent = scratch.parent;
+  std::vector<int>& queue = scratch.bfs_queue;
+  double pushed = 0.0;
+  for (;;) {
+    std::fill(parent.begin(), parent.end(), -1);
+    parent[static_cast<std::size_t>(source)] = source;
+    queue.clear();
+    queue.push_back(source);
+    for (std::size_t head = 0;
+         head < queue.size() && parent[static_cast<std::size_t>(sink)] < 0;
+         ++head) {
+      const int u = queue[head];
+      for (int v : scratch.adj[static_cast<std::size_t>(u)]) {
+        if (parent[static_cast<std::size_t>(v)] < 0 &&
+            cap[static_cast<std::size_t>(u) * v_count +
+                static_cast<std::size_t>(v)] > kFlowEps) {
+          parent[static_cast<std::size_t>(v)] = u;
+          queue.push_back(v);
+        }
+      }
     }
+    if (parent[static_cast<std::size_t>(sink)] < 0) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+      const int u = parent[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck,
+                            cap[static_cast<std::size_t>(u) * v_count +
+                                static_cast<std::size_t>(v)]);
+    }
+    for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+      const int u = parent[static_cast<std::size_t>(v)];
+      cap[static_cast<std::size_t>(u) * v_count + static_cast<std::size_t>(v)] -=
+          bottleneck;
+      cap[static_cast<std::size_t>(v) * v_count + static_cast<std::size_t>(u)] +=
+          bottleneck;
+    }
+    pushed += bottleneck;
   }
-  for (int n = 0; n < num_nodes; ++n) {
-    flow.AddCapacity(1 + e_count + n, sink, snap.cluster().node(n).total_cpu());
-  }
-  const double pushed = flow.Run(source, sink);
+
   if (pushed + 1e-6 < demand_total) return false;
   if (routing != nullptr) {
     for (int i = 0; i < e_count; ++i) {
       const FillEntity& e = entities[static_cast<std::size_t>(i)];
       for (std::size_t k = 0; k < e.nodes.size(); ++k) {
-        const double f = flow.FlowOn(1 + i, 1 + e_count + e.nodes[k],
-                                     e.edge_caps[k]);
-        if (f > DenseMaxFlow::kFlowEps) {
+        // Flow pushed over the edge: original capacity minus the residual.
+        const double f =
+            e.edge_caps[k] -
+            cap[static_cast<std::size_t>(1 + i) * v_count +
+                static_cast<std::size_t>(1 + e_count + e.nodes[k])];
+        if (f > kFlowEps) {
           (*routing)[static_cast<std::size_t>(i)]
                     [static_cast<std::size_t>(e.nodes[k])] = f;
         }
@@ -259,8 +328,8 @@ bool LoadDistributor::RouteDemands(const std::vector<FillEntity>& entities,
   return true;
 }
 
-void LoadDistributor::DecomposeNodeShare(const PlacementMatrix& p, int node,
-                                         MHz share,
+void LoadDistributor::DecomposeNodeShare(std::span<const int> local_jobs,
+                                         int node, MHz share,
                                          DistributionResult& result) const {
   const PlacementSnapshot& snap = *snapshot_;
   struct LocalJob {
@@ -268,24 +337,31 @@ void LoadDistributor::DecomposeNodeShare(const PlacementMatrix& p, int node,
     MHz cap;
     MHz min_alloc;
     JobCompletionRpf rpf;
+    Utility max_u;
+    /// min(cap, AllocationFor(max_u)) — the value demand_at takes for any
+    /// level at or above the job's max achievable utility (the common case
+    /// during the upper bisection probes).
+    MHz demand_at_max;
   };
   std::vector<LocalJob> local;
-  for (int j = 0; j < snap.num_jobs(); ++j) {
-    const int entity = snap.EntityOfJob(j);
-    if (p.at(entity, node) == 0) continue;
+  local.reserve(local_jobs.size());
+  for (int j : local_jobs) {
     const JobView& jv = snap.job(j);
-    local.push_back(LocalJob{entity, StageMaxSpeed(jv), jv.min_speed,
-                             JobCompletionRpf(jv.profile, jv.goal,
-                                              jv.work_done,
-                                              JobExecStart(snap, jv, node))});
+    JobCompletionRpf rpf(jv.profile, jv.goal, jv.work_done,
+                         JobExecStart(snap, jv, node));
+    const Utility max_u = rpf.max_utility();
+    const MHz cap = StageMaxSpeed(jv);
+    const MHz at_max = std::min(cap, rpf.AllocationFor(max_u));
+    local.push_back(LocalJob{snap.EntityOfJob(j), cap, jv.min_speed, rpf,
+                             max_u, at_max});
   }
   if (local.empty()) return;
 
   // Equalize the local jobs' completion RPFs within the share: bisection on
   // a common level with per-job clamping at their caps / max utilities.
   auto demand_at = [&](const LocalJob& j, Utility level) {
-    return std::min(j.cap,
-                    j.rpf.AllocationFor(std::min(level, j.rpf.max_utility())));
+    if (level >= j.max_u) return j.demand_at_max;
+    return std::min(j.cap, j.rpf.AllocationFor(level));
   };
   auto total_at = [&](Utility level) {
     MHz total = 0.0;
@@ -294,7 +370,7 @@ void LoadDistributor::DecomposeNodeShare(const PlacementMatrix& p, int node,
   };
 
   Utility hi = kUtilityFloor;
-  for (const LocalJob& j : local) hi = std::max(hi, j.rpf.max_utility());
+  for (const LocalJob& j : local) hi = std::max(hi, j.max_u);
   Utility level = hi;
   if (total_at(hi) > share + 1e-9) {
     Utility lo = kUtilityFloor;
@@ -337,12 +413,25 @@ void LoadDistributor::DecomposeNodeShare(const PlacementMatrix& p, int node,
 }
 
 DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
+  return Distribute(p, scratch_);
+}
+
+DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p,
+                                               DistributorScratch& scratch) const {
   const PlacementSnapshot& snap = *snapshot_;
   MWP_CHECK_MSG(snap.IsFeasible(p), "Distribute requires a feasible placement");
-  std::vector<FillEntity> entities = BuildEntities(p);
+  if (scratch.owner != this) {
+    // Scratch last used with a different distributor: its memo tables do
+    // not apply to this snapshot.
+    scratch.owner = this;
+    scratch.batch_demand_memo.clear();
+  }
+  std::vector<FillEntity> entities = BuildEntities(p, scratch);
+  PrepareFlowNetwork(entities, scratch);
   const auto num_entities = static_cast<std::size_t>(snap.num_entities());
 
-  std::vector<MHz> demands(entities.size(), 0.0);
+  std::vector<MHz>& demands = scratch.demands;
+  demands.assign(entities.size(), 0.0);
   auto refresh_demands = [&](Utility level) {
     for (std::size_t i = 0; i < entities.size(); ++i) {
       demands[i] =
@@ -351,7 +440,7 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
   };
   auto feasible = [&](Utility level) {
     refresh_demands(level);
-    return RouteDemands(entities, demands, nullptr);
+    return RouteDemands(entities, demands, scratch, nullptr);
   };
 
   int active_count = 0;
@@ -363,7 +452,7 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
   while (active_count > 0 && guard-- > 0) {
     Utility hi = kUtilityFloor;
     for (const FillEntity& e : entities) {
-      if (e.active) hi = std::max(hi, e.rpf->max_utility());
+      if (e.active) hi = std::max(hi, e.max_u);
     }
 
     if (!feasible(kUtilityFloor)) {
@@ -372,8 +461,8 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
       // routable capacity): grant each remaining entity its max-flow share
       // of the floor demands.
       refresh_demands(kUtilityFloor);
-      std::vector<std::vector<MHz>> routing;
-      RouteDemands(entities, demands, &routing);  // best-effort routing
+      std::vector<std::vector<MHz>>& routing = scratch.routing;
+      RouteDemands(entities, demands, scratch, &routing);  // best-effort
       for (std::size_t i = 0; i < entities.size(); ++i) {
         FillEntity& e = entities[i];
         if (!e.active) continue;
@@ -392,8 +481,8 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
     if (feasible(hi)) {
       for (FillEntity& e : entities) {
         if (!e.active) continue;
-        e.fixed_demand = e.DemandAt(e.rpf->max_utility());
-        e.fixed_utility = e.rpf->max_utility();
+        e.fixed_demand = e.DemandAt(e.max_u);
+        e.fixed_utility = e.max_u;
         e.active = false;
         --active_count;
       }
@@ -418,7 +507,7 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
     refresh_demands(level);
     for (FillEntity& e : entities) {
       if (!e.active) continue;
-      if (level >= e.rpf->max_utility() - options_.level_tolerance) {
+      if (level >= e.max_u - options_.level_tolerance) {
         e.fixed_demand = e.DemandAt(level);
         e.fixed_utility = e.rpf->UtilityAt(e.fixed_demand);
         e.active = false;
@@ -431,7 +520,7 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
       if (!e.active) continue;
       const MHz saved = demands[i];
       demands[i] = e.DemandAt(level + options_.probe_delta);
-      const bool can_rise = RouteDemands(entities, demands, nullptr);
+      const bool can_rise = RouteDemands(entities, demands, scratch, nullptr);
       demands[i] = saved;
       if (!can_rise) {
         e.fixed_demand = e.DemandAt(level);
@@ -457,8 +546,8 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
   for (std::size_t i = 0; i < entities.size(); ++i) {
     demands[i] = entities[i].fixed_demand;
   }
-  std::vector<std::vector<MHz>> routing;
-  const bool routed = RouteDemands(entities, demands, &routing);
+  std::vector<std::vector<MHz>>& routing = scratch.routing;
+  const bool routed = RouteDemands(entities, demands, scratch, &routing);
   MWP_CHECK_MSG(routed, "final fixed demands must be routable");
 
   DistributionResult result;
@@ -477,9 +566,21 @@ DistributionResult LoadDistributor::Distribute(const PlacementMatrix& p) const {
     switch (e.kind) {
       case FillEntity::Kind::kBatch: {
         result.batch_level = e.fixed_utility;
+        // Group the placed jobs by hosting node (ascending job order, the
+        // same order the per-node scan produced).
+        std::vector<std::vector<int>>& groups = scratch.node_jobs;
+        if (static_cast<int>(groups.size()) != snap.num_nodes()) {
+          groups.resize(static_cast<std::size_t>(snap.num_nodes()));
+        }
+        for (std::vector<int>& g : groups) g.clear();
+        for (int j = 0; j < snap.num_jobs(); ++j) {
+          const int n = scratch.job_node[static_cast<std::size_t>(j)];
+          if (n >= 0) groups[static_cast<std::size_t>(n)].push_back(j);
+        }
         for (std::size_t n = 0; n < routing[i].size(); ++n) {
           if (routing[i][n] > 0.0) {
-            DecomposeNodeShare(p, static_cast<int>(n), routing[i][n], result);
+            DecomposeNodeShare(groups[n], static_cast<int>(n), routing[i][n],
+                               result);
           }
         }
         break;

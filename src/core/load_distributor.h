@@ -22,10 +22,23 @@
 // then decomposed within each node by equalizing the local jobs' completion
 // RPFs. A per-job bargaining mode (each placed job negotiates with its own
 // completion RPF) is retained as an ablation.
+//
+// Distribute is called once per candidate placement — hundreds to thousands
+// of times per control cycle — so all per-call state lives in a reusable
+// DistributorScratch: the flow network is built once per Distribute as a
+// capacity template plus adjacency lists (only the source→entity demands
+// change between the ~50 feasibility probes of the bisection), and the batch
+// aggregate's demand curve is memoized across candidates (it depends only on
+// the snapshot, not the placement). All reuse is bit-for-bit neutral: the
+// same max-flow augmenting paths are taken and memoized demands are the
+// exact doubles a fresh computation would produce.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/placement.h"
@@ -51,6 +64,47 @@ struct DistributionResult {
   Utility batch_level = std::numeric_limits<double>::quiet_NaN();
 };
 
+/// Reusable buffers for Distribute: flow-network capacities and Edmonds–Karp
+/// working state, plus memo tables valid for the owning distributor's
+/// snapshot. Use one scratch per thread; results are independent of which
+/// scratch is used (memoized values are bit-identical to recomputation).
+class DistributorScratch {
+ public:
+  DistributorScratch() = default;
+
+ private:
+  friend class LoadDistributor;
+
+  /// Distributor the memo tables belong to; they are cleared when the
+  /// scratch is handed to a different distributor.
+  const void* owner = nullptr;
+
+  // Flow network for the current Distribute call (vertices: source, one per
+  // fill entity, one per node, sink).
+  int vertices = 0;
+  int num_fill_entities = 0;
+  std::vector<double> cap_template;    // V×V capacities, source row zero
+  std::vector<double> cap;             // working residual capacities
+  std::vector<std::vector<int>> adj;   // neighbours (ascending) per vertex
+  std::vector<int> parent;             // BFS tree
+  std::vector<int> bfs_queue;          // flat FIFO
+
+  // Per-call demand and routing buffers.
+  std::vector<MHz> demands;
+  std::vector<std::vector<MHz>> routing;
+
+  // Batch-mode decomposition: hosting node per job (-1 when unplaced),
+  // recorded while building the batch entity, and the per-node job groups
+  // derived from it for the final assembly.
+  std::vector<int> job_node;
+  std::vector<std::vector<int>> node_jobs;
+
+  /// Batch aggregate demand curve memo: clamped level bits → Eq. 6
+  /// aggregate. Valid across candidates because the hypothetical RPF
+  /// depends only on the snapshot.
+  std::unordered_map<std::uint64_t, MHz> batch_demand_memo;
+};
+
 class LoadDistributor {
  public:
   struct Options {
@@ -68,8 +122,14 @@ class LoadDistributor {
   explicit LoadDistributor(const PlacementSnapshot* snapshot);
   LoadDistributor(const PlacementSnapshot* snapshot, Options options);
 
-  /// Distribute node CPU under placement `p`. `p` must be feasible.
+  /// Distribute node CPU under placement `p`. `p` must be feasible. Uses the
+  /// distributor's internal scratch — not safe for concurrent calls.
   DistributionResult Distribute(const PlacementMatrix& p) const;
+
+  /// As above with caller-provided scratch; use one scratch per thread for
+  /// concurrent distribution.
+  DistributionResult Distribute(const PlacementMatrix& p,
+                                DistributorScratch& scratch) const;
 
   /// The hypothetical RPF (at snapshot time, over all incomplete jobs)
   /// driving the batch aggregate entity; null when the snapshot has no jobs
@@ -82,17 +142,28 @@ class LoadDistributor {
   const PlacementSnapshot* snapshot_;
   Options options_;
   std::unique_ptr<HypotheticalRpf> hypothetical_;
+  /// Scratch for the one-argument Distribute overload.
+  mutable DistributorScratch scratch_;
 
-  std::vector<FillEntity> BuildEntities(const PlacementMatrix& p) const;
+  std::vector<FillEntity> BuildEntities(const PlacementMatrix& p,
+                                        DistributorScratch& scratch) const;
+  /// Builds the flow network (capacity template + adjacency) for the
+  /// current entity set into `scratch`; only source edges vary per probe.
+  void PrepareFlowNetwork(const std::vector<FillEntity>& entities,
+                          DistributorScratch& scratch) const;
   /// True when demands (per fill entity, MHz) can be routed within node
   /// capacities and per-instance caps; optionally returns the routing
-  /// (fill-entity-major, nodes wide).
+  /// (fill-entity-major, nodes wide). PrepareFlowNetwork must have run for
+  /// this entity set.
   bool RouteDemands(const std::vector<FillEntity>& entities,
                     const std::vector<MHz>& demands,
+                    DistributorScratch& scratch,
                     std::vector<std::vector<MHz>>* routing) const;
   /// Equalize local jobs' completion RPFs within one node's batch share.
-  void DecomposeNodeShare(const PlacementMatrix& p, int node, MHz share,
-                          DistributionResult& result) const;
+  /// `local_jobs` holds the snapshot job indices hosted on `node`, in
+  /// ascending order.
+  void DecomposeNodeShare(std::span<const int> local_jobs, int node,
+                          MHz share, DistributionResult& result) const;
 };
 
 }  // namespace mwp

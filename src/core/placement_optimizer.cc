@@ -1,10 +1,153 @@
 #include "core/placement_optimizer.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 
 namespace mwp {
+namespace {
+
+/// Yields the candidate placements TryImproveNode scores, in the exact
+/// order the sequential nested loops try them: for each base configuration
+/// (0, 1, 2, … residents peeled off the node, best-off first) the feasible
+/// wish-list prefix, then the migration donors. Feasibility and memory
+/// skips do not consume a "tried" slot, matching the sequential loops.
+class CandidateStream {
+ public:
+  CandidateStream(const PlacementSnapshot& snap,
+                  const PlacementOptimizer::Options& options, int node,
+                  const PlacementMatrix& best,
+                  const PlacementEvaluation& best_eval,
+                  const std::vector<int>& wishes)
+      : snap_(snap),
+        options_(options),
+        node_(node),
+        best_(best),
+        wishes_(wishes) {
+    if (!wishes_.empty()) {
+      // Residents of this node, peeled off in order of descending predicted
+      // utility: the best-off applications give way first.
+      for (int e = 0; e < snap_.num_entities(); ++e) {
+        for (int k = 0; k < best_.at(e, node_); ++k) residents_.push_back(e);
+      }
+      std::stable_sort(residents_.begin(), residents_.end(), [&](int a, int b) {
+        return best_eval.entity_utilities[static_cast<std::size_t>(a)] >
+               best_eval.entity_utilities[static_cast<std::size_t>(b)];
+      });
+    } else {
+      phase_ = Phase::kMigration;
+    }
+
+    for (int j = 0; j < snap_.num_jobs(); ++j) {
+      const int entity = snap_.EntityOfJob(j);
+      if (best_.InstanceCount(entity) == 0) continue;
+      if (best_.at(entity, node_) > 0) continue;
+      donors_.push_back(entity);
+    }
+    std::stable_sort(donors_.begin(), donors_.end(), [&](int a, int b) {
+      return best_eval.entity_utilities[static_cast<std::size_t>(a)] <
+             best_eval.entity_utilities[static_cast<std::size_t>(b)];
+    });
+  }
+
+  /// Writes the next candidate into `out`; false when the stream is done.
+  bool Next(PlacementMatrix* out) {
+    if (phase_ == Phase::kWish && NextWish(out)) return true;
+    phase_ = Phase::kMigration;
+    return NextMigration(out);
+  }
+
+ private:
+  enum class Phase { kWish, kMigration };
+
+  bool NextWish(PlacementMatrix* out) {
+    while (removals_ <= residents_.size()) {
+      if (!base_ready_) {
+        working_ = best_;
+        for (std::size_t r = 0; r < removals_; ++r) {
+          MWP_CHECK(working_.at(residents_[r], node_) > 0);
+          working_.at(residents_[r], node_) -= 1;
+        }
+        free_ = snap_.FreeMemory(working_, node_);
+        wish_pos_ = 0;
+        tried_ = 0;
+        base_ready_ = true;
+      }
+      while (wish_pos_ < wishes_.size() &&
+             tried_ < options_.max_wishes_tried) {
+        const int w = wishes_[wish_pos_++];
+        if (snap_.IsJobEntity(w)) {
+          if (working_.InstanceCount(w) > 0) continue;
+        } else {
+          if (working_.at(w, node_) > 0) continue;
+        }
+        if (snap_.EntityMemory(w) > free_ + kEpsilon) continue;
+        PlacementMatrix candidate = working_;
+        candidate.at(w, node_) += 1;
+        if (!snap_.IsFeasible(candidate)) continue;
+        ++tried_;
+        *out = std::move(candidate);
+        return true;
+      }
+      ++removals_;
+      base_ready_ = false;
+    }
+    return false;
+  }
+
+  bool NextMigration(PlacementMatrix* out) {
+    if (!mig_free_ready_) {
+      mig_free_ = snap_.FreeMemory(best_, node_);
+      mig_free_ready_ = true;
+    }
+    while (donor_pos_ < donors_.size() &&
+           mig_tried_ < options_.max_migrations_tried) {
+      const int donor = donors_[donor_pos_++];
+      if (snap_.EntityMemory(donor) > mig_free_ + kEpsilon) continue;
+      PlacementMatrix candidate = best_;
+      const int from = FirstNodeOf(candidate, donor);
+      MWP_CHECK(from != kInvalidNode && candidate.InstanceCount(donor) == 1);
+      candidate.at(donor, from) -= 1;
+      candidate.at(donor, node_) += 1;
+      if (!snap_.IsFeasible(candidate)) continue;
+      ++mig_tried_;
+      *out = std::move(candidate);
+      return true;
+    }
+    return false;
+  }
+
+  const PlacementSnapshot& snap_;
+  const PlacementOptimizer::Options& options_;
+  const int node_;
+  const PlacementMatrix& best_;
+  const std::vector<int>& wishes_;
+
+  Phase phase_ = Phase::kWish;
+  std::vector<int> residents_;
+  std::size_t removals_ = 0;
+  bool base_ready_ = false;
+  PlacementMatrix working_;
+  Megabytes free_ = 0.0;
+  std::size_t wish_pos_ = 0;
+  int tried_ = 0;
+
+  std::vector<int> donors_;
+  std::size_t donor_pos_ = 0;
+  int mig_tried_ = 0;
+  bool mig_free_ready_ = false;
+  Megabytes mig_free_ = 0.0;
+};
+
+int ResolveLanes(int search_threads) {
+  if (search_threads > 0) return std::min(search_threads, 32);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, 32);
+}
+
+}  // namespace
 
 PlacementOptimizer::PlacementOptimizer(const PlacementSnapshot* snapshot)
     : PlacementOptimizer(snapshot, Options{}) {}
@@ -19,6 +162,10 @@ PlacementOptimizer::PlacementOptimizer(const PlacementSnapshot* snapshot,
   MWP_CHECK(options_.max_changes_per_node >= 1);
   MWP_CHECK(options_.max_wishes_tried >= 1);
   MWP_CHECK(options_.max_migrations_tried >= 0);
+  MWP_CHECK(options_.search_threads >= 0);
+  lanes_ = ResolveLanes(options_.search_threads);
+  scratches_.resize(static_cast<std::size_t>(lanes_));
+  if (lanes_ > 1) pool_ = std::make_unique<ThreadPool>(lanes_ - 1);
 }
 
 std::vector<int> PlacementOptimizer::WishList(
@@ -53,97 +200,76 @@ std::vector<int> PlacementOptimizer::WishList(
 
 bool PlacementOptimizer::TryImproveNode(int node, Result& result) const {
   const PlacementSnapshot& snap = *snapshot_;
-  const PlacementMatrix& best = result.placement;
+  const std::vector<int> wishes = WishList(result.placement, result.evaluation);
+  CandidateStream stream(snap, options_, node, result.placement,
+                         result.evaluation, wishes);
 
-  const std::vector<int> wishes = WishList(best, result.evaluation);
-
-  if (!wishes.empty()) {
-    // Residents of this node, peeled off in order of descending predicted
-    // utility: the best-off applications give way first.
-    std::vector<int> residents;
-    for (int e = 0; e < snap.num_entities(); ++e) {
-      for (int k = 0; k < best.at(e, node); ++k) residents.push_back(e);
+  if (lanes_ <= 1) {
+    PlacementMatrix candidate;
+    while (stream.Next(&candidate)) {
+      if (!EvaluationBudgetLeft(result)) return false;
+      PlacementEvaluation cand_eval =
+          evaluator_.Evaluate(candidate, scratches_[0], &result.evaluation);
+      ++result.evaluations;
+      if (!cand_eval.rejected_by_bound &&
+          evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+        result.placement = std::move(candidate);
+        result.evaluation = std::move(cand_eval);
+        return true;
+      }
     }
-    std::stable_sort(residents.begin(), residents.end(), [&](int a, int b) {
-      return result.evaluation.entity_utilities[static_cast<std::size_t>(a)] >
-             result.evaluation.entity_utilities[static_cast<std::size_t>(b)];
+    return false;
+  }
+
+  // Parallel search: pull a chunk of candidates (never more than the
+  // evaluation budget allows), score them concurrently, then commit the
+  // first winner in enumeration order. Candidates past the winner are
+  // speculative work the sequential order never reaches — their results
+  // are discarded and they do not count as evaluations.
+  const std::size_t chunk_target = static_cast<std::size_t>(lanes_) * 2;
+  std::vector<PlacementMatrix> chunk;
+  std::vector<PlacementEvaluation> evals;
+  for (;;) {
+    std::size_t budget_left = chunk_target;
+    if (options_.max_evaluations != 0) {
+      if (result.evaluations >= options_.max_evaluations) return false;
+      budget_left = static_cast<std::size_t>(options_.max_evaluations -
+                                             result.evaluations);
+    }
+    const std::size_t want = std::min(chunk_target, budget_left);
+    chunk.clear();
+    PlacementMatrix candidate;
+    while (chunk.size() < want && stream.Next(&candidate)) {
+      chunk.push_back(std::move(candidate));
+    }
+    if (chunk.empty()) return false;
+
+    evals.assign(chunk.size(), PlacementEvaluation{});
+    pool_->ParallelFor(chunk.size(), [&](int lane, std::size_t i) {
+      evals[i] = evaluator_.Evaluate(
+          chunk[i], scratches_[static_cast<std::size_t>(lane)],
+          &result.evaluation);
     });
 
-    for (std::size_t removals = 0; removals <= residents.size(); ++removals) {
-      if (!EvaluationBudgetLeft(result)) return false;
-      PlacementMatrix working = best;
-      for (std::size_t r = 0; r < removals; ++r) {
-        MWP_CHECK(working.at(residents[r], node) > 0);
-        working.at(residents[r], node) -= 1;
-      }
-      const Megabytes free = snap.FreeMemory(working, node);
-      int tried = 0;
-      for (int w : wishes) {
-        if (tried >= options_.max_wishes_tried) break;
-        if (!EvaluationBudgetLeft(result)) return false;
-        if (snap.IsJobEntity(w)) {
-          if (working.InstanceCount(w) > 0) continue;
-        } else {
-          if (working.at(w, node) > 0) continue;
-        }
-        if (snap.EntityMemory(w) > free + kEpsilon) continue;
-        PlacementMatrix candidate = working;
-        candidate.at(w, node) += 1;
-        if (!snap.IsFeasible(candidate)) continue;
-        ++tried;
-        PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
-        ++result.evaluations;
-        if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
-          result.placement = std::move(candidate);
-          result.evaluation = std::move(cand_eval);
-          return true;
-        }
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      if (evals[i].rejected_by_bound) continue;
+      if (evaluator_.Compare(evals[i], result.evaluation) > 0) {
+        result.evaluations += static_cast<int>(i) + 1;
+        result.placement = std::move(chunk[i]);
+        result.evaluation = std::move(evals[i]);
+        return true;
       }
     }
+    result.evaluations += static_cast<int>(chunk.size());
   }
-
-  // Rebalancing: offer this node the lowest-performing jobs hosted
-  // elsewhere (live migration when the trade improves the utility vector).
-  std::vector<int> donors;
-  for (int j = 0; j < snap.num_jobs(); ++j) {
-    const int entity = snap.EntityOfJob(j);
-    if (best.InstanceCount(entity) == 0) continue;
-    if (best.at(entity, node) > 0) continue;
-    donors.push_back(entity);
-  }
-  std::stable_sort(donors.begin(), donors.end(), [&](int a, int b) {
-    return result.evaluation.entity_utilities[static_cast<std::size_t>(a)] <
-           result.evaluation.entity_utilities[static_cast<std::size_t>(b)];
-  });
-  const Megabytes free = snap.FreeMemory(best, node);
-  int tried = 0;
-  for (int donor : donors) {
-    if (tried >= options_.max_migrations_tried) break;
-    if (!EvaluationBudgetLeft(result)) return false;
-    if (snap.EntityMemory(donor) > free + kEpsilon) continue;
-    PlacementMatrix candidate = best;
-    const std::vector<int> from = candidate.NodesOf(donor);
-    MWP_CHECK(from.size() == 1);
-    candidate.at(donor, from.front()) -= 1;
-    candidate.at(donor, node) += 1;
-    if (!snap.IsFeasible(candidate)) continue;
-    ++tried;
-    PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
-    ++result.evaluations;
-    if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
-      result.placement = std::move(candidate);
-      result.evaluation = std::move(cand_eval);
-      return true;
-    }
-  }
-  return false;
 }
 
 PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
   const PlacementSnapshot& snap = *snapshot_;
   Result result;
   result.placement = snap.current_placement();
-  result.evaluation = evaluator_.Evaluate(result.placement);
+  result.evaluation = evaluator_.Evaluate(result.placement, scratches_[0],
+                                          nullptr);
   result.evaluations = 1;
 
   // Paper's shortcut: when nobody wants more capacity, the incumbent (with
@@ -174,9 +300,11 @@ PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
       grew = true;
     }
     if (!grew || !snap.IsFeasible(candidate)) continue;
-    PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+    PlacementEvaluation cand_eval =
+        evaluator_.Evaluate(candidate, scratches_[0], &result.evaluation);
     ++result.evaluations;
-    if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+    if (!cand_eval.rejected_by_bound &&
+        evaluator_.Compare(cand_eval, result.evaluation) > 0) {
       result.placement = std::move(candidate);
       result.evaluation = std::move(cand_eval);
     }
@@ -208,9 +336,11 @@ PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
       added = true;
     }
     if (added && snap.IsFeasible(candidate) && EvaluationBudgetLeft(result)) {
-      PlacementEvaluation cand_eval = evaluator_.Evaluate(candidate);
+      PlacementEvaluation cand_eval =
+          evaluator_.Evaluate(candidate, scratches_[0], &result.evaluation);
       ++result.evaluations;
-      if (evaluator_.Compare(cand_eval, result.evaluation) > 0) {
+      if (!cand_eval.rejected_by_bound &&
+          evaluator_.Compare(cand_eval, result.evaluation) > 0) {
         result.placement = std::move(candidate);
         result.evaluation = std::move(cand_eval);
       }

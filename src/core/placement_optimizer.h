@@ -20,10 +20,25 @@
 // system wants more capacity the search short-cuts to re-evaluating the
 // incumbent, mirroring the paper's observation that cycles where all jobs
 // fit are much cheaper.
+//
+// Candidate search can run on a small internal thread pool
+// (Options::search_threads): candidates are enumerated in the exact order
+// the sequential loops would try them, scored concurrently in chunks, and
+// committed by scanning the chunk in enumeration order for the first
+// winner. Since a committed change restarts the stream from the new best
+// placement — exactly as the sequential code returns on its first winner —
+// the parallel search picks the same placements, and the evaluations
+// counter counts only candidates the sequential order would have scored
+// (speculative extras beyond the winner are discarded uncounted).
 #pragma once
 
+#include <memory>
+#include <vector>
+
+#include "core/evaluation_cache.h"
 #include "core/evaluator.h"
 #include "core/snapshot.h"
+#include "core/thread_pool.h"
 
 namespace mwp {
 
@@ -41,6 +56,10 @@ class PlacementOptimizer {
     int max_migrations_tried = 3;
     /// Hard cap on candidate evaluations per cycle (0 = unlimited).
     int max_evaluations = 0;
+    /// Concurrent lanes for candidate evaluation: 0 = hardware concurrency,
+    /// 1 = sequential (no pool), n = caller plus n-1 workers. The chosen
+    /// placement and the evaluations counter are identical for every value.
+    int search_threads = 0;
   };
 
   struct Result {
@@ -55,10 +74,18 @@ class PlacementOptimizer {
 
   Result Optimize() const;
 
+  /// Resolved lane count (after the search_threads=0 auto rule).
+  int search_lanes() const { return lanes_; }
+
  private:
   const PlacementSnapshot* snapshot_;
   Options options_;
   PlacementEvaluator evaluator_;
+  int lanes_ = 1;
+  /// One evaluation scratch per lane (index 0 is the calling thread).
+  mutable std::vector<EvalScratch> scratches_;
+  /// Worker pool; null when lanes_ == 1.
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Entities that would take more capacity if offered: unplaced jobs and
   /// transactional apps below their saturation, ordered lowest-RP-first.

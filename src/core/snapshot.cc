@@ -31,6 +31,9 @@ PlacementSnapshot::PlacementSnapshot(const ClusterSpec* cluster, Seconds now,
       current_.at(EntityOfTx(w), n) += 1;
     }
   }
+  entity_memory_.reserve(static_cast<std::size_t>(num_entities()));
+  for (const JobView& v : jobs_) entity_memory_.push_back(v.memory);
+  for (const TxView& t : tx_apps_) entity_memory_.push_back(t.memory);
 }
 
 PlacementSnapshot PlacementSnapshot::Capture(
@@ -94,15 +97,25 @@ int PlacementSnapshot::TxOfEntity(int entity) const {
 }
 
 Megabytes PlacementSnapshot::EntityMemory(int entity) const {
-  if (IsJobEntity(entity)) return job(JobOfEntity(entity)).memory;
-  return tx(TxOfEntity(entity)).memory;
+  return entity_memory_.at(static_cast<std::size_t>(entity));
 }
 
 Megabytes PlacementSnapshot::FreeMemory(const PlacementMatrix& p,
                                         int node) const {
+  MWP_CHECK(node >= 0 && node < num_nodes() && p.num_nodes() == num_nodes());
   Megabytes used = 0.0;
-  for (int e = 0; e < p.num_apps(); ++e) {
-    used += p.at(e, node) * EntityMemory(e);
+  if (p.num_apps() > 0) {
+    const int* cells = p.RowData(0);  // column walk over the dense storage
+    const auto stride = static_cast<std::size_t>(p.num_nodes());
+    for (int e = 0; e < p.num_apps(); ++e) {
+      const int count =
+          cells[static_cast<std::size_t>(e) * stride + static_cast<std::size_t>(node)];
+      // Skipping zero-count terms adds exactly nothing (x + 0.0 keeps x's
+      // bits for the non-negative sums formed here).
+      if (count != 0) {
+        used += count * entity_memory_[static_cast<std::size_t>(e)];
+      }
+    }
   }
   return cluster_->node(node).memory_mb - used;
 }
@@ -131,11 +144,14 @@ bool PlacementSnapshot::IsFeasible(const PlacementMatrix& p) const {
   }
   for (int w = 0; w < num_tx(); ++w) {
     const int entity = EntityOfTx(w);
+    const int* row = p.RowData(entity);
+    int instances = 0;
     for (int n = 0; n < num_nodes(); ++n) {
-      if (p.at(entity, n) > 1) return false;  // at most one instance per node
+      if (row[n] > 1) return false;  // at most one instance per node
+      instances += row[n];
     }
     const int cap = tx(w).max_instances;
-    if (cap > 0 && p.InstanceCount(entity) > cap) return false;
+    if (cap > 0 && instances > cap) return false;
   }
   if (!constraints_.empty()) {
     for (int e = 0; e < num_entities(); ++e) {

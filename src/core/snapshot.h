@@ -130,6 +130,9 @@ class PlacementSnapshot {
   std::vector<TxView> tx_apps_;
   PlacementMatrix current_;
   PlacementConstraints constraints_;
+  /// Per-entity instance memory, precomputed — FreeMemory runs on the
+  /// optimizer's hot path (every feasibility probe of every candidate).
+  std::vector<Megabytes> entity_memory_;
 };
 
 /// Instant at which job `jv` would (re)start executing if hosted on

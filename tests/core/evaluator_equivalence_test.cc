@@ -1,0 +1,171 @@
+// Property test: the incremental evaluation engine (column cache, scratch
+// reuse, bound-based early exit, parallel candidate search) is bit-for-bit
+// equivalent to a freshly-constructed sequential evaluator. Every speedup in
+// the hot path is justified by an exactness argument (memoized values are
+// the exact doubles recomputation would produce, summation orders are
+// preserved); this test checks the end-to-end claim over randomized
+// snapshots with exact ==, not tolerances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/placement_optimizer.h"
+#include "tests/core/test_fixtures.h"
+
+namespace mwp {
+namespace {
+
+using testing_fixtures::SnapshotBuilder;
+
+/// A small random mixed-workload snapshot: a few nodes, a batch of jobs in
+/// random states, and up to two transactional apps.
+SnapshotBuilder RandomSnapshot(Rng& rng) {
+  const int nodes = static_cast<int>(rng.UniformInt(1, 4));
+  SnapshotBuilder b(
+      ClusterSpec::Uniform(nodes, NodeSpec{1, 1'000.0, 2'000.0}));
+  b.now = rng.Uniform(0.0, 10.0);
+  b.cycle = rng.Uniform(0.5, 2.0);
+  // Free memory per node: the generated *current* placement must be
+  // feasible, so instances land only where they fit.
+  std::vector<Megabytes> free_mem(static_cast<std::size_t>(nodes), 2'000.0);
+  auto pick_node = [&](Megabytes need) -> NodeId {
+    const int start = static_cast<int>(rng.UniformInt(0, nodes - 1));
+    for (int k = 0; k < nodes; ++k) {
+      const int n = (start + k) % nodes;
+      if (free_mem[static_cast<std::size_t>(n)] >= need) return n;
+    }
+    return kInvalidNode;
+  };
+
+  const int num_jobs = static_cast<int>(rng.UniformInt(0, 7));
+  for (int j = 0; j < num_jobs; ++j) {
+    const Megacycles work = rng.Uniform(500.0, 8'000.0);
+    const MHz max_speed = rng.Uniform(200.0, 1'000.0);
+    const Megabytes memory = rng.Uniform(200.0, 900.0);
+    const Seconds submit = rng.Uniform(0.0, b.now);
+    const double factor = rng.Uniform(1.5, 6.0);
+    JobStatus status = JobStatus::kNotStarted;
+    NodeId node = kInvalidNode;
+    Megacycles done = 0.0;
+    const double roll = rng.Uniform01();
+    if (roll < 0.4) {
+      node = pick_node(memory);
+      if (node != kInvalidNode) {
+        status = JobStatus::kRunning;
+        done = rng.Uniform(0.0, 0.8 * work);
+        free_mem[static_cast<std::size_t>(node)] -= memory;
+      }
+    } else if (roll < 0.55) {
+      status = JobStatus::kSuspended;
+      done = rng.Uniform(0.0, 0.8 * work);
+    }
+    JobView& v = b.AddJob(j + 1, work, max_speed, memory, submit, factor,
+                          status, node, done);
+    if (status == JobStatus::kSuspended || status == JobStatus::kNotStarted) {
+      v.place_overhead = rng.Uniform(0.0, 0.2);
+    }
+  }
+
+  const int num_tx = static_cast<int>(rng.UniformInt(0, 2));
+  for (int w = 0; w < num_tx; ++w) {
+    TransactionalAppSpec spec;
+    spec.id = 100 + w;
+    spec.name = "tx";
+    spec.memory_per_instance = rng.Uniform(300.0, 800.0);
+    spec.response_time_goal = rng.Uniform(0.5, 2.0);
+    spec.demand_per_request = rng.Uniform(5.0, 30.0);
+    spec.min_response_time = 0.05;
+    spec.saturation_allocation = rng.Uniform(400.0, 1'200.0);
+    std::vector<NodeId> on;
+    if (rng.Uniform01() < 0.7) {
+      const NodeId n = pick_node(spec.memory_per_instance);
+      if (n != kInvalidNode) {
+        on.push_back(n);
+        free_mem[static_cast<std::size_t>(n)] -= spec.memory_per_instance;
+      }
+    }
+    b.AddTx(spec, rng.Uniform(1.0, 25.0), std::move(on));
+  }
+  return b;
+}
+
+PlacementOptimizer::Options ReferenceOptions() {
+  PlacementOptimizer::Options o;
+  o.evaluator.incremental = false;
+  o.search_threads = 1;
+  return o;
+}
+
+void ExpectIdentical(const PlacementOptimizer::Result& got,
+                     const PlacementOptimizer::Result& want,
+                     std::uint64_t seed) {
+  EXPECT_EQ(got.placement, want.placement) << "seed " << seed;
+  EXPECT_EQ(got.evaluations, want.evaluations) << "seed " << seed;
+  EXPECT_EQ(got.used_shortcut, want.used_shortcut) << "seed " << seed;
+  // Exact ==: the engines must produce the same doubles, not close ones.
+  EXPECT_EQ(got.evaluation.sorted_utilities, want.evaluation.sorted_utilities)
+      << "seed " << seed;
+  EXPECT_EQ(got.evaluation.entity_utilities, want.evaluation.entity_utilities)
+      << "seed " << seed;
+  EXPECT_EQ(got.evaluation.changes, want.evaluation.changes)
+      << "seed " << seed;
+  EXPECT_EQ(got.evaluation.distribution.totals,
+            want.evaluation.distribution.totals)
+      << "seed " << seed;
+}
+
+TEST(EvaluatorEquivalenceTest, IncrementalMatchesReferenceOnRandomSnapshots) {
+  constexpr int kSnapshots = 220;
+  for (std::uint64_t seed = 1; seed <= kSnapshots; ++seed) {
+    Rng rng(seed);
+    const SnapshotBuilder b = RandomSnapshot(rng);
+    const PlacementSnapshot snap = b.Build();
+
+    const PlacementOptimizer optimized(&snap);  // defaults: all engines on
+    const PlacementOptimizer reference(&snap, ReferenceOptions());
+    ExpectIdentical(optimized.Optimize(), reference.Optimize(), seed);
+    if (HasFailure()) break;
+  }
+}
+
+TEST(EvaluatorEquivalenceTest, ParallelSearchMatchesReference) {
+  // Force multiple lanes regardless of the host's core count: the chunked
+  // search must pick the same winners in the same order.
+  PlacementOptimizer::Options parallel;
+  parallel.search_threads = 4;
+  for (std::uint64_t seed = 1'000; seed < 1'060; ++seed) {
+    Rng rng(seed);
+    const SnapshotBuilder b = RandomSnapshot(rng);
+    const PlacementSnapshot snap = b.Build();
+
+    const PlacementOptimizer optimized(&snap, parallel);
+    const PlacementOptimizer reference(&snap, ReferenceOptions());
+    ExpectIdentical(optimized.Optimize(), reference.Optimize(), seed);
+    if (HasFailure()) break;
+  }
+}
+
+TEST(EvaluatorEquivalenceTest, RepeatedEvaluationsReuseCacheExactly) {
+  // Evaluating the same placements twice through one evaluator must return
+  // the same doubles as the first pass (the cache returns what it stored),
+  // and the cache must actually be exercised.
+  Rng rng(42);
+  const SnapshotBuilder b = RandomSnapshot(rng);
+  const PlacementSnapshot snap = b.Build();
+  const PlacementEvaluator eval(&snap);
+
+  const PlacementMatrix& current = snap.current_placement();
+  const PlacementEvaluation first = eval.Evaluate(current);
+  const PlacementEvaluation second = eval.Evaluate(current);
+  EXPECT_EQ(first.sorted_utilities, second.sorted_utilities);
+  EXPECT_EQ(first.entity_utilities, second.entity_utilities);
+  if (snap.num_jobs() > 0) {
+    EXPECT_GT(eval.cache_misses(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mwp
