@@ -6,10 +6,16 @@
 // faster. This benchmark reproduces both claims across system sizes.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "batch/job_factory.h"
+#include "batch/job_queue.h"
 #include "common/rng.h"
+#include "core/apc_controller.h"
 #include "core/placement_optimizer.h"
 #include "exp/experiment1.h"
+#include "sim/simulation.h"
+#include "web/workload_generator.h"
 
 namespace mwp {
 namespace {
@@ -139,6 +145,55 @@ void BM_LoadDistributor(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadDistributor)->Arg(5)->Arg(25)->Arg(50)->Unit(
     benchmark::kMillisecond);
+
+void BM_RepairCycle(benchmark::State& state) {
+  // Out-of-band repair latency: a loaded system (checkpointed jobs plus a
+  // spread transactional app) loses a node; measured is OnNodeFault alone —
+  // checkpoint rollback, displaced-instance restart and the bounded
+  // re-dispatch, NOT a full optimizer cycle. The fault path must stay far
+  // cheaper than BM_OptimizeLoaded at the same scale or running it at the
+  // crash instant defeats its purpose.
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterSpec cluster = ClusterSpec::Uniform(nodes, PaperNode());
+    JobQueue queue;
+    Simulation sim;
+    ApcController::Config cfg;
+    cfg.control_cycle = 600.0;
+    cfg.costs = VmCostModel::Free();
+    ApcController controller(&cluster, &queue, cfg);
+
+    TransactionalAppSpec web;
+    web.id = 1;
+    web.name = "tx";
+    web.memory_per_instance = 1'024.0;
+    web.response_time_goal = 1.0;
+    web.demand_per_request = 1.0;
+    web.min_response_time = 0.1;
+    web.saturation_allocation = nodes * 6'000.0;
+    controller.AddTransactionalApp(
+        web, std::make_shared<ConstantRate>(nodes * 2'000.0));
+
+    for (int j = 0; j < nodes * 2; ++j) {
+      JobProfile p =
+          JobProfile::SingleStage(68'640'000.0, 3'900.0, 4'320.0);
+      Job& job = queue.Submit(std::make_unique<Job>(
+          100 + j, "job-" + std::to_string(j), p,
+          JobGoal::FromFactor(0.0, 2.7, p.min_execution_time())));
+      job.set_checkpoint_interval(60.0);
+    }
+    controller.Attach(sim, 0.0);  // cycle at t=0 places the system
+    sim.RunUntil(100.0);
+    cluster.SetNodeOffline(0);
+    state.ResumeTiming();
+
+    controller.OnNodeFault(sim);
+    benchmark::DoNotOptimize(controller.repairs().size());
+  }
+  state.counters["nodes"] = nodes;
+}
+BENCHMARK(BM_RepairCycle)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mwp

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   base.num_nodes = static_cast<int>(cli.GetInt("nodes", 8));
   base.completed_jobs_target = static_cast<int>(cli.GetInt("jobs", 120));
   base.mean_interarrival = cli.GetDouble("interarrival", 150.0);
-  base.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
+  base.seed = cli.GetSeed(7);
 
   std::cout << "Workload: " << base.completed_jobs_target
             << " completions, mean inter-arrival " << base.mean_interarrival

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   base.total_requests =
       static_cast<std::size_t>(cli.GetInt("requests", 60'000));
   base.warmup_requests = base.total_requests / 10;
-  base.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 17));
+  base.seed = cli.GetSeed(17);
 
   const MHz stability = base.arrival_rate * base.mean_demand;
   std::cout << "Server model: lambda = " << base.arrival_rate

@@ -171,6 +171,24 @@ void Job::Suspend(Seconds now) {
   node_ = kInvalidNode;
   allocated_speed_ = 0.0;
   status_ = JobStatus::kSuspended;
+  // The suspend image on disk holds the job's entire state: an implicit
+  // checkpoint of all progress so far.
+  checkpointed_work_ = work_done_;
+}
+
+Megacycles Job::Crash(Seconds now) {
+  MWP_CHECK_MSG(placed(), "cannot crash job " << name_ << " in state "
+                                              << ToString(status_));
+  (void)now;
+  const Megacycles lost = work_done_ - checkpointed_work_;
+  work_done_ = checkpointed_work_;
+  status_ = JobStatus::kNotStarted;
+  node_ = kInvalidNode;
+  allocated_speed_ = 0.0;
+  overhead_until_ = 0.0;
+  next_checkpoint_at_ = 0.0;
+  ++crash_count_;
+  return lost;
 }
 
 void Job::Pause(Seconds now) {
@@ -205,6 +223,7 @@ bool Job::AdvanceTo(Seconds from, Seconds to) {
   if (run_needed <= (to - exec_start) + 1e-6) {
     completion_time_ = exec_start + run_needed;
     work_done_ = profile_.total_work();
+    checkpointed_work_ = work_done_;
     status_ = JobStatus::kCompleted;
     node_ = kInvalidNode;
     allocated_speed_ = 0.0;
@@ -212,6 +231,18 @@ bool Job::AdvanceTo(Seconds from, Seconds to) {
   }
   work_done_ =
       profile_.WorkAfterRunning(before, allocated_speed_, to - exec_start);
+  if (checkpoint_interval_ > 0.0) {
+    if (next_checkpoint_at_ <= exec_start) {
+      // (Re-)arm after a placement or a pause gap: the first checkpoint
+      // lands one interval after execution (re)starts.
+      next_checkpoint_at_ = exec_start + checkpoint_interval_;
+    }
+    while (next_checkpoint_at_ <= to) {
+      checkpointed_work_ = profile_.WorkAfterRunning(
+          before, allocated_speed_, next_checkpoint_at_ - exec_start);
+      next_checkpoint_at_ += checkpoint_interval_;
+    }
+  }
   return false;
 }
 

@@ -199,6 +199,32 @@ class Job {
   /// Whether the job has ever been started.
   bool ever_started() const { return ever_started_; }
 
+  // --- checkpointing and failure semantics ---
+
+  /// Enable periodic checkpoints: while the job executes, its progress is
+  /// saved to disk every `interval` seconds of wall time (0 disables; then
+  /// only Suspend checkpoints). A crash rolls work back to the last
+  /// checkpoint.
+  void set_checkpoint_interval(Seconds interval) {
+    MWP_CHECK(interval >= 0.0);
+    checkpoint_interval_ = interval;
+  }
+  Seconds checkpoint_interval() const { return checkpoint_interval_; }
+
+  /// Progress guaranteed to survive a crash, megacycles.
+  Megacycles checkpointed_work() const { return checkpointed_work_; }
+
+  /// The hosting node died. Progress since the last checkpoint is lost; the
+  /// job leaves the node and re-enters the queue as not-started (restarting
+  /// from the checkpoint image is charged like a cold boot). Any in-flight
+  /// VM operation died with the node. Suspended jobs are unaffected by node
+  /// crashes — their disk image is not node-pinned — so this requires the
+  /// job to be placed. Returns the megacycles of work lost.
+  Megacycles Crash(Seconds now);
+
+  /// Times this job's VM was killed by a node crash.
+  int crash_count() const { return crash_count_; }
+
  private:
   AppId id_;
   std::string name_;
@@ -212,6 +238,13 @@ class Job {
   Seconds overhead_until_ = 0.0;
   std::optional<Seconds> completion_time_;
   bool ever_started_ = false;
+
+  Seconds checkpoint_interval_ = 0.0;
+  Megacycles checkpointed_work_ = 0.0;
+  /// Absolute time of the next periodic checkpoint; values at or before the
+  /// current execution start are stale and re-armed by AdvanceTo.
+  Seconds next_checkpoint_at_ = 0.0;
+  int crash_count_ = 0;
 };
 
 }  // namespace mwp

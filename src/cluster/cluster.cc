@@ -4,6 +4,18 @@
 
 namespace mwp {
 
+const char* ToString(NodeState state) {
+  switch (state) {
+    case NodeState::kOnline:
+      return "online";
+    case NodeState::kDegraded:
+      return "degraded";
+    case NodeState::kOffline:
+      return "offline";
+  }
+  return "?";
+}
+
 ClusterSpec ClusterSpec::Uniform(int count, const NodeSpec& node) {
   MWP_CHECK(count >= 0);
   return ClusterSpec(std::vector<NodeSpec>(static_cast<std::size_t>(count), node));
@@ -21,10 +33,58 @@ Megabytes ClusterSpec::total_memory() const {
   return total;
 }
 
+double ClusterSpec::node_speed_factor(NodeId n) const {
+  const NodeHealth& h = HealthOf(n);
+  switch (h.state) {
+    case NodeState::kOnline:
+      return 1.0;
+    case NodeState::kDegraded:
+      return h.speed_factor;
+    case NodeState::kOffline:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+MHz ClusterSpec::total_available_cpu() const {
+  MHz total = 0.0;
+  for (NodeId n = 0; n < num_nodes(); ++n) total += available_cpu(n);
+  return total;
+}
+
+int ClusterSpec::num_online_nodes() const {
+  int count = 0;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (node_online(n)) ++count;
+  }
+  return count;
+}
+
+void ClusterSpec::SetNodeOffline(NodeId n) {
+  MWP_CHECK(n >= 0 && n < num_nodes());
+  health_[static_cast<std::size_t>(n)] = {NodeState::kOffline, 0.0};
+}
+
+void ClusterSpec::SetNodeOnline(NodeId n) {
+  MWP_CHECK(n >= 0 && n < num_nodes());
+  health_[static_cast<std::size_t>(n)] = {NodeState::kOnline, 1.0};
+}
+
+void ClusterSpec::SetNodeDegraded(NodeId n, double speed_factor) {
+  MWP_CHECK(n >= 0 && n < num_nodes());
+  MWP_CHECK_MSG(speed_factor > 0.0 && speed_factor <= 1.0,
+                "slowdown factor must be in (0, 1], got " << speed_factor);
+  health_[static_cast<std::size_t>(n)] =
+      speed_factor == 1.0 ? NodeHealth{NodeState::kOnline, 1.0}
+                          : NodeHealth{NodeState::kDegraded, speed_factor};
+}
+
 std::string ClusterSpec::ToString() const {
   std::ostringstream os;
   os << num_nodes() << " nodes, " << total_cpu() << " MHz, " << total_memory()
      << " MB total";
+  const int offline = num_nodes() - num_online_nodes();
+  if (offline > 0) os << " (" << offline << " offline)";
   return os.str();
 }
 

@@ -1,10 +1,18 @@
-// Physical cluster description: nodes with CPU and memory capacity.
+// Physical cluster description: nodes with CPU and memory capacity, plus a
+// mutable health overlay.
 //
 // Matches the paper's model (§3.2): each node n has a CPU capacity (sum of
 // its processors' speeds, in MHz) and a memory capacity (MB). Per-instance
 // speed limits are a property of the workload (a job's ω_max), not the node,
 // so the node exposes only aggregate capacity plus the speed of one
 // processor, which callers may use as a natural single-thread ceiling.
+//
+// The capacity *specification* stays immutable after construction; what
+// changes at runtime is each node's health: online (full capacity),
+// degraded (capacity scaled by a slowdown factor — an overheating or
+// interference-throttled machine) or offline (crashed; zero capacity and
+// zero memory until restored). Placement controllers read capacity through
+// the available_* accessors so fault state flows through every decision.
 #pragma once
 
 #include <string>
@@ -27,11 +35,22 @@ struct NodeSpec {
   MHz total_cpu() const { return num_cpus * cpu_speed_mhz; }
 };
 
-/// An immutable cluster description. NodeId is the index into nodes().
+/// Runtime availability of a node.
+enum class NodeState {
+  kOnline,    ///< full capacity
+  kDegraded,  ///< alive, CPU scaled by a slowdown factor
+  kOffline,   ///< crashed: zero CPU and memory; hosted VMs are lost
+};
+
+const char* ToString(NodeState state);
+
+/// A cluster description. NodeId is the index into nodes(). The node specs
+/// are fixed; node health is mutated by fault injection / repair.
 class ClusterSpec {
  public:
   ClusterSpec() = default;
-  explicit ClusterSpec(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {}
+  explicit ClusterSpec(std::vector<NodeSpec> nodes)
+      : nodes_(std::move(nodes)), health_(nodes_.size()) {}
 
   /// A cluster of `count` identical nodes — the shape of every experiment in
   /// the paper (25 nodes of 4 x 3.9 GHz / 16 GB in Experiments One & Three).
@@ -44,13 +63,59 @@ class ClusterSpec {
   }
   const std::vector<NodeSpec>& nodes() const { return nodes_; }
 
+  /// Nominal (health-blind) totals.
   MHz total_cpu() const;
   Megabytes total_memory() const;
+
+  // --- node health ---
+
+  NodeState node_state(NodeId n) const {
+    return HealthOf(n).state;
+  }
+  /// True unless the node is offline (degraded nodes are online).
+  bool node_online(NodeId n) const {
+    return HealthOf(n).state != NodeState::kOffline;
+  }
+  /// Effective CPU speed multiplier: 1 online, the slowdown factor when
+  /// degraded, 0 offline.
+  double node_speed_factor(NodeId n) const;
+
+  /// CPU capacity usable for placement right now, MHz.
+  MHz available_cpu(NodeId n) const {
+    return node(n).total_cpu() * node_speed_factor(n);
+  }
+  /// Memory usable for placement right now (0 when offline), MB.
+  Megabytes available_memory(NodeId n) const {
+    return node_online(n) ? node(n).memory_mb : 0.0;
+  }
+  /// Sum of available_cpu over all nodes.
+  MHz total_available_cpu() const;
+  int num_online_nodes() const;
+
+  /// Crash a node: all capacity (and anything hosted) is gone until
+  /// SetNodeOnline. Idempotent.
+  void SetNodeOffline(NodeId n);
+  /// Restore a node to full capacity (also clears any slowdown).
+  void SetNodeOnline(NodeId n);
+  /// Degrade a node's CPU to `speed_factor` (in (0, 1]) of nominal; memory
+  /// is unaffected. A factor of 1 returns the node to kOnline.
+  void SetNodeDegraded(NodeId n, double speed_factor);
 
   std::string ToString() const;
 
  private:
+  struct NodeHealth {
+    NodeState state = NodeState::kOnline;
+    double speed_factor = 1.0;
+  };
+
+  const NodeHealth& HealthOf(NodeId n) const {
+    MWP_CHECK(n >= 0 && n < num_nodes());
+    return health_[static_cast<std::size_t>(n)];
+  }
+
   std::vector<NodeSpec> nodes_;
+  std::vector<NodeHealth> health_;
 };
 
 }  // namespace mwp

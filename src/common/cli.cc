@@ -67,6 +67,16 @@ bool CommandLine::GetBool(const std::string& name, bool def) const {
                               v + "'");
 }
 
+std::uint64_t CommandLine::GetSeed(std::uint64_t def) const {
+  const std::int64_t value =
+      GetInt("seed", static_cast<std::int64_t>(def));
+  if (value < 0) {
+    throw std::invalid_argument("flag --seed must be non-negative, got " +
+                                std::to_string(value));
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
 std::vector<std::string> CommandLine::FlagNames() const {
   std::vector<std::string> names;
   names.reserve(flags_.size());

@@ -22,6 +22,11 @@ class CommandLine {
   std::int64_t GetInt(const std::string& name, std::int64_t def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  /// The conventional `--seed` flag (RNG/fault-plan reproducibility). A
+  /// non-negative integer; throws on negative or malformed values so a bad
+  /// seed never silently falls back to the default.
+  std::uint64_t GetSeed(std::uint64_t def) const;
+
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -45,6 +45,16 @@ void ApcController::RunCycle(Simulation& sim) {
   const Seconds now = sim.now();
   AdvanceJobsTo(now);
 
+  // Defence in depth against node faults nobody repaired mid-cycle: jobs
+  // still "placed" on a dead node are re-queued with checkpoint rollback,
+  // and transactional instances there are forgotten, before the snapshot is
+  // taken — the optimizer must never reason from a phantom placement.
+  CrashJobsOnOfflineNodes(now);
+  for (ManagedTx& tx : tx_apps_) {
+    std::erase_if(tx.instances,
+                  [&](NodeId n) { return !cluster_->node_online(n); });
+  }
+
   std::vector<PlacementSnapshot::TxInput> tx_inputs;
   tx_inputs.reserve(tx_apps_.size());
   for (const ManagedTx& tx : tx_apps_) {
@@ -87,25 +97,44 @@ void ApcController::RunCycle(Simulation& sim) {
       continue;
     }
     if (current == kInvalidNode) {
-      const Seconds overhead =
-          job->status() == JobStatus::kSuspended
-              ? config_.costs.ResumeCost(job->profile().max_memory())
-              : config_.costs.BootCost();
+      const bool resume = job->status() == JobStatus::kSuspended;
+      if (OperationFails(resume ? PlacementChange::Kind::kResume
+                                : PlacementChange::Kind::kStart,
+                         job->id())) {
+        continue;  // VM never came up: still queued/suspended, retried later
+      }
+      const Seconds overhead = resume
+                                   ? config_.costs.ResumeCost(
+                                         job->profile().max_memory())
+                                   : config_.costs.BootCost();
       job->Place(target, now, overhead);
     } else if (current != target) {
-      job->Place(target, now,
-                 config_.costs.MigrateCost(job->profile().max_memory()));
+      if (!OperationFails(PlacementChange::Kind::kMigrate, job->id())) {
+        job->Place(target, now,
+                   config_.costs.MigrateCost(job->profile().max_memory()));
+      }
+      // On failure the VM stays where it was; it keeps this cycle's
+      // allocation and the next cycle re-plans from the true placement.
     }
     job->SetAllocation(
         result.evaluation.distribution.totals[static_cast<std::size_t>(entity)]);
   }
 
-  // Apply transactional instance decisions.
+  // Apply transactional instance decisions. A newly started instance may be
+  // vetoed by the operation oracle; the app then runs short one instance
+  // until a later cycle retries.
   for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
     const int entity = snapshot.EntityOfTx(static_cast<int>(w));
+    const std::vector<NodeId>& old_nodes = tx_apps_[w].instances;
     std::vector<NodeId> instances;
     for (int n = 0; n < snapshot.num_nodes(); ++n) {
       for (int k = 0; k < result.placement.at(entity, n); ++k) {
+        const bool is_new =
+            std::find(old_nodes.begin(), old_nodes.end(), n) == old_nodes.end();
+        if (is_new && OperationFails(PlacementChange::Kind::kStart,
+                                     tx_apps_[w].app->id())) {
+          continue;
+        }
         instances.push_back(n);
       }
     }
@@ -154,8 +183,10 @@ void ApcController::RunCycle(Simulation& sim) {
       (stats.batch_allocation + stats.tx_allocation) / cluster_->total_cpu();
   stats.starts += pending_quick_starts_;
   stats.resumes += pending_quick_resumes_;
+  stats.failed_operations = pending_failed_ops_;
   pending_quick_starts_ = 0;
   pending_quick_resumes_ = 0;
+  pending_failed_ops_ = 0;
   for (const PlacementChange& ch : result.evaluation.changes) {
     switch (ch.kind) {
       case PlacementChange::Kind::kStart:
@@ -280,8 +311,10 @@ void ApcController::ComputeFreeResources(std::vector<Megabytes>& mem,
   mem.assign(n_nodes, 0.0);
   cpu.assign(n_nodes, 0.0);
   for (std::size_t n = 0; n < n_nodes; ++n) {
-    mem[n] = cluster_->node(static_cast<NodeId>(n)).memory_mb;
-    cpu[n] = cluster_->node(static_cast<NodeId>(n)).total_cpu();
+    // Health-aware capacity: an offline node offers nothing to mid-cycle
+    // dispatch; a degraded node offers its scaled-down CPU.
+    mem[n] = cluster_->available_memory(static_cast<NodeId>(n));
+    cpu[n] = cluster_->available_cpu(static_cast<NodeId>(n));
     if (n < tx_node_loads_.size()) cpu[n] -= tx_node_loads_[n];
   }
   for (const ManagedTx& tx : tx_apps_) {
@@ -297,12 +330,32 @@ void ApcController::ComputeFreeResources(std::vector<Megabytes>& mem,
 
 void ApcController::OnJobSubmitted(Simulation& sim) { QuickDispatch(sim); }
 
-void ApcController::QuickDispatch(Simulation& sim) {
+bool ApcController::OperationFails(PlacementChange::Kind kind, AppId app) {
+  if (!config_.vm_operation_oracle) return false;
+  if (config_.vm_operation_oracle(kind, app)) {
+    ++pending_failed_ops_;
+    return true;
+  }
+  return false;
+}
+
+int ApcController::CrashJobsOnOfflineNodes(Seconds now) {
+  int crashed = 0;
+  for (Job* job : queue_->Placed()) {
+    if (!cluster_->node_online(job->node())) {
+      job->Crash(now);
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+int ApcController::QuickDispatch(Simulation& sim, int max_placements) {
   const Seconds now = sim.now();
   AdvanceJobsTo(now);
 
   std::vector<Job*> waiting = queue_->AwaitingPlacement();
-  if (waiting.empty()) return;
+  if (waiting.empty() || max_placements <= 0) return 0;
   // Lowest relative performance first: the job whose achievable RP has
   // decayed the most is dispatched first.
   std::stable_sort(waiting.begin(), waiting.end(), [now](Job* a, Job* b) {
@@ -339,8 +392,9 @@ void ApcController::QuickDispatch(Simulation& sim) {
     return true;
   };
 
-  bool placed_any = false;
+  int placed_count = 0;
   for (Job* job : waiting) {
+    if (placed_count >= max_placements) break;
     const Megabytes mem = job->profile().max_memory();
     const int stage =
         std::min(job->current_stage(), job->profile().num_stages() - 1);
@@ -361,6 +415,11 @@ void ApcController::QuickDispatch(Simulation& sim) {
     }
     if (best_node < 0) continue;
     const bool resume = job->status() == JobStatus::kSuspended;
+    if (OperationFails(resume ? PlacementChange::Kind::kResume
+                              : PlacementChange::Kind::kStart,
+                       job->id())) {
+      continue;  // VM failed to come up: job stays queued, retried later
+    }
     const Seconds overhead =
         resume ? config_.costs.ResumeCost(mem) : config_.costs.BootCost();
     job->Place(best_node, now, overhead);
@@ -376,9 +435,105 @@ void ApcController::QuickDispatch(Simulation& sim) {
     } else {
       ++pending_quick_starts_;
     }
-    placed_any = true;
+    ++placed_count;
   }
-  if (placed_any) ArmCompletionWatch(sim);
+  if (placed_count > 0) ArmCompletionWatch(sim);
+  return placed_count;
+}
+
+void ApcController::OnNodeFault(Simulation& sim) {
+  const Seconds now = sim.now();
+  AdvanceJobsTo(now);
+
+  RepairStats repair;
+  repair.time = now;
+  repair.jobs_requeued = CrashJobsOnOfflineNodes(now);
+
+  // Forget transactional instances that died with their node; they are the
+  // repair cycle's first priority because each lost instance directly cuts
+  // the app's serving capacity.
+  struct Displaced {
+    std::size_t tx_index;
+  };
+  std::vector<Displaced> displaced;
+  for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
+    ManagedTx& tx = tx_apps_[w];
+    const std::size_t before = tx.instances.size();
+    std::erase_if(tx.instances,
+                  [&](NodeId n) { return !cluster_->node_online(n); });
+    for (std::size_t k = tx.instances.size(); k < before; ++k) {
+      displaced.push_back({w});
+    }
+  }
+  repair.tx_displaced = static_cast<int>(displaced.size());
+
+  // The tx load that died with the node is gone until the next full cycle
+  // re-runs the distributor; stop counting it against the surviving nodes'
+  // free CPU. (tx_node_loads_ only tracks nodes, so zeroing offline entries
+  // is enough — surviving instances keep their last-cycle loads.)
+  for (std::size_t n = 0; n < tx_node_loads_.size(); ++n) {
+    if (!cluster_->node_online(static_cast<NodeId>(n))) {
+      tx_node_loads_[n] = 0.0;
+    }
+  }
+
+  std::vector<Megabytes> free_mem;
+  std::vector<MHz> free_cpu;
+  ComputeFreeResources(free_mem, free_cpu);
+
+  // Restart each displaced instance on the surviving node with the most free
+  // CPU that fits its memory and satisfies placement constraints, stopping at
+  // the churn bound. Instances the oracle vetoes stay down until the next
+  // periodic cycle retries.
+  int budget = config_.repair_max_changes;
+  for (const Displaced& d : displaced) {
+    if (budget <= 0) break;
+    ManagedTx& tx = tx_apps_[d.tx_index];
+    const int cap = tx.app->spec().max_instances;
+    if (cap > 0 && static_cast<int>(tx.instances.size()) >= cap) continue;
+    const Megabytes mem = tx.app->spec().memory_per_instance;
+    // Any online node with the memory and no instance of this app yet is
+    // acceptable — even a CPU-saturated one, since the next cycle's
+    // distributor rebalances load; prefer the node with the most
+    // unallocated CPU so the instance is useful now.
+    int best_node = -1;
+    MHz best_cpu = -std::numeric_limits<MHz>::infinity();
+    for (std::size_t n = 0; n < free_cpu.size(); ++n) {
+      if (!cluster_->node_online(static_cast<NodeId>(n))) continue;
+      if (free_mem[n] + kEpsilon < mem) continue;
+      if (std::find(tx.instances.begin(), tx.instances.end(),
+                    static_cast<NodeId>(n)) != tx.instances.end()) {
+        continue;  // one instance per node (snapshot feasibility rule)
+      }
+      if (!config_.constraints.empty() &&
+          !config_.constraints.AllowsNode(tx.app->id(),
+                                          static_cast<NodeId>(n))) {
+        continue;
+      }
+      if (free_cpu[n] > best_cpu) {
+        best_cpu = free_cpu[n];
+        best_node = static_cast<int>(n);
+      }
+    }
+    if (best_node < 0) continue;
+    if (OperationFails(PlacementChange::Kind::kStart, tx.app->id())) continue;
+    tx.instances.push_back(best_node);
+    free_mem[static_cast<std::size_t>(best_node)] -= mem;
+    ++total_changes_;
+    ++repair.tx_replaced;
+    --budget;
+  }
+
+  // Refill whatever capacity the fault freed (and the budget still allows)
+  // with queued work — including the jobs this fault just re-queued.
+  repair.job_placements = QuickDispatch(sim, budget);
+  repair.failed_operations = pending_failed_ops_;
+
+  MWP_LOG_DEBUG << "repair t=" << now << " requeued=" << repair.jobs_requeued
+                << " tx=" << repair.tx_replaced << "/" << repair.tx_displaced
+                << " jobs=" << repair.job_placements;
+  repairs_.push_back(repair);
+  ArmCompletionWatch(sim);
 }
 
 void ApcController::ArmCompletionWatch(Simulation& sim) {

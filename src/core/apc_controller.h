@@ -8,6 +8,7 @@
 // Per-cycle statistics feed the experiment harness (Figures 2, 6, 7).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -58,6 +59,9 @@ struct CycleStats {
   int resumes = 0;
   int migrations = 0;
   int evaluations = 0;
+  /// VM operations vetoed by Config::vm_operation_oracle since the previous
+  /// cycle (the affected starts/resumes/migrates were skipped and retried).
+  int failed_operations = 0;
   bool shortcut = false;
   double solver_seconds = 0.0;  ///< wall-clock time of the optimizer
   /// Per transactional app (same order as registration).
@@ -70,6 +74,18 @@ struct CycleStats {
   std::vector<double> tx_rejected_rates;
   /// Populated only when Config::record_job_details is true.
   std::vector<JobCycleDetail> job_details;
+};
+
+/// Outcome of one out-of-band repair cycle (OnNodeFault).
+struct RepairStats {
+  Seconds time = 0.0;
+  /// Placed jobs found dead on offline nodes and re-queued by the repair
+  /// itself (normally 0: the fault injector already crashed them).
+  int jobs_requeued = 0;
+  int tx_displaced = 0;      ///< transactional instances lost to the fault
+  int tx_replaced = 0;       ///< ... restarted on surviving nodes
+  int job_placements = 0;    ///< jobs (re)started by the repair dispatch
+  int failed_operations = 0; ///< restarts vetoed by the operation oracle
 };
 
 class ApcController {
@@ -91,6 +107,16 @@ class ApcController {
     /// Also record per-job allocations and predictions each cycle (heavier;
     /// meant for small illustrative runs).
     bool record_job_details = false;
+    /// Churn bound for an out-of-band repair cycle: at most this many
+    /// placement changes (transactional restarts + job placements) per
+    /// OnNodeFault call. The next periodic cycle finishes the rest.
+    int repair_max_changes = 8;
+    /// Fault hook: consulted before every VM start/resume/migrate; returning
+    /// true makes the operation fail (the VM does not come up; the job stays
+    /// queued/suspended or on its old node, and the controller retries on a
+    /// later dispatch or cycle). Unset = operations always succeed. Wired to
+    /// FaultInjector::ShouldFailOperation by fault-injection experiments.
+    std::function<bool(PlacementChange::Kind, AppId)> vm_operation_oracle;
   };
 
   ApcController(const ClusterSpec* cluster, JobQueue* queue, Config config);
@@ -117,11 +143,24 @@ class ApcController {
   /// (used to flush the final partial cycle at the end of an experiment).
   void AdvanceJobsTo(Seconds to);
 
+  /// Out-of-band repair cycle, run at the instant a node fault is detected
+  /// instead of waiting for the periodic tick. Re-queues any placed jobs
+  /// found on offline nodes (checkpoint rollback), restarts displaced
+  /// transactional instances on surviving capacity, and refills freed
+  /// capacity with queued jobs — all under Config::repair_max_changes.
+  /// Fault-injection experiments call this from a FaultListener.
+  void OnNodeFault(Simulation& sim);
+
   const std::vector<CycleStats>& cycles() const { return cycles_; }
+  const std::vector<RepairStats>& repairs() const { return repairs_; }
   int total_placement_changes() const { return total_changes_; }
   int num_tx_apps() const { return static_cast<int>(tx_apps_.size()); }
   const TransactionalApp& tx_app(int i) const {
     return *tx_apps_.at(static_cast<std::size_t>(i)).app;
+  }
+  /// Nodes currently running an instance of transactional app `i`.
+  const std::vector<NodeId>& tx_instances(int i) const {
+    return tx_apps_.at(static_cast<std::size_t>(i)).instances;
   }
 
  private:
@@ -138,14 +177,22 @@ class ApcController {
   /// The app view used for placement this cycle (profiled or truth).
   const TransactionalApp& PlacementView(const ManagedTx& tx) const;
 
-  /// Start queued/suspended jobs on currently unallocated capacity.
-  void QuickDispatch(Simulation& sim);
+  /// Start queued/suspended jobs on currently unallocated capacity, at most
+  /// `max_placements` of them. Returns the number of jobs placed.
+  int QuickDispatch(Simulation& sim, int max_placements = kUnbounded);
+  /// Consult the operation oracle; counts and reports a vetoed operation.
+  bool OperationFails(PlacementChange::Kind kind, AppId app);
+  /// Re-queue placed jobs whose node has gone offline (defence in depth —
+  /// the fault injector normally crashed them already). Returns the count.
+  int CrashJobsOnOfflineNodes(Seconds now);
   /// Arm an event at the earliest projected completion of a placed job, so
   /// freed capacity is refilled without waiting for the next cycle.
   void ArmCompletionWatch(Simulation& sim);
   /// Per-node free memory and unallocated CPU under the live state.
   void ComputeFreeResources(std::vector<Megabytes>& mem,
                             std::vector<MHz>& cpu) const;
+
+  static constexpr int kUnbounded = 1 << 30;
 
   const ClusterSpec* cluster_;
   JobQueue* queue_;
@@ -154,6 +201,7 @@ class ApcController {
   RequestRouter router_;
   Seconds last_advance_ = 0.0;
   std::vector<CycleStats> cycles_;
+  std::vector<RepairStats> repairs_;
   int total_changes_ = 0;
   /// CPU routed to transactional instances per node in the last cycle.
   std::vector<MHz> tx_node_loads_;
@@ -162,6 +210,7 @@ class ApcController {
   /// CycleStats so per-cycle accounting stays complete.
   int pending_quick_starts_ = 0;
   int pending_quick_resumes_ = 0;
+  int pending_failed_ops_ = 0;
 };
 
 }  // namespace mwp

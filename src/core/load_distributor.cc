@@ -166,8 +166,9 @@ std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
     e.entity = entity;
     e.nodes = nodes;
     for (int n : nodes) {
-      // A transactional instance may use its node's whole CPU.
-      e.edge_caps.push_back(snap.cluster().node(n).total_cpu());
+      // A transactional instance may use its node's whole available CPU
+      // (zero on a node captured offline, scaled when degraded).
+      e.edge_caps.push_back(snap.NodeAvailableCpu(n));
     }
     if (tv.arrival_rate <= 1e-12) {
       // No load: trivially satisfied with zero CPU.
@@ -207,7 +208,7 @@ void LoadDistributor::PrepareFlowNetwork(
     }
   }
   for (int n = 0; n < num_nodes; ++n) {
-    tcap(1 + e_count + n, sink) += snap.cluster().node(n).total_cpu();
+    tcap(1 + e_count + n, sink) += snap.NodeAvailableCpu(n);
   }
 
   // Neighbour lists in ascending vertex order so the BFS visits candidates

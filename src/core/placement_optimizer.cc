@@ -290,6 +290,7 @@ PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
     const int cap = snap.tx(w).max_instances;
     bool grew = false;
     for (int node = 0; node < snap.num_nodes(); ++node) {
+      if (!snap.NodeOnline(node)) continue;
       if (candidate.at(entity, node) > 0) continue;
       if (cap > 0 && candidate.InstanceCount(entity) >= cap) break;
       if (snap.EntityMemory(entity) >
@@ -325,6 +326,7 @@ PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
       int best_node = -1;
       Megabytes best_free = snap.EntityMemory(w) - kEpsilon;
       for (int node = 0; node < snap.num_nodes(); ++node) {
+        if (!snap.NodeOnline(node)) continue;
         const Megabytes free = snap.FreeMemory(candidate, node);
         if (free > best_free) {
           best_free = free;
@@ -350,6 +352,9 @@ PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
   for (int sweep = 0; sweep < options_.max_sweeps; ++sweep) {
     bool improved = false;
     for (int node = 0; node < snap.num_nodes(); ++node) {
+      // A crashed node can host nothing; every candidate targeting it would
+      // fail IsFeasible, so skip the whole stream.
+      if (!snap.NodeOnline(node)) continue;
       for (int change = 0; change < options_.max_changes_per_node; ++change) {
         if (!EvaluationBudgetLeft(result)) return result;
         if (!TryImproveNode(node, result)) break;

@@ -34,6 +34,22 @@ PlacementSnapshot::PlacementSnapshot(const ClusterSpec* cluster, Seconds now,
   entity_memory_.reserve(static_cast<std::size_t>(num_entities()));
   for (const JobView& v : jobs_) entity_memory_.push_back(v.memory);
   for (const TxView& t : tx_apps_) entity_memory_.push_back(t.memory);
+  node_online_.reserve(static_cast<std::size_t>(num_nodes()));
+  node_available_cpu_.reserve(static_cast<std::size_t>(num_nodes()));
+  node_available_memory_.reserve(static_cast<std::size_t>(num_nodes()));
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    node_online_.push_back(cluster_->node_online(n));
+    node_available_cpu_.push_back(cluster_->available_cpu(n));
+    node_available_memory_.push_back(cluster_->available_memory(n));
+  }
+}
+
+int PlacementSnapshot::NumOnlineNodes() const {
+  int count = 0;
+  for (bool online : node_online_) {
+    if (online) ++count;
+  }
+  return count;
 }
 
 PlacementSnapshot PlacementSnapshot::Capture(
@@ -117,7 +133,7 @@ Megabytes PlacementSnapshot::FreeMemory(const PlacementMatrix& p,
       }
     }
   }
-  return cluster_->node(node).memory_mb - used;
+  return node_available_memory_[static_cast<std::size_t>(node)] - used;
 }
 
 Seconds JobExecStart(const PlacementSnapshot& snap, const JobView& jv,
@@ -137,6 +153,14 @@ bool PlacementSnapshot::IsFeasible(const PlacementMatrix& p) const {
   MWP_CHECK(p.num_apps() == num_entities());
   MWP_CHECK(p.num_nodes() == num_nodes());
   for (int n = 0; n < num_nodes(); ++n) {
+    if (!node_online_[static_cast<std::size_t>(n)]) {
+      // Nothing may be placed on a crashed node; FreeMemory would also fail
+      // (available memory is 0) but only when something there uses memory.
+      for (int e = 0; e < num_entities(); ++e) {
+        if (p.at(e, n) > 0) return false;
+      }
+      continue;
+    }
     if (FreeMemory(p, n) < -kEpsilon) return false;
   }
   for (int j = 0; j < num_jobs(); ++j) {

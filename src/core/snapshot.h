@@ -80,6 +80,21 @@ class PlacementSnapshot {
   Seconds now() const { return now_; }
   Seconds control_cycle() const { return control_cycle_; }
 
+  /// Node availability as captured when the snapshot was built. The live
+  /// cluster's health may change mid-cycle (fault injection); the optimizer
+  /// must reason about one consistent view, so it reads these, never the
+  /// cluster directly.
+  bool NodeOnline(int node) const {
+    return node_online_.at(static_cast<std::size_t>(node));
+  }
+  MHz NodeAvailableCpu(int node) const {
+    return node_available_cpu_.at(static_cast<std::size_t>(node));
+  }
+  Megabytes NodeAvailableMemory(int node) const {
+    return node_available_memory_.at(static_cast<std::size_t>(node));
+  }
+  int NumOnlineNodes() const;
+
   int num_jobs() const { return static_cast<int>(jobs_.size()); }
   int num_tx() const { return static_cast<int>(tx_apps_.size()); }
   /// Total entity count = jobs + transactional apps.
@@ -117,9 +132,10 @@ class PlacementSnapshot {
   /// Application id of a snapshot entity.
   AppId EntityAppId(int entity) const;
 
-  /// True when `p` respects every node's memory capacity, the per-entity
+  /// True when `p` respects every node's memory capacity, places nothing on
+  /// a node that was offline at capture time, and satisfies the per-entity
   /// instance rules (jobs: at most one instance; tx: at most one per node
-  /// and at most max_instances overall), and the policy constraints.
+  /// and at most max_instances overall) and the policy constraints.
   bool IsFeasible(const PlacementMatrix& p) const;
 
  private:
@@ -133,6 +149,10 @@ class PlacementSnapshot {
   /// Per-entity instance memory, precomputed — FreeMemory runs on the
   /// optimizer's hot path (every feasibility probe of every candidate).
   std::vector<Megabytes> entity_memory_;
+  /// Node health frozen at capture time (see NodeOnline above).
+  std::vector<bool> node_online_;
+  std::vector<MHz> node_available_cpu_;
+  std::vector<Megabytes> node_available_memory_;
 };
 
 /// Instant at which job `jv` would (re)start executing if hosted on

@@ -1,0 +1,303 @@
+#include "exp/experiment4.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "batch/job_queue.h"
+#include "common/check.h"
+#include "core/apc_controller.h"
+#include "fault/fault_injector.h"
+#include "sched/edf_scheduler.h"
+#include "sched/static_partition.h"
+#include "sim/simulation.h"
+#include "web/queuing_model.h"
+#include "web/workload_generator.h"
+
+namespace mwp {
+namespace {
+
+NodeSpec Experiment4Node() { return NodeSpec{1, 1'000.0, 4'000.0}; }
+
+/// Routes fault events to whichever cluster manager is active and decides
+/// when an outage counts as recovered: every job the crash killed is placed
+/// again (or finished) AND the transactional SLA is met again (per the
+/// mode's tx_healthy probe; vacuously true without a transactional app).
+/// Registered after the RecoveryTracker so the outage record exists by the
+/// time the repair runs — a synchronous repair then yields time-to-recover
+/// zero.
+class RecoveryDriver : public FaultListener {
+ public:
+  RecoveryDriver(JobQueue* queue, RecoveryTracker* tracker)
+      : queue_(queue), tracker_(tracker) {}
+
+  void set_apc(ApcController* apc) { apc_ = apc; }
+  void set_partition(StaticPartition* partition) { partition_ = partition; }
+  void set_edf(EdfScheduler* edf) { edf_ = edf; }
+  void set_tx_healthy(std::function<bool(Seconds)> probe) {
+    tx_healthy_ = std::move(probe);
+  }
+
+  void OnNodeCrashed(Simulation& sim, const NodeCrashReport& report) override {
+    open_.push_back({report.node, report.crashed_jobs});
+    Repair(sim);
+    Probe(sim.now());
+  }
+
+  void OnNodeRestored(Simulation& sim, NodeId) override {
+    // Returned capacity is a dispatch opportunity for every manager.
+    Repair(sim);
+    Probe(sim.now());
+  }
+
+  /// Close any open outage whose crashed jobs are all placed or complete,
+  /// once the transactional side is serving within its goal again.
+  void Probe(Seconds now) {
+    if (tx_healthy_ && !tx_healthy_(now)) return;
+    for (auto it = open_.begin(); it != open_.end();) {
+      bool healed = true;
+      for (AppId id : it->jobs) {
+        const Job* job = queue_->Find(id);
+        MWP_CHECK(job != nullptr);
+        if (!job->placed() && !job->completed()) {
+          healed = false;
+          break;
+        }
+      }
+      if (healed) {
+        tracker_->MarkRecovered(it->node, now);
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  void Repair(Simulation& sim) {
+    if (apc_ != nullptr) apc_->OnNodeFault(sim);
+    if (partition_ != nullptr) partition_->OnNodeFault(sim);
+    if (edf_ != nullptr) edf_->OnNodeFault(sim);
+  }
+
+  struct OpenOutage {
+    NodeId node;
+    std::vector<AppId> jobs;
+  };
+
+  JobQueue* queue_;
+  RecoveryTracker* tracker_;
+  ApcController* apc_ = nullptr;
+  StaticPartition* partition_ = nullptr;
+  EdfScheduler* edf_ = nullptr;
+  std::function<bool(Seconds)> tx_healthy_;
+  std::vector<OpenOutage> open_;
+};
+
+}  // namespace
+
+const char* ToString(Experiment4Mode mode) {
+  switch (mode) {
+    case Experiment4Mode::kDynamicApc:
+      return "APC dynamic sharing";
+    case Experiment4Mode::kStaticPartition:
+      return "static partition";
+    case Experiment4Mode::kEdfScheduler:
+      return "EDF whole cluster";
+  }
+  return "?";
+}
+
+FaultPlan MakeExperiment4FaultPlan(const Experiment4Config& config) {
+  FaultPlan plan;
+  plan.seed = config.seed;
+  // Outage one: a batch-side node (loaded under every mode) dies while the
+  // cluster is full, with a long repair window.
+  plan.crashes.push_back(
+      {static_cast<NodeId>(config.num_nodes - 2), 310.0, 600.0});
+  // Outage two: the static partition's entire TX side dies. The APC
+  // restarts the displaced instances on surviving nodes; the static
+  // arrangement has nowhere to go and serves nothing until the restore.
+  if (config.num_nodes >= 3 && config.static_tx_nodes >= 2) {
+    plan.crashes.push_back({0, 1'210.0, 300.0});
+    plan.crashes.push_back({1, 1'210.0, 300.0});
+  }
+  return plan;
+}
+
+TransactionalAppSpec MakeExperiment4TxSpec(const Experiment4Config& config,
+                                           AppId id) {
+  const QueuingModel model = QueuingModel::Calibrate(
+      config.tx_arrival_rate, config.tx_response_goal, config.tx_max_utility,
+      config.tx_saturation, config.tx_stability_fraction);
+  TransactionalAppSpec spec;
+  spec.id = id;
+  spec.name = "tx-app";
+  spec.memory_per_instance = config.tx_memory_per_instance;
+  spec.response_time_goal = model.params().response_time_goal;
+  spec.demand_per_request = model.params().demand_per_request;
+  spec.min_response_time = model.params().min_response_time;
+  spec.saturation_allocation = model.params().saturation_allocation;
+  spec.max_instances = 0;
+  return spec;
+}
+
+Experiment4Result RunExperiment4(const Experiment4Config& config) {
+  ClusterSpec cluster =
+      ClusterSpec::Uniform(config.num_nodes, Experiment4Node());
+  config.fault_plan.Validate(cluster);
+
+  JobQueue queue;
+  Simulation sim;
+  Experiment4Result result;
+
+  const VmCostModel costs = VmCostModel::PaperMeasured();
+  const AppId tx_id = 1;
+  const TransactionalAppSpec tx_spec = MakeExperiment4TxSpec(config, tx_id);
+
+  // Fault machinery first: the APC's operation oracle needs the injector.
+  FaultInjector injector(&cluster, &queue, config.fault_plan);
+  RecoveryTracker tracker(&cluster);
+  RecoveryDriver driver(&queue, &tracker);
+  injector.AddListener(&tracker);  // opens the outage record...
+  injector.AddListener(&driver);   // ...then the repair may close it
+
+  std::unique_ptr<ApcController> apc;
+  std::unique_ptr<StaticPartition> partition;
+  std::unique_ptr<EdfScheduler> edf;
+  switch (config.mode) {
+    case Experiment4Mode::kDynamicApc: {
+      ApcController::Config cfg;
+      cfg.control_cycle = config.control_cycle;
+      cfg.costs = costs;
+      cfg.optimizer.search_threads = config.search_threads;
+      cfg.vm_operation_oracle = [&injector](PlacementChange::Kind kind,
+                                            AppId app) {
+        return injector.ShouldFailOperation(kind, app);
+      };
+      apc = std::make_unique<ApcController>(&cluster, &queue, cfg);
+      apc->AddTransactionalApp(
+          tx_spec, std::make_shared<ConstantRate>(config.tx_arrival_rate));
+      driver.set_apc(apc.get());
+      // The APC's TX health is what its last control cycle measured; a
+      // displaced-and-repaired instance set is confirmed healthy by the
+      // cycle after the fault at the latest.
+      driver.set_tx_healthy([&goal = config.tx_response_goal,
+                             apc_ptr = apc.get()](Seconds) {
+        const auto& cycles = apc_ptr->cycles();
+        if (cycles.empty() || cycles.back().tx_response_times.empty()) {
+          return true;
+        }
+        return cycles.back().tx_response_times.front() <= goal;
+      });
+      break;
+    }
+    case Experiment4Mode::kStaticPartition: {
+      partition = std::make_unique<StaticPartition>(
+          &cluster, &queue, tx_spec, config.static_tx_nodes, costs);
+      driver.set_partition(partition.get());
+      driver.set_tx_healthy([&config, partition_ptr = partition.get()](
+                                Seconds) {
+        const Seconds rt =
+            partition_ptr->TxResponseTime(config.tx_arrival_rate);
+        return rt <= config.tx_response_goal;  // false for inf/NaN too
+      });
+      break;
+    }
+    case Experiment4Mode::kEdfScheduler: {
+      BaselineScheduler::Config cfg;
+      cfg.costs = costs;
+      edf = std::make_unique<EdfScheduler>(&cluster, &queue, cfg);
+      driver.set_edf(edf.get());
+      break;
+    }
+  }
+
+  injector.set_advance_hook([&](Seconds now) {
+    if (apc != nullptr) apc->AdvanceJobsTo(now);
+    if (partition != nullptr) partition->AdvanceJobsTo(now);
+    if (edf != nullptr) edf->AdvanceJobsTo(now);
+  });
+
+  // Identical jobs on a fixed submission schedule.
+  std::size_t submitted = 0;
+  for (int k = 0; k < config.num_jobs; ++k) {
+    const Seconds at = k * config.submit_spacing;
+    const AppId id = 100 + k;
+    sim.ScheduleAt(at, [&, at, id](Simulation& s) {
+      JobProfile p = JobProfile::SingleStage(
+          config.job_work, config.job_max_speed, config.job_memory);
+      Job& job = queue.Submit(std::make_unique<Job>(
+          id, "job-" + std::to_string(id), p,
+          JobGoal::FromFactor(at, config.goal_factor,
+                              p.min_execution_time())));
+      job.set_checkpoint_interval(config.checkpoint_interval);
+      ++submitted;
+      if (apc != nullptr) apc->OnJobSubmitted(s);
+      if (partition != nullptr) partition->OnJobSubmitted(s);
+      if (edf != nullptr) edf->OnJobSubmitted(s);
+    });
+  }
+
+  if (apc != nullptr) apc->Attach(sim, 0.0);
+  injector.Attach(sim);
+
+  // Recovery probe (and, in the static mode, TX response-time sampling —
+  // its allocation moves with node health, so it must be observed live).
+  std::vector<std::pair<Seconds, Seconds>> static_tx_rt;
+  sim.SchedulePeriodic(config.probe_interval, config.probe_interval,
+                       [&](Simulation& s) {
+                         driver.Probe(s.now());
+                         if (partition != nullptr) {
+                           static_tx_rt.emplace_back(
+                               s.now(),
+                               partition->TxResponseTime(
+                                   config.tx_arrival_rate));
+                         }
+                       });
+
+  sim.RunUntil(config.duration);
+  if (apc != nullptr) apc->AdvanceJobsTo(sim.now());
+  if (partition != nullptr) partition->AdvanceJobsTo(sim.now());
+  if (edf != nullptr) edf->AdvanceJobsTo(sim.now());
+  driver.Probe(sim.now());
+
+  // SLA violations during outages, after the fact: the outage records hold
+  // their final [crash, recovery) windows, so counting is order-independent.
+  if (apc != nullptr) {
+    for (const CycleStats& c : apc->cycles()) {
+      if (!c.tx_response_times.empty() &&
+          !(c.tx_response_times.front() <= config.tx_response_goal)) {
+        tracker.RecordSlaViolation(c.time);
+      }
+    }
+  }
+  for (const auto& [when, rt] : static_tx_rt) {
+    if (!(rt <= config.tx_response_goal)) tracker.RecordSlaViolation(when);
+  }
+
+  result.jobs_submitted = submitted;
+  result.jobs_completed = queue.num_completed();
+  result.crashes = injector.num_crashes_fired();
+  result.work_lost = tracker.total_work_lost();
+  result.lost_cpu_seconds = tracker.total_lost_cpu_seconds();
+  result.all_recovered = tracker.all_recovered();
+  result.time_to_recover = tracker.TimeToRecoverStats();
+  result.sla_violations = tracker.total_sla_violations();
+  result.outages = tracker.outages();
+  if (apc != nullptr) result.repairs = apc->repairs();
+  result.fault_trace = injector.trace();
+  result.outcomes = CollectOutcomes(queue);
+
+  std::ostringstream fp;
+  for (const Job* job : std::as_const(queue).All()) {
+    fp << job->id() << ':' << static_cast<int>(job->status()) << ':'
+       << (job->placed() ? job->node() : -1) << ':'
+       << std::llround(job->work_done()) << ';';
+  }
+  result.placement_fingerprint = fp.str();
+  return result;
+}
+
+}  // namespace mwp

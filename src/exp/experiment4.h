@@ -1,0 +1,117 @@
+// Experiment Four — resilience (extension of the paper's evaluation):
+// identical mixed workload and identical fault plan, three cluster managers.
+//
+// The paper's experiments assume a healthy cluster; this experiment injects
+// node churn and measures how each arrangement heals:
+//   1. APC with dynamic sharing: an out-of-band repair cycle fires at the
+//      crash instant (ApcController::OnNodeFault) and the next periodic
+//      cycle finishes whatever the churn bound deferred;
+//   2. static partition (TX nodes + FCFS batch nodes): the batch side can
+//      only refill its own partition, so a crashed job waits for a free
+//      batch node; a crashed TX node just shrinks serving capacity until
+//      the node is restored;
+//   3. EDF over the whole cluster (batch-only comparator): preemptive, so
+//      it recovers fast, but it serves no transactional workload at all.
+//
+// An outage counts as recovered once every job the crash killed is placed
+// again (or finished). Time-to-recover, checkpoint-rollback losses and SLA
+// violations during outages come from fault/RecoveryTracker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/job_metrics.h"
+#include "common/stats.h"
+#include "core/apc_controller.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery_tracker.h"
+#include "web/transactional_app.h"
+
+namespace mwp {
+
+enum class Experiment4Mode {
+  kDynamicApc,
+  kStaticPartition,
+  kEdfScheduler,
+};
+
+const char* ToString(Experiment4Mode mode);
+
+struct Experiment4Config {
+  Experiment4Mode mode = Experiment4Mode::kDynamicApc;
+
+  int num_nodes = 6;           ///< 1 CPU x 1,000 MHz, 4,000 MB each
+  Seconds control_cycle = 60.0;
+  Seconds duration = 2'000.0;
+  /// Recovery-probe cadence: how often job placement is checked against
+  /// open outages (bounds the measurement granularity of time-to-recover).
+  Seconds probe_interval = 5.0;
+
+  /// Batch workload: identical single-stage jobs on a fixed submission
+  /// schedule (deterministic by construction).
+  int num_jobs = 6;
+  Seconds submit_spacing = 5.0;    ///< job k arrives at k * spacing
+  Megacycles job_work = 600'000.0; ///< 600 s at full speed
+  MHz job_max_speed = 1'000.0;
+  Megabytes job_memory = 1'500.0;
+  double goal_factor = 4.0;
+  Seconds checkpoint_interval = 60.0;
+
+  /// Transactional application (absent in the EDF mode): calibrated like
+  /// Experiment Three's, scaled to this small cluster.
+  double tx_arrival_rate = 1.0;
+  Seconds tx_response_goal = 1.0;
+  Utility tx_max_utility = 0.8;
+  MHz tx_saturation = 1'500.0;
+  double tx_stability_fraction = 0.1;
+  Megabytes tx_memory_per_instance = 500.0;
+  /// Static mode: nodes [0, static_tx_nodes) are the TX partition.
+  int static_tx_nodes = 2;
+
+  /// Faults to inject; Validate()d against the cluster. Empty = fault-free
+  /// baseline run.
+  FaultPlan fault_plan;
+
+  std::uint64_t seed = 17;
+  /// Optimizer search lanes (APC mode); exercised by the determinism test.
+  int search_threads = 0;
+};
+
+/// The crash schedule the resilience comparison uses by default: two
+/// batch-side node outages while the cluster is loaded, each restored after
+/// an extended repair window.
+FaultPlan MakeExperiment4FaultPlan(const Experiment4Config& config);
+
+/// The calibrated transactional application spec used by the experiment.
+TransactionalAppSpec MakeExperiment4TxSpec(const Experiment4Config& config,
+                                           AppId id);
+
+struct Experiment4Result {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+
+  // Fault + recovery bookkeeping (empty / zero on a fault-free run).
+  int crashes = 0;
+  Megacycles work_lost = 0.0;        ///< checkpoint rollback, megacycles
+  Seconds lost_cpu_seconds = 0.0;
+  bool all_recovered = false;
+  RunningStats time_to_recover;      ///< over recovered outages
+  int sla_violations = 0;            ///< TX goal misses during open outages
+  std::vector<OutageRecord> outages;
+  /// APC mode only: the out-of-band repair cycles the faults triggered.
+  std::vector<RepairStats> repairs;
+  /// The injector's human-readable event log — the determinism oracle:
+  /// identical config (and seed) must produce an identical trace.
+  std::vector<std::string> fault_trace;
+
+  std::vector<JobOutcomeRecord> outcomes;
+  /// Compact end-state fingerprint ("id:status:node:work;..." in submission
+  /// order) — identical across runs and search-thread counts.
+  std::string placement_fingerprint;
+};
+
+Experiment4Result RunExperiment4(const Experiment4Config& config);
+
+}  // namespace mwp

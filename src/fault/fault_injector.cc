@@ -1,0 +1,157 @@
+#include "fault/fault_injector.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace mwp {
+
+FaultInjector::FaultInjector(ClusterSpec* cluster, JobQueue* queue,
+                             FaultPlan plan)
+    : cluster_(cluster),
+      queue_(queue),
+      plan_(std::move(plan)),
+      rng_(plan_.seed) {
+  MWP_CHECK(cluster_ != nullptr);
+  MWP_CHECK(queue_ != nullptr);
+  plan_.Validate(*cluster_);
+}
+
+void FaultInjector::AddListener(FaultListener* listener) {
+  MWP_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void FaultInjector::Attach(Simulation& sim) {
+  MWP_CHECK_MSG(!attached_, "FaultInjector attached twice");
+  attached_ = true;
+  // Plan order is schedule order; ties at the same instant fire in plan
+  // order thanks to the simulation's insertion-order tie-break.
+  for (const NodeCrashFault& c : plan_.crashes) {
+    sim.ScheduleAt(c.at, [this, c](Simulation& s) { FireCrash(s, c); });
+  }
+  for (const NodeSlowdownFault& slow : plan_.slowdowns) {
+    sim.ScheduleAt(slow.at,
+                   [this, slow](Simulation& s) { FireSlowdown(s, slow); });
+  }
+}
+
+bool FaultInjector::ShouldFailOperation(PlacementChange::Kind kind,
+                                        AppId app) {
+  if (plan_.vm_operation_failure_rate <= 0.0) return false;
+  switch (kind) {
+    case PlacementChange::Kind::kStart:
+    case PlacementChange::Kind::kResume:
+    case PlacementChange::Kind::kMigrate:
+      break;
+    case PlacementChange::Kind::kStop:
+    case PlacementChange::Kind::kSuspend:
+      return false;
+  }
+  const bool fail = rng_.Uniform01() < plan_.vm_operation_failure_rate;
+  if (fail) {
+    ++operations_failed_;
+    std::ostringstream os;
+    os << "op-fail kind=" << static_cast<int>(kind) << " app=" << app;
+    Record(-1.0, os.str());
+  }
+  return fail;
+}
+
+void FaultInjector::FireCrash(Simulation& sim, const NodeCrashFault& fault) {
+  // Bring job progress up to the crash instant first, so the checkpoint
+  // rollback measures real losses instead of stale work counters.
+  if (advance_hook_) advance_hook_(sim.now());
+  if (!cluster_->node_online(fault.node)) {
+    // Already down (overlapping plan entries): the restore, if any, is still
+    // honoured so the node eventually returns.
+    if (fault.restore_after > 0.0) {
+      sim.ScheduleAfter(fault.restore_after, [this, n = fault.node](
+                                                 Simulation& s) {
+        FireRestore(s, n);
+      });
+    }
+    return;
+  }
+  cluster_->SetNodeOffline(fault.node);
+  ++crashes_fired_;
+
+  NodeCrashReport report;
+  report.node = fault.node;
+  report.at = sim.now();
+  // Kill every batch VM the node hosted: roll back to the last checkpoint
+  // and re-queue. Suspended jobs live on shared storage and are untouched.
+  for (Job* job : queue_->Placed()) {
+    if (job->node() != fault.node) continue;
+    const Megacycles lost = job->Crash(sim.now());
+    report.crashed_jobs.push_back(job->id());
+    report.work_lost += lost;
+  }
+  work_lost_ += report.work_lost;
+
+  std::ostringstream os;
+  os << "crash node=" << fault.node << " jobs=" << report.crashed_jobs.size()
+     << " lost=" << report.work_lost << "Mc";
+  Record(sim.now(), os.str());
+  MWP_LOG_DEBUG << "fault: " << trace_.back();
+
+  for (FaultListener* l : listeners_) l->OnNodeCrashed(sim, report);
+
+  if (fault.restore_after > 0.0) {
+    sim.ScheduleAfter(fault.restore_after,
+                      [this, n = fault.node](Simulation& s) {
+                        FireRestore(s, n);
+                      });
+  }
+}
+
+void FaultInjector::FireRestore(Simulation& sim, NodeId node) {
+  if (cluster_->node_online(node)) return;  // double restore: no-op
+  cluster_->SetNodeOnline(node);
+  std::ostringstream os;
+  os << "restore node=" << node;
+  Record(sim.now(), os.str());
+  for (FaultListener* l : listeners_) l->OnNodeRestored(sim, node);
+}
+
+void FaultInjector::FireSlowdown(Simulation& sim,
+                                 const NodeSlowdownFault& fault) {
+  // A crashed node cannot additionally slow down; drop the event (the end
+  // event is also skipped via the state check in FireSlowdownEnd).
+  if (cluster_->node_state(fault.node) != NodeState::kOnline) return;
+  cluster_->SetNodeDegraded(fault.node, fault.speed_factor);
+  std::ostringstream os;
+  os << "slowdown node=" << fault.node << " factor=" << fault.speed_factor;
+  Record(sim.now(), os.str());
+  for (FaultListener* l : listeners_) {
+    l->OnNodeDegraded(sim, fault.node, fault.speed_factor);
+  }
+  sim.ScheduleAfter(fault.duration, [this, n = fault.node](Simulation& s) {
+    FireSlowdownEnd(s, n);
+  });
+}
+
+void FaultInjector::FireSlowdownEnd(Simulation& sim, NodeId node) {
+  // Only lift a slowdown if the node is still merely degraded — it may have
+  // crashed (and even been restored, which already cleared the slowdown).
+  if (cluster_->node_state(node) != NodeState::kDegraded) return;
+  cluster_->SetNodeOnline(node);
+  std::ostringstream os;
+  os << "slowdown-end node=" << node;
+  Record(sim.now(), os.str());
+  for (FaultListener* l : listeners_) l->OnNodeDegraded(sim, node, 1.0);
+}
+
+void FaultInjector::Record(Seconds time, std::string what) {
+  std::ostringstream os;
+  if (time >= 0.0) {
+    os << "t=" << time << " " << what;
+  } else {
+    os << what;  // untimed entries (operation-failure draws)
+  }
+  trace_.push_back(os.str());
+}
+
+}  // namespace mwp

@@ -1,0 +1,118 @@
+// Seeded fault injection driving the simulation's event queue.
+//
+// The injector owns the mechanics of a fault: flipping node health in the
+// ClusterSpec, killing the batch VMs a crashed node hosted (rolling each job
+// back to its last checkpoint and re-queueing it), and restoring capacity
+// later. It deliberately knows nothing about placement controllers; anything
+// that must *react* to a fault — repairing placement, re-routing
+// transactional load — registers a FaultListener and is called synchronously
+// from the fault event, after the cluster and job state already reflect the
+// failure. Listeners run in registration order.
+//
+// Every fault is appended to a human-readable trace, which doubles as the
+// determinism oracle in tests: same plan + same seed must yield the same
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "batch/job_queue.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "fault/fault_plan.h"
+#include "sim/simulation.h"
+
+namespace mwp {
+
+/// What one node crash destroyed, reported to listeners.
+struct NodeCrashReport {
+  NodeId node = kInvalidNode;
+  Seconds at = 0.0;
+  std::vector<AppId> crashed_jobs;  ///< jobs rolled back and re-queued
+  Megacycles work_lost = 0.0;       ///< progress beyond the last checkpoints
+};
+
+/// Observer of injected faults. Called after the cluster/job state has been
+/// updated, from within the fault's simulation event.
+class FaultListener {
+ public:
+  virtual ~FaultListener() = default;
+  virtual void OnNodeCrashed(Simulation& sim, const NodeCrashReport& report) {
+    (void)sim;
+    (void)report;
+  }
+  virtual void OnNodeRestored(Simulation& sim, NodeId node) {
+    (void)sim;
+    (void)node;
+  }
+  virtual void OnNodeDegraded(Simulation& sim, NodeId node,
+                              double speed_factor) {
+    (void)sim;
+    (void)node;
+    (void)speed_factor;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// `cluster` and `queue` must outlive the injector; the cluster is mutated
+  /// when faults fire.
+  FaultInjector(ClusterSpec* cluster, JobQueue* queue, FaultPlan plan);
+
+  /// Register an observer (not owned). Order of registration is the order
+  /// of notification — register repairing controllers before probes that
+  /// measure the repaired state.
+  void AddListener(FaultListener* listener);
+
+  /// Schedule every event in the plan on `sim`. Call once.
+  void Attach(Simulation& sim);
+
+  /// Progress hook, called with the fault instant before a crash destroys
+  /// state. Controllers advance job execution lazily, so without this the
+  /// rollback would be computed from stale work counters; wire it to the
+  /// active controller's AdvanceJobsTo.
+  void set_advance_hook(std::function<void(Seconds)> hook) {
+    advance_hook_ = std::move(hook);
+  }
+
+  /// Operation-failure oracle for controllers: returns true when a VM
+  /// start/resume/migrate should fail, drawn from the seeded stream.
+  /// Suspends and stops never fail (tearing down is easy). Each call
+  /// consumes one draw, so call it exactly once per attempted operation.
+  bool ShouldFailOperation(PlacementChange::Kind kind, AppId app);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- bookkeeping ---
+  int num_crashes_fired() const { return crashes_fired_; }
+  int num_operations_failed() const { return operations_failed_; }
+  Megacycles total_work_lost() const { return work_lost_; }
+  /// Chronological human-readable fault log; the determinism oracle.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  void FireCrash(Simulation& sim, const NodeCrashFault& fault);
+  void FireRestore(Simulation& sim, NodeId node);
+  void FireSlowdown(Simulation& sim, const NodeSlowdownFault& fault);
+  void FireSlowdownEnd(Simulation& sim, NodeId node);
+  void Record(Seconds time, std::string what);
+
+  ClusterSpec* cluster_;
+  JobQueue* queue_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::function<void(Seconds)> advance_hook_;
+  std::vector<FaultListener*> listeners_;
+  std::vector<std::string> trace_;
+  int crashes_fired_ = 0;
+  int operations_failed_ = 0;
+  Megacycles work_lost_ = 0.0;
+  bool attached_ = false;
+};
+
+}  // namespace mwp

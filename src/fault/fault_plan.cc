@@ -1,0 +1,26 @@
+#include "fault/fault_plan.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+void FaultPlan::Validate(const ClusterSpec& cluster) const {
+  for (const NodeCrashFault& c : crashes) {
+    MWP_CHECK_MSG(c.node >= 0 && c.node < cluster.num_nodes(),
+                  "crash targets node " << c.node << " outside the cluster");
+    MWP_CHECK(c.at >= 0.0);
+    MWP_CHECK(c.restore_after >= 0.0);
+  }
+  for (const NodeSlowdownFault& s : slowdowns) {
+    MWP_CHECK_MSG(s.node >= 0 && s.node < cluster.num_nodes(),
+                  "slowdown targets node " << s.node << " outside the cluster");
+    MWP_CHECK(s.at >= 0.0);
+    MWP_CHECK(s.duration > 0.0);
+    MWP_CHECK_MSG(s.speed_factor > 0.0 && s.speed_factor < 1.0,
+                  "slowdown factor must be in (0, 1)");
+  }
+  MWP_CHECK(vm_operation_failure_rate >= 0.0 &&
+            vm_operation_failure_rate <= 1.0);
+}
+
+}  // namespace mwp

@@ -1,0 +1,58 @@
+// Declarative description of the faults injected into one simulation run.
+//
+// A FaultPlan is data, not behaviour: a list of node crashes (each with an
+// optional restore delay), transient node slowdowns, and a probability that
+// any VM start/resume/migrate operation fails. The FaultInjector turns the
+// plan into simulation events; given the same plan and seed the injected
+// fault sequence is bit-for-bit identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+
+namespace mwp {
+
+/// One node crash. The node goes offline at `at`; everything it hosted is
+/// lost. With `restore_after` > 0 the node comes back (empty) that many
+/// seconds later; 0 means it stays down for the rest of the run.
+struct NodeCrashFault {
+  NodeId node = kInvalidNode;
+  Seconds at = 0.0;
+  Seconds restore_after = 0.0;
+};
+
+/// A transient slowdown: the node's CPU drops to `speed_factor` of nominal
+/// during [at, at + duration). Memory and reachability are unaffected.
+struct NodeSlowdownFault {
+  NodeId node = kInvalidNode;
+  Seconds at = 0.0;
+  double speed_factor = 0.5;
+  Seconds duration = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<NodeCrashFault> crashes;
+  std::vector<NodeSlowdownFault> slowdowns;
+
+  /// Probability in [0, 1] that a VM start/resume/migrate operation fails
+  /// (the VM never comes up; the controller must retry). Drawn from the
+  /// seeded stream, so the failure pattern is reproducible.
+  double vm_operation_failure_rate = 0.0;
+
+  /// Seed for the injector's random stream (operation failures).
+  std::uint64_t seed = 1;
+
+  bool empty() const {
+    return crashes.empty() && slowdowns.empty() &&
+           vm_operation_failure_rate <= 0.0;
+  }
+
+  /// Throws when an event references a node outside `cluster` or carries an
+  /// out-of-range rate/factor/time.
+  void Validate(const ClusterSpec& cluster) const;
+};
+
+}  // namespace mwp

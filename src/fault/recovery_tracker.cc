@@ -1,0 +1,78 @@
+#include "fault/recovery_tracker.h"
+
+#include "common/check.h"
+
+namespace mwp {
+
+RecoveryTracker::RecoveryTracker(const ClusterSpec* cluster)
+    : cluster_(cluster) {
+  MWP_CHECK(cluster_ != nullptr);
+}
+
+void RecoveryTracker::OnNodeCrashed(Simulation& sim,
+                                    const NodeCrashReport& report) {
+  (void)sim;
+  OutageRecord rec;
+  rec.node = report.node;
+  rec.crash_time = report.at;
+  rec.jobs_crashed = static_cast<int>(report.crashed_jobs.size());
+  rec.batch_work_lost = report.work_lost;
+  const MHz per_cpu = cluster_->node(report.node).cpu_speed_mhz;
+  rec.lost_cpu_seconds = per_cpu > 0.0 ? report.work_lost / per_cpu : 0.0;
+  outages_.push_back(rec);
+}
+
+void RecoveryTracker::MarkRecovered(NodeId node, Seconds at) {
+  for (OutageRecord& rec : outages_) {
+    if (rec.node == node && !rec.recovered()) {
+      MWP_CHECK(at >= rec.crash_time);
+      rec.recovered_time = at;
+      return;
+    }
+  }
+}
+
+void RecoveryTracker::RecordSlaViolation(Seconds at) {
+  // Window-based so misses can be recorded after the fact (e.g. replayed
+  // from a controller's cycle log once the outage windows are final).
+  for (OutageRecord& rec : outages_) {
+    if (rec.crash_time <= at && (!rec.recovered() || at < rec.recovered_time)) {
+      ++rec.sla_violations;
+    }
+  }
+}
+
+bool RecoveryTracker::all_recovered() const {
+  for (const OutageRecord& rec : outages_) {
+    if (!rec.recovered()) return false;
+  }
+  return true;
+}
+
+RunningStats RecoveryTracker::TimeToRecoverStats() const {
+  RunningStats stats;
+  for (const OutageRecord& rec : outages_) {
+    if (rec.recovered()) stats.Add(rec.time_to_recover());
+  }
+  return stats;
+}
+
+Megacycles RecoveryTracker::total_work_lost() const {
+  Megacycles total = 0.0;
+  for (const OutageRecord& rec : outages_) total += rec.batch_work_lost;
+  return total;
+}
+
+Seconds RecoveryTracker::total_lost_cpu_seconds() const {
+  Seconds total = 0.0;
+  for (const OutageRecord& rec : outages_) total += rec.lost_cpu_seconds;
+  return total;
+}
+
+int RecoveryTracker::total_sla_violations() const {
+  int total = 0;
+  for (const OutageRecord& rec : outages_) total += rec.sla_violations;
+  return total;
+}
+
+}  // namespace mwp

@@ -1,0 +1,69 @@
+// Recovery metrics: what each outage cost and how fast the system healed.
+//
+// The tracker is a FaultListener that opens an OutageRecord per node crash.
+// It cannot know by itself when the system has "recovered" — that is a
+// controller-level condition (displaced work re-placed, transactional
+// capacity restored) — so whoever drives the experiment calls MarkRecovered
+// when the condition holds. Register the tracker *after* the repairing
+// controller: a controller that repairs synchronously inside the crash event
+// can then be marked recovered at the crash instant itself (TTR = 0).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "fault/fault_injector.h"
+
+namespace mwp {
+
+struct OutageRecord {
+  NodeId node = kInvalidNode;
+  Seconds crash_time = 0.0;
+  /// When the system was back to a repaired state; < 0 while unrecovered.
+  Seconds recovered_time = -1.0;
+  int jobs_crashed = 0;
+  /// Checkpoint rollback: progress thrown away by this crash, megacycles.
+  Megacycles batch_work_lost = 0.0;
+  /// The rollback expressed as processor time at the crashed node's
+  /// per-processor speed.
+  Seconds lost_cpu_seconds = 0.0;
+  /// Control cycles (or probe instants) during the outage at which a
+  /// transactional app missed its response-time goal.
+  int sla_violations = 0;
+
+  bool recovered() const { return recovered_time >= crash_time; }
+  Seconds time_to_recover() const {
+    return recovered() ? recovered_time - crash_time : kTimeForever;
+  }
+};
+
+class RecoveryTracker : public FaultListener {
+ public:
+  explicit RecoveryTracker(const ClusterSpec* cluster);
+
+  void OnNodeCrashed(Simulation& sim, const NodeCrashReport& report) override;
+
+  /// Declare the earliest-unrecovered outage of `node` repaired at `at`.
+  /// No-op when there is none (repair probes may fire spuriously).
+  void MarkRecovered(NodeId node, Seconds at);
+
+  /// Count one SLA miss against every outage whose [crash, recovery)
+  /// window contains `at` — usable live or after the windows are final.
+  void RecordSlaViolation(Seconds at);
+
+  const std::vector<OutageRecord>& outages() const { return outages_; }
+  bool all_recovered() const;
+  /// Statistics over the recorded outages' recovery times; unrecovered
+  /// outages are excluded (check all_recovered() first).
+  RunningStats TimeToRecoverStats() const;
+  Megacycles total_work_lost() const;
+  Seconds total_lost_cpu_seconds() const;
+  int total_sla_violations() const;
+
+ private:
+  const ClusterSpec* cluster_;
+  std::vector<OutageRecord> outages_;
+};
+
+}  // namespace mwp

@@ -48,11 +48,11 @@ std::optional<NodeId> BaselineScheduler::FirstFit(
     const std::vector<Megabytes>& mem_used, const std::vector<MHz>& cpu_used,
     Megabytes mem, MHz cpu) const {
   for (NodeId n : nodes_) {
-    const NodeSpec& spec = cluster_->node(n);
+    if (!cluster_->node_online(n)) continue;
     if (mem_used[static_cast<std::size_t>(n)] + mem <=
-            spec.memory_mb + kEpsilon &&
+            cluster_->available_memory(n) + kEpsilon &&
         cpu_used[static_cast<std::size_t>(n)] + cpu <=
-            spec.total_cpu() + kEpsilon) {
+            cluster_->available_cpu(n) + kEpsilon) {
       return n;
     }
   }
@@ -60,6 +60,8 @@ std::optional<NodeId> BaselineScheduler::FirstFit(
 }
 
 void BaselineScheduler::OnJobSubmitted(Simulation& sim) { Reschedule(sim); }
+
+void BaselineScheduler::OnNodeFault(Simulation& sim) { Reschedule(sim); }
 
 void BaselineScheduler::ScheduleCompletion(Simulation& sim, Job& job) {
   MWP_CHECK(job.placed());
@@ -133,7 +135,7 @@ void BaselineScheduler::Reschedule(Simulation& sim) {
                      .stage(std::min(job->current_stage(),
                                      job->profile().num_stages() - 1))
                      .max_speed,
-                 cluster_->node(node).total_cpu()));
+                 cluster_->available_cpu(node)));
     ScheduleCompletion(sim, *job);
   }
 }

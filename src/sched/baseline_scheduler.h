@@ -55,6 +55,12 @@ class BaselineScheduler {
   /// rescheduling.
   void AdvanceJobsTo(Seconds to);
 
+  /// Fault path: node health changed (a crash re-queued its jobs via the
+  /// fault injector, or a node came back). Re-runs the dispatch loop so the
+  /// scheduler reacts as fast as its policy allows — FCFS refills only free
+  /// capacity, EDF may also preempt.
+  void OnNodeFault(Simulation& sim);
+
   const SchedulerChangeCounts& changes() const { return changes_; }
 
  protected:

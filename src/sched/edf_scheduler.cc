@@ -38,10 +38,12 @@ std::vector<std::pair<Job*, NodeId>> EdfScheduler::PlanPlacement(Seconds) {
       const auto n = static_cast<std::size_t>(job->node());
       pending_mem[n] -= mem;
       pending_cpu[n] -= job->allocated_speed();
-      // A running job keeps its node when it still fits there.
-      const NodeSpec& spec = cluster().node(job->node());
-      if (mem_used[n] + mem <= spec.memory_mb + kEpsilon &&
-          cpu_used[n] + speed <= spec.total_cpu() + kEpsilon) {
+      // A running job keeps its node when it still fits there (and the node
+      // is still alive).
+      const NodeId nid = job->node();
+      if (cluster().node_online(nid) &&
+          mem_used[n] + mem <= cluster().available_memory(nid) + kEpsilon &&
+          cpu_used[n] + speed <= cluster().available_cpu(nid) + kEpsilon) {
         mem_used[n] += mem;
         cpu_used[n] += speed;
         plan.emplace_back(job, job->node());

@@ -18,17 +18,18 @@ StaticPartition::StaticPartition(const ClusterSpec* cluster, JobQueue* queue,
   MWP_CHECK_MSG(tx_nodes_ > 0 && tx_nodes_ < cluster_->num_nodes(),
                 "a static partition needs nodes on both sides, got "
                     << tx_nodes_ << " of " << cluster_->num_nodes());
-  MHz capacity = 0.0;
-  for (int n = 0; n < tx_nodes_; ++n) capacity += cluster_->node(n).total_cpu();
-  tx_allocation_ =
-      std::min(capacity, tx_app_.spec().saturation_allocation);
-
   BaselineScheduler::Config cfg;
   cfg.costs = costs;
   for (int n = tx_nodes_; n < cluster_->num_nodes(); ++n) {
     cfg.allowed_nodes.push_back(n);
   }
   batch_ = std::make_unique<FcfsScheduler>(cluster_, queue_, cfg);
+}
+
+MHz StaticPartition::tx_allocation() const {
+  MHz capacity = 0.0;
+  for (int n = 0; n < tx_nodes_; ++n) capacity += cluster_->available_cpu(n);
+  return std::min(capacity, tx_app_.spec().saturation_allocation);
 }
 
 MHz StaticPartition::BatchAllocation() const {

@@ -28,16 +28,22 @@ class StaticPartition {
   void OnJobSubmitted(Simulation& sim) { batch_->OnJobSubmitted(sim); }
   void AdvanceJobsTo(Seconds to) { batch_->AdvanceJobsTo(to); }
 
-  /// The transactional side's constant CPU allocation (MHz).
-  MHz tx_allocation() const { return tx_allocation_; }
+  /// Fault path: the batch side re-runs FCFS dispatch; the transactional
+  /// side has nowhere to go — its nodes are dedicated, so a crashed TX node
+  /// simply leaves tx_allocation() reduced until the node is restored.
+  void OnNodeFault(Simulation& sim) { batch_->OnNodeFault(sim); }
 
-  /// The transactional side's constant relative performance under
-  /// arrival rate λ.
+  /// The transactional side's CPU allocation (MHz): its partition's live
+  /// capacity, capped at the app's saturation. Constant while all TX nodes
+  /// are healthy; drops during a TX-node outage.
+  MHz tx_allocation() const;
+
+  /// The transactional side's relative performance under arrival rate λ.
   Utility TxUtility(double arrival_rate) const {
-    return tx_app_.UtilityAt(arrival_rate, tx_allocation_);
+    return tx_app_.UtilityAt(arrival_rate, tx_allocation());
   }
   Seconds TxResponseTime(double arrival_rate) const {
-    return tx_app_.ResponseTime(arrival_rate, tx_allocation_);
+    return tx_app_.ResponseTime(arrival_rate, tx_allocation());
   }
 
   /// Aggregate CPU currently consumed by placed batch jobs (MHz).
@@ -52,7 +58,6 @@ class StaticPartition {
   JobQueue* queue_;
   TransactionalApp tx_app_;
   int tx_nodes_;
-  MHz tx_allocation_;
   std::unique_ptr<FcfsScheduler> batch_;
 };
 

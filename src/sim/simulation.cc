@@ -1,7 +1,7 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
 #include <memory>
+#include <utility>
 
 namespace mwp {
 
@@ -10,7 +10,8 @@ EventHandle Simulation::ScheduleAt(Seconds at, EventFn fn) {
                                                                << " now=" << now_);
   MWP_CHECK(fn != nullptr);
   const std::uint64_t id = next_id_++;
-  queue_.push(QueuedEvent{at, next_seq_++, id, std::move(fn)});
+  handlers_.emplace(id, std::move(fn));
+  queue_.push(QueuedEvent{at, next_seq_++, id});
   return EventHandle(id);
 }
 
@@ -29,36 +30,44 @@ EventHandle Simulation::SchedulePeriodic(Seconds first, Seconds period,
 
 void Simulation::PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
                                   std::shared_ptr<EventFn> body) {
-  queue_.push(QueuedEvent{
-      at, next_seq_++, id, [this, id, period, body](Simulation& sim) {
-        (*body)(sim);
-        if (!IsCancelled(id)) PushPeriodicTick(sim.now() + period, id, period, body);
-      }});
+  handlers_[id] = [this, id, period, body](Simulation& sim) {
+    (*body)(sim);
+    // Cancellation from within the tick erased nothing (Step already moved
+    // the handler out); it is recorded in executing_cancelled_ instead.
+    if (!(executing_id_ == id && executing_cancelled_)) {
+      PushPeriodicTick(sim.now() + period, id, period, body);
+    }
+  };
+  queue_.push(QueuedEvent{at, next_seq_++, id});
 }
 
 void Simulation::Cancel(EventHandle handle) {
-  if (handle.valid()) cancelled_.push_back(handle.id_);
-}
-
-bool Simulation::IsCancelled(std::uint64_t id) {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+  if (!handle.valid()) return;
+  if (handle.id_ == executing_id_) executing_cancelled_ = true;
+  handlers_.erase(handle.id_);  // releases the callback's closure now
 }
 
 bool Simulation::Step(Seconds horizon) {
   while (!queue_.empty()) {
     const QueuedEvent& top = queue_.top();
     if (top.time > horizon) return false;
-    if (IsCancelled(top.id)) {
+    const auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) {  // cancelled: stale plain-data entry
       queue_.pop();
       continue;
     }
-    QueuedEvent ev{top.time, top.seq, top.id,
-                   std::move(const_cast<QueuedEvent&>(top).fn)};
+    const QueuedEvent ev = top;
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
     queue_.pop();
     MWP_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
-    ev.fn(*this);
+    const std::uint64_t prev_id = std::exchange(executing_id_, ev.id);
+    const bool prev_cancelled = std::exchange(executing_cancelled_, false);
+    fn(*this);
+    executing_id_ = prev_id;
+    executing_cancelled_ = prev_cancelled;
     return true;
   }
   return false;
@@ -72,7 +81,5 @@ void Simulation::RunUntil(Seconds horizon) {
     now_ = horizon;
   }
 }
-
-std::size_t Simulation::pending_events() const { return queue_.size(); }
 
 }  // namespace mwp

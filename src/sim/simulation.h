@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -27,8 +28,9 @@ class Simulation;
 /// shows the event's timestamp.
 using EventFn = std::function<void(Simulation&)>;
 
-/// Handle that allows cancelling a scheduled event. Cancellation is lazy:
-/// the event stays queued but becomes a no-op.
+/// Handle that allows cancelling a scheduled event. Cancelling releases the
+/// event's callback (and everything its closure captures) immediately; only
+/// a small plain-data queue entry stays behind until its fire time.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -63,7 +65,9 @@ class Simulation {
   /// returned handle is cancelled.
   EventHandle SchedulePeriodic(Seconds first, Seconds period, EventFn fn);
 
-  /// Cancel a scheduled event; harmless if already fired or invalid.
+  /// Cancel a scheduled event; harmless if already fired or invalid. The
+  /// callback is destroyed before this returns, so captured state is not
+  /// pinned until the event's (possibly far-future) fire time.
   void Cancel(EventHandle handle);
 
   /// Run until the queue drains or the clock would pass `horizon`.
@@ -77,15 +81,18 @@ class Simulation {
   /// next event lies beyond `horizon` (clock is then left unchanged).
   bool Step(Seconds horizon = kTimeForever);
 
-  std::size_t pending_events() const;
+  /// Events scheduled and not yet fired or cancelled.
+  std::size_t pending_events() const { return handlers_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
+  /// Queue entries are plain data; the callback lives in handlers_ keyed by
+  /// id, so Cancel can release it without disturbing the heap. An entry
+  /// whose id has no handler is stale (cancelled) and is skipped on pop.
   struct QueuedEvent {
     Seconds time;
     std::uint64_t seq;  // insertion order, breaks time ties deterministically
-    std::uint64_t id;   // cancellation identity
-    EventFn fn;
+    std::uint64_t id;   // handler identity
   };
   struct Later {
     bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
@@ -99,9 +106,13 @@ class Simulation {
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, EventFn> handlers_;
+  /// Id of the event currently executing (0 when idle) and whether it was
+  /// cancelled from within its own callback — the periodic re-arm checks
+  /// this, since the executing handler is already out of the map.
+  std::uint64_t executing_id_ = 0;
+  bool executing_cancelled_ = false;
 
-  bool IsCancelled(std::uint64_t id);
   void PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
                         std::shared_ptr<EventFn> body);
 };

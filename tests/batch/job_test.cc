@@ -278,5 +278,101 @@ TEST(JobTest, ZeroRelativeGoalRejected) {
   EXPECT_THROW(Job(9, "bad", p, g), std::logic_error);
 }
 
+TEST(JobCheckpointTest, PeriodicCheckpointsTrackProgress) {
+  Job j = MakeJob();  // 4,000 Mc at up to 1,000 MHz
+  j.set_checkpoint_interval(1.0);
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(500.0);
+  j.AdvanceTo(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 0.0);  // first checkpoint at t=1
+  j.AdvanceTo(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'250.0);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 1'000.0);  // checkpoint at t=2
+}
+
+TEST(JobCheckpointTest, CrashRollsBackToLastCheckpoint) {
+  Job j = MakeJob();
+  j.set_checkpoint_interval(1.0);
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 2.5);
+  EXPECT_DOUBLE_EQ(j.work_done(), 2'500.0);
+  const Megacycles lost = j.Crash(2.5);
+  EXPECT_DOUBLE_EQ(lost, 500.0);  // work since the t=2 checkpoint
+  EXPECT_DOUBLE_EQ(j.work_done(), 2'000.0);
+  EXPECT_EQ(j.status(), JobStatus::kNotStarted);  // re-queued
+  EXPECT_EQ(j.node(), kInvalidNode);
+  EXPECT_DOUBLE_EQ(j.overhead_until(), 0.0);
+  EXPECT_EQ(j.crash_count(), 1);
+  // The job can be re-placed and finish the remaining 2,000 Mc.
+  j.Place(1, 3.0, 0.5);
+  j.SetAllocation(1'000.0);
+  EXPECT_TRUE(j.AdvanceTo(3.0, 6.0));
+  EXPECT_DOUBLE_EQ(*j.completion_time(), 5.5);
+}
+
+TEST(JobCheckpointTest, CrashWithoutCheckpointingLosesEverything) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(j.work_done(), 3'000.0);
+  EXPECT_DOUBLE_EQ(j.Crash(3.0), 3'000.0);
+  EXPECT_DOUBLE_EQ(j.work_done(), 0.0);
+}
+
+TEST(JobCheckpointTest, SuspendIsAnImplicitCheckpoint) {
+  Job j = MakeJob();
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 1.7);
+  j.Suspend(1.7);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 1'700.0);
+  // Resume elsewhere, run a bit, then crash: only post-suspend work is lost.
+  j.Place(1, 2.0, 0.0);
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(2.0, 2.8);
+  EXPECT_DOUBLE_EQ(j.Crash(2.8), 800.0);
+  EXPECT_DOUBLE_EQ(j.work_done(), 1'700.0);
+}
+
+TEST(JobCheckpointTest, CheckpointClockReArmsAfterReplacement) {
+  Job j = MakeJob();
+  j.set_checkpoint_interval(2.0);
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(500.0);
+  j.AdvanceTo(0.0, 2.0);  // checkpoint at t=2 (1,000 Mc)
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 1'000.0);
+  j.Crash(2.5);
+  j.Place(0, 10.0, 0.0);
+  j.SetAllocation(500.0);
+  // First post-restart checkpoint lands one interval after the restart, not
+  // on the old schedule.
+  j.AdvanceTo(10.0, 11.0);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 1'000.0);
+  j.AdvanceTo(11.0, 12.0);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 2'000.0);
+}
+
+TEST(JobCheckpointTest, OverheadDelaysCheckpointClock) {
+  Job j = MakeJob();
+  j.set_checkpoint_interval(1.0);
+  j.Place(0, 0.0, 2.0);  // 2 s boot: execution starts at t=2
+  j.SetAllocation(1'000.0);
+  j.AdvanceTo(0.0, 2.5);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 0.0);  // first checkpoint at t=3
+  j.AdvanceTo(2.5, 3.5);
+  EXPECT_DOUBLE_EQ(j.checkpointed_work(), 1'000.0);
+}
+
+TEST(JobCheckpointTest, CrashOnUnplacedJobThrows) {
+  Job j = MakeJob();
+  EXPECT_THROW(j.Crash(0.0), std::logic_error);
+  j.Place(0, 0.0, 0.0);
+  j.SetAllocation(100.0);
+  j.Suspend(1.0);
+  EXPECT_THROW(j.Crash(1.0), std::logic_error);  // suspended images survive
+}
+
 }  // namespace
 }  // namespace mwp

@@ -47,5 +47,59 @@ TEST(ClusterSpecTest, ToStringMentionsShape) {
   EXPECT_NE(s.find("3 nodes"), std::string::npos);
 }
 
+TEST(ClusterHealthTest, NodesStartOnline) {
+  const ClusterSpec c = ClusterSpec::Uniform(2, NodeSpec{1, 1'000.0, 2'000.0});
+  EXPECT_EQ(c.node_state(0), NodeState::kOnline);
+  EXPECT_TRUE(c.node_online(1));
+  EXPECT_DOUBLE_EQ(c.node_speed_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.available_cpu(0), 1'000.0);
+  EXPECT_DOUBLE_EQ(c.available_memory(0), 2'000.0);
+  EXPECT_DOUBLE_EQ(c.total_available_cpu(), 2'000.0);
+  EXPECT_EQ(c.num_online_nodes(), 2);
+}
+
+TEST(ClusterHealthTest, OfflineNodeHasNoCapacity) {
+  ClusterSpec c = ClusterSpec::Uniform(3, NodeSpec{2, 1'000.0, 4'000.0});
+  c.SetNodeOffline(1);
+  EXPECT_EQ(c.node_state(1), NodeState::kOffline);
+  EXPECT_FALSE(c.node_online(1));
+  EXPECT_DOUBLE_EQ(c.available_cpu(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.available_memory(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.total_available_cpu(), 4'000.0);
+  EXPECT_EQ(c.num_online_nodes(), 2);
+  // The nominal spec is untouched.
+  EXPECT_DOUBLE_EQ(c.node(1).total_cpu(), 2'000.0);
+  EXPECT_DOUBLE_EQ(c.total_cpu(), 6'000.0);
+  EXPECT_NE(c.ToString().find("1 offline"), std::string::npos);
+}
+
+TEST(ClusterHealthTest, RestoreBringsBackFullCapacity) {
+  ClusterSpec c = ClusterSpec::Uniform(2, NodeSpec{1, 1'000.0, 2'000.0});
+  c.SetNodeOffline(0);
+  c.SetNodeOnline(0);
+  EXPECT_EQ(c.node_state(0), NodeState::kOnline);
+  EXPECT_DOUBLE_EQ(c.available_cpu(0), 1'000.0);
+  EXPECT_DOUBLE_EQ(c.available_memory(0), 2'000.0);
+}
+
+TEST(ClusterHealthTest, DegradedNodeScalesCpuOnly) {
+  ClusterSpec c = ClusterSpec::Uniform(2, NodeSpec{4, 1'000.0, 8'000.0});
+  c.SetNodeDegraded(0, 0.5);
+  EXPECT_EQ(c.node_state(0), NodeState::kDegraded);
+  EXPECT_TRUE(c.node_online(0));  // degraded is still reachable
+  EXPECT_DOUBLE_EQ(c.node_speed_factor(0), 0.5);
+  EXPECT_DOUBLE_EQ(c.available_cpu(0), 2'000.0);
+  EXPECT_DOUBLE_EQ(c.available_memory(0), 8'000.0);  // memory unaffected
+  // Factor 1 means fully healthy again.
+  c.SetNodeDegraded(0, 1.0);
+  EXPECT_EQ(c.node_state(0), NodeState::kOnline);
+}
+
+TEST(ClusterHealthTest, InvalidDegradeFactorThrows) {
+  ClusterSpec c = ClusterSpec::Uniform(1, NodeSpec{1, 1'000.0, 2'000.0});
+  EXPECT_THROW(c.SetNodeDegraded(0, 0.0), std::logic_error);
+  EXPECT_THROW(c.SetNodeDegraded(0, 1.5), std::logic_error);
+}
+
 }  // namespace
 }  // namespace mwp

@@ -53,6 +53,13 @@ TEST(CommandLineTest, MalformedBoolThrows) {
   EXPECT_THROW(cli.GetBool("b", false), std::invalid_argument);
 }
 
+TEST(CommandLineTest, GetSeedParsesAndValidates) {
+  EXPECT_EQ(Parse({"--seed=42"}).GetSeed(7), 42u);
+  EXPECT_EQ(Parse({}).GetSeed(7), 7u);
+  EXPECT_THROW(Parse({"--seed=-3"}).GetSeed(7), std::invalid_argument);
+  EXPECT_THROW(Parse({"--seed=xyz"}).GetSeed(7), std::invalid_argument);
+}
+
 TEST(CommandLineTest, FlagNamesEnumerated) {
   auto cli = Parse({"--a=1", "--b=2"});
   const auto names = cli.FlagNames();

@@ -326,5 +326,153 @@ TEST(ApcControllerTest, QuiescedTxAppYieldsEverything) {
   EXPECT_DOUBLE_EQ(c.tx_utilities[0], 1.0);
 }
 
+
+// ---------------------------------------------------------------------------
+// Out-of-band repair cycles (OnNodeFault) and VM operation failures.
+// ---------------------------------------------------------------------------
+
+TEST(ApcControllerRepairTest, RepairRequeuesCrashedJobAndRedispatchesIt) {
+  ClusterSpec cluster = SmallCluster(3);
+  JobQueue queue;
+  Simulation sim;
+  ApcController::Config cfg;
+  cfg.control_cycle = 10.0;
+  cfg.costs = VmCostModel::Free();
+  ApcController controller(&cluster, &queue, cfg);
+
+  Job& j1 = queue.Submit(MakeJob(1, 0.0, 20'000.0, 1'000.0, 2.0));
+  Job& j2 = queue.Submit(MakeJob(2, 0.0, 20'000.0, 1'000.0, 2.0));
+  j1.set_checkpoint_interval(2.0);
+  j2.set_checkpoint_interval(2.0);
+
+  controller.Attach(sim, 0.0);
+  NodeId dead = kInvalidNode;
+  sim.ScheduleAt(5.0, [&](Simulation& s) {
+    ASSERT_TRUE(j1.placed());
+    ASSERT_TRUE(j2.placed());
+    ASSERT_NE(j1.node(), j2.node());  // 3 nodes, 2 jobs: spread out
+    dead = j1.node();
+    cluster.SetNodeOffline(dead);
+    controller.OnNodeFault(s);
+  });
+  sim.RunUntil(6.0);
+
+  ASSERT_EQ(controller.repairs().size(), 1u);
+  const RepairStats& repair = controller.repairs()[0];
+  EXPECT_DOUBLE_EQ(repair.time, 5.0);
+  EXPECT_EQ(repair.jobs_requeued, 1);
+  EXPECT_EQ(repair.tx_displaced, 0);
+  EXPECT_EQ(repair.job_placements, 1);
+
+  // The job was rolled back to its t=4 checkpoint (1,000 MHz x 4 s) and
+  // immediately restarted on a surviving node by the repair dispatch.
+  EXPECT_EQ(j1.crash_count(), 1);
+  EXPECT_DOUBLE_EQ(j1.work_done(), 4'000.0);
+  ASSERT_TRUE(j1.placed());
+  EXPECT_NE(j1.node(), dead);
+  EXPECT_TRUE(cluster.node_online(j1.node()));
+  // The survivor was untouched.
+  EXPECT_EQ(j2.crash_count(), 0);
+}
+
+TEST(ApcControllerRepairTest, RepairRestartsDisplacedTxInstances) {
+  ClusterSpec cluster = SmallCluster(3);
+  JobQueue queue;
+  Simulation sim;
+  ApcController::Config cfg;
+  cfg.control_cycle = 10.0;
+  cfg.costs = VmCostModel::Free();
+  ApcController controller(&cluster, &queue, cfg);
+
+  // 1,500 MHz of demand on 1,000 MHz nodes needs both allowed instances up,
+  // leaving one node uncovered — the slot the repair can restart into.
+  TransactionalAppSpec spec;
+  spec.id = 1;
+  spec.name = "tx";
+  spec.memory_per_instance = 300.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 1.0;
+  spec.min_response_time = 0.1;
+  spec.saturation_allocation = 3'000.0;
+  spec.max_instances = 2;
+  controller.AddTransactionalApp(spec, std::make_shared<ConstantRate>(1'500.0));
+
+  controller.Attach(sim, 0.0);
+  NodeId dead = kInvalidNode;
+  sim.ScheduleAt(5.0, [&](Simulation& s) {
+    ASSERT_EQ(controller.tx_instances(0).size(), 2u);
+    dead = controller.tx_instances(0).front();
+    cluster.SetNodeOffline(dead);
+    controller.OnNodeFault(s);
+  });
+  sim.RunUntil(6.0);
+
+  ASSERT_EQ(controller.repairs().size(), 1u);
+  const RepairStats& repair = controller.repairs()[0];
+  EXPECT_EQ(repair.tx_displaced, 1);
+  EXPECT_EQ(repair.tx_replaced, 1);  // restarted on the uncovered node
+  EXPECT_EQ(repair.failed_operations, 0);
+  const std::vector<NodeId>& instances = controller.tx_instances(0);
+  ASSERT_EQ(instances.size(), 2u);
+  for (NodeId n : instances) {
+    EXPECT_NE(n, dead);
+    EXPECT_TRUE(cluster.node_online(n));
+  }
+}
+
+TEST(ApcControllerRepairTest, ChurnBoundLimitsRepairActions) {
+  ClusterSpec cluster = SmallCluster(3);
+  JobQueue queue;
+  Simulation sim;
+  ApcController::Config cfg;
+  cfg.control_cycle = 10.0;
+  cfg.costs = VmCostModel::Free();
+  cfg.repair_max_changes = 0;  // diagnose only, change nothing
+  ApcController controller(&cluster, &queue, cfg);
+
+  Job& j1 = queue.Submit(MakeJob(1, 0.0, 20'000.0, 1'000.0, 2.0));
+  controller.Attach(sim, 0.0);
+  sim.ScheduleAt(5.0, [&](Simulation& s) {
+    cluster.SetNodeOffline(j1.node());
+    controller.OnNodeFault(s);
+  });
+  sim.RunUntil(6.0);
+
+  ASSERT_EQ(controller.repairs().size(), 1u);
+  const RepairStats& repair = controller.repairs()[0];
+  EXPECT_EQ(repair.jobs_requeued, 1);   // crash bookkeeping is not churn
+  EXPECT_EQ(repair.job_placements, 0);  // ... but restarts are
+  EXPECT_FALSE(j1.placed());            // waits for the next full cycle
+}
+
+TEST(ApcControllerRepairTest, VetoedStartIsRetriedNextCycle) {
+  const ClusterSpec cluster = SmallCluster(1);
+  JobQueue queue;
+  Simulation sim;
+  ApcController::Config cfg;
+  cfg.control_cycle = 1.0;
+  cfg.costs = VmCostModel::Free();
+  int calls = 0;
+  cfg.vm_operation_oracle = [&calls](PlacementChange::Kind, AppId) {
+    return ++calls <= 1;  // the first start attempt fails, the rest succeed
+  };
+  ApcController controller(&cluster, &queue, cfg);
+
+  Job& job = queue.Submit(MakeJob(1, 0.0, 4'000.0, 1'000.0, 5.0));
+  controller.Attach(sim, 0.0);
+  sim.RunUntil(1.5);
+
+  // Cycle 0's start was vetoed; cycle 1 retried and succeeded.
+  ASSERT_GE(controller.cycles().size(), 2u);
+  EXPECT_EQ(controller.cycles()[0].failed_operations, 1);
+  EXPECT_FALSE(controller.cycles()[0].starts > 0 &&
+               controller.cycles()[0].queued_jobs == 0);
+  EXPECT_EQ(controller.cycles()[1].failed_operations, 0);
+  EXPECT_TRUE(job.placed());
+  // Work only accrues from the successful second start.
+  controller.AdvanceJobsTo(1.5);
+  EXPECT_NEAR(job.work_done(), 500.0, 1.0);
+}
+
 }  // namespace
 }  // namespace mwp

@@ -185,5 +185,51 @@ TEST(SnapshotTest, CaptureWithTxInputs) {
   EXPECT_EQ(snap.current_placement().at(0, 1), 1);
 }
 
+TEST(SnapshotTest, CapturesNodeHealthAtConstruction) {
+  SnapshotBuilder b(TinyCluster(3));
+  b.cluster.SetNodeOffline(1);
+  b.cluster.SetNodeDegraded(2, 0.5);
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0);
+  const PlacementSnapshot snap = b.Build();
+
+  EXPECT_TRUE(snap.NodeOnline(0));
+  EXPECT_FALSE(snap.NodeOnline(1));
+  EXPECT_TRUE(snap.NodeOnline(2));
+  EXPECT_DOUBLE_EQ(snap.NodeAvailableCpu(0), 1'000.0);
+  EXPECT_DOUBLE_EQ(snap.NodeAvailableCpu(1), 0.0);
+  EXPECT_DOUBLE_EQ(snap.NodeAvailableCpu(2), 500.0);
+  EXPECT_DOUBLE_EQ(snap.NodeAvailableMemory(1), 0.0);
+  EXPECT_DOUBLE_EQ(snap.NodeAvailableMemory(2), 2'000.0);
+  EXPECT_EQ(snap.NumOnlineNodes(), 2);
+
+  // The view is frozen: later health changes do not leak in.
+  b.cluster.SetNodeOnline(1);
+  EXPECT_FALSE(snap.NodeOnline(1));
+}
+
+TEST(SnapshotTest, FeasibilityRejectsOfflineNode) {
+  SnapshotBuilder b(TinyCluster(2));
+  b.cluster.SetNodeOffline(1);
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0);
+  const PlacementSnapshot snap = b.Build();
+
+  PlacementMatrix p(1, 2);
+  p.at(0, 0) = 1;
+  EXPECT_TRUE(snap.IsFeasible(p));
+  p.at(0, 0) = 0;
+  p.at(0, 1) = 1;
+  EXPECT_FALSE(snap.IsFeasible(p));
+}
+
+TEST(SnapshotTest, FreeMemoryZeroOnOfflineNode) {
+  SnapshotBuilder b(TinyCluster(2));
+  b.cluster.SetNodeOffline(0);
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0);
+  const PlacementSnapshot snap = b.Build();
+  const PlacementMatrix p(1, 2);
+  EXPECT_DOUBLE_EQ(snap.FreeMemory(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.FreeMemory(p, 1), 2'000.0);
+}
+
 }  // namespace
 }  // namespace mwp

@@ -1,0 +1,65 @@
+#include "fault/recovery_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/fault_injector.h"
+
+namespace mwp {
+namespace {
+
+TEST(RecoveryTrackerTest, TracksOutageLifecycle) {
+  ClusterSpec cluster = ClusterSpec::Uniform(2, NodeSpec{2, 1'000.0, 4'000.0});
+  JobQueue queue;
+  JobProfile p = JobProfile::SingleStage(10'000.0, 1'000.0, 500.0);
+  Job& job = queue.Submit(std::make_unique<Job>(
+      1, "j1", p, JobGoal::FromFactor(0.0, 5.0, p.min_execution_time())));
+
+  FaultPlan plan;
+  plan.crashes.push_back({0, 4.0, 0.0});
+  FaultInjector injector(&cluster, &queue, plan);
+  RecoveryTracker tracker(&cluster);
+  injector.AddListener(&tracker);
+
+  Simulation sim;
+  job.Place(0, 0.0, 0.0);
+  job.SetAllocation(1'000.0);
+  // Scheduled before Attach so the advance fires ahead of the tied crash.
+  sim.ScheduleAt(4.0, [&](Simulation&) { job.AdvanceTo(0.0, 4.0); });
+  injector.Attach(sim);
+  sim.RunToCompletion();
+
+  ASSERT_EQ(tracker.outages().size(), 1u);
+  const OutageRecord& rec = tracker.outages()[0];
+  EXPECT_EQ(rec.node, 0);
+  EXPECT_DOUBLE_EQ(rec.crash_time, 4.0);
+  EXPECT_EQ(rec.jobs_crashed, 1);
+  EXPECT_DOUBLE_EQ(rec.batch_work_lost, 4'000.0);  // no checkpointing
+  EXPECT_DOUBLE_EQ(rec.lost_cpu_seconds, 4.0);     // 4,000 Mc at 1,000 MHz/cpu
+  EXPECT_FALSE(rec.recovered());
+  EXPECT_FALSE(tracker.all_recovered());
+
+  tracker.RecordSlaViolation(5.0);
+  tracker.RecordSlaViolation(6.0);
+  tracker.MarkRecovered(0, 7.0);
+  tracker.RecordSlaViolation(8.0);  // after recovery: not counted
+
+  EXPECT_TRUE(tracker.all_recovered());
+  EXPECT_DOUBLE_EQ(tracker.outages()[0].time_to_recover(), 3.0);
+  EXPECT_EQ(tracker.total_sla_violations(), 2);
+  EXPECT_DOUBLE_EQ(tracker.TimeToRecoverStats().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.total_work_lost(), 4'000.0);
+  EXPECT_DOUBLE_EQ(tracker.total_lost_cpu_seconds(), 4.0);
+}
+
+TEST(RecoveryTrackerTest, MarkRecoveredWithoutOutageIsNoop) {
+  const ClusterSpec cluster = ClusterSpec::Uniform(1, NodeSpec{1, 1'000.0, 1'000.0});
+  RecoveryTracker tracker(&cluster);
+  tracker.MarkRecovered(0, 1.0);  // nothing open: ignored
+  EXPECT_TRUE(tracker.outages().empty());
+  EXPECT_TRUE(tracker.all_recovered());
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,124 @@
+// Resilience integration test — the fault pipeline end to end, at
+// experiment scale. Runs in its own ctest executable labeled `resilience`
+// so the Release CI lane can exclude it by label while the sanitizer lane
+// runs it in full.
+//
+// Two guarantees are pinned here:
+//   1. Determinism: the same seed and FaultPlan produce a bit-identical
+//      fault trace, outage records, and final placement fingerprint across
+//      repeated runs AND across optimizer thread counts.
+//   2. One-repair-cycle recovery: every injected crash triggers an
+//      out-of-band repair at the crash instant — checkpointed jobs are
+//      rolled back and re-queued there, and transactional instances
+//      displaced by the crash are restarted by that same repair, not by a
+//      later periodic cycle.
+#include <gtest/gtest.h>
+
+#include "exp/experiment4.h"
+
+namespace mwp {
+namespace {
+
+Experiment4Config ApcConfig(int search_threads) {
+  Experiment4Config config;
+  config.mode = Experiment4Mode::kDynamicApc;
+  config.search_threads = search_threads;
+  config.fault_plan = MakeExperiment4FaultPlan(config);
+  return config;
+}
+
+void ExpectSameObservables(const Experiment4Result& a,
+                           const Experiment4Result& b) {
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.placement_fingerprint, b.placement_fingerprint);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_DOUBLE_EQ(a.work_lost, b.work_lost);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outages[i].crash_time, b.outages[i].crash_time);
+    EXPECT_DOUBLE_EQ(a.outages[i].recovered_time, b.outages[i].recovered_time);
+    EXPECT_DOUBLE_EQ(a.outages[i].batch_work_lost,
+                     b.outages[i].batch_work_lost);
+  }
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (std::size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.repairs[i].time, b.repairs[i].time);
+    EXPECT_EQ(a.repairs[i].tx_displaced, b.repairs[i].tx_displaced);
+    EXPECT_EQ(a.repairs[i].tx_replaced, b.repairs[i].tx_replaced);
+    EXPECT_EQ(a.repairs[i].job_placements, b.repairs[i].job_placements);
+  }
+}
+
+TEST(ResilienceIntegration, RepeatedRunsAreIdentical) {
+  const Experiment4Result a = RunExperiment4(ApcConfig(0));
+  const Experiment4Result b = RunExperiment4(ApcConfig(0));
+  ASSERT_FALSE(a.fault_trace.empty());
+  ExpectSameObservables(a, b);
+}
+
+TEST(ResilienceIntegration, ThreadCountDoesNotChangeTheRun) {
+  // The parallel candidate search commits the same placements the
+  // sequential loops would; faults must not break that equivalence.
+  const Experiment4Result base = RunExperiment4(ApcConfig(1));
+  for (const int threads : {0, 2, 4}) {
+    SCOPED_TRACE("search_threads=" + std::to_string(threads));
+    const Experiment4Result r = RunExperiment4(ApcConfig(threads));
+    ExpectSameObservables(base, r);
+  }
+}
+
+TEST(ResilienceIntegration, EveryCrashIsRepairedAtTheFaultInstant) {
+  const Experiment4Result r = RunExperiment4(ApcConfig(0));
+  ASSERT_TRUE(r.all_recovered);
+  ASSERT_EQ(r.outages.size(), 3u);
+
+  // An out-of-band repair cycle ran at the instant of every crash.
+  for (const OutageRecord& o : r.outages) {
+    bool repaired_at_crash = false;
+    for (const RepairStats& rep : r.repairs) {
+      if (rep.time == o.crash_time) repaired_at_crash = true;
+    }
+    EXPECT_TRUE(repaired_at_crash)
+        << "no repair cycle at crash time " << o.crash_time;
+  }
+
+  // Checkpoint rollback happened at the crash (not at the next tick): the
+  // batch-side outage lost a bounded, non-zero amount of progress — at most
+  // one checkpoint interval of full-speed work per crashed job.
+  const OutageRecord& batch_outage = r.outages.front();
+  EXPECT_GT(batch_outage.jobs_crashed, 0);
+  EXPECT_GT(batch_outage.batch_work_lost, 0.0);
+  Experiment4Config config;
+  EXPECT_LE(batch_outage.batch_work_lost,
+            batch_outage.jobs_crashed * config.checkpoint_interval *
+                config.job_max_speed);
+
+  // The TX-partition crash displaced instances, and the repair at that same
+  // instant restarted at least one of them on a surviving node.
+  bool tx_repaired_in_place = false;
+  for (const RepairStats& rep : r.repairs) {
+    if (rep.tx_displaced > 0 && rep.tx_replaced > 0) {
+      tx_repaired_in_place = true;
+    }
+  }
+  EXPECT_TRUE(tx_repaired_in_place);
+}
+
+TEST(ResilienceIntegration, ApcStrictlyBeatsStaticPartition) {
+  // The acceptance headline, pinned where the CI resilience lane runs it.
+  const Experiment4Result apc = RunExperiment4(ApcConfig(0));
+  Experiment4Config fixed_config;
+  fixed_config.mode = Experiment4Mode::kStaticPartition;
+  fixed_config.fault_plan = MakeExperiment4FaultPlan(fixed_config);
+  const Experiment4Result fixed = RunExperiment4(fixed_config);
+
+  ASSERT_TRUE(apc.all_recovered);
+  ASSERT_TRUE(fixed.all_recovered);
+  EXPECT_LT(apc.time_to_recover.mean(), fixed.time_to_recover.mean());
+  EXPECT_LT(apc.time_to_recover.max(), fixed.time_to_recover.max());
+  EXPECT_LT(apc.work_lost, fixed.work_lost);
+}
+
+}  // namespace
+}  // namespace mwp

@@ -178,6 +178,53 @@ TEST(SimulationTest, NullCallbackRejected) {
   EXPECT_THROW(sim.ScheduleAt(1.0, nullptr), std::logic_error);
 }
 
+TEST(SimulationTest, CancelReleasesClosureImmediately) {
+  // Regression: cancellation used to be fully lazy — the std::function sat in
+  // the queue until its fire time, pinning captured state over long horizons.
+  Simulation sim;
+  auto payload = std::make_shared<int>(42);
+  EventHandle h = sim.ScheduleAt(1'000'000.0, [payload](Simulation&) {});
+  EXPECT_EQ(payload.use_count(), 2);
+  sim.Cancel(h);
+  EXPECT_EQ(payload.use_count(), 1);  // released at Cancel, not at fire time
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulationTest, CancelPeriodicReleasesClosureImmediately) {
+  Simulation sim;
+  auto payload = std::make_shared<int>(7);
+  EventHandle h =
+      sim.SchedulePeriodic(5.0, 10.0, [payload](Simulation&) {});
+  sim.Cancel(h);
+  EXPECT_EQ(payload.use_count(), 1);
+  sim.RunUntil(100.0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulationTest, CancelPeriodicInsideOwnCallbackReleasesClosure) {
+  Simulation sim;
+  auto payload = std::make_shared<int>(1);
+  int fired = 0;
+  EventHandle h;
+  h = sim.SchedulePeriodic(0.0, 1.0, [&fired, &h, payload](Simulation& s) {
+    if (++fired == 2) s.Cancel(h);
+  });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(payload.use_count(), 1);  // chain torn down, body released
+}
+
+TEST(SimulationTest, PendingEventsExcludesCancelled) {
+  Simulation sim;
+  EventHandle a = sim.ScheduleAt(1.0, [](Simulation&) {});
+  sim.ScheduleAt(2.0, [](Simulation&) {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
 TEST(SimulationTest, EventsCanScheduleCascades) {
   Simulation sim;
   int depth = 0;
