@@ -3,6 +3,12 @@
 // MWP_CHECK terminates with a diagnostic on contract violation; it is active
 // in all build types because placement decisions silently built on broken
 // invariants are much harder to debug than a crash with a message.
+//
+// MWP_DCHECK is the debug-only variant for invariants sitting inside the
+// evaluation hot loops (per-cell column computation, per-candidate
+// comparison), where the branch is measurable at BM_OptimizeLoaded scale.
+// In NDEBUG builds the condition is NOT evaluated — never put side effects
+// in a check condition. Both macros evaluate the condition at most once.
 #pragma once
 
 #include <sstream>
@@ -35,3 +41,29 @@ namespace mwp::internal {
                                    mwp_check_os.str());                   \
     }                                                                     \
   } while (0)
+
+// Debug-only checks: full MWP_CHECK semantics without NDEBUG; with NDEBUG
+// the condition is type-checked but sits in a dead branch, so it is neither
+// evaluated nor does it cost a runtime compare.
+#ifdef NDEBUG
+
+#define MWP_DCHECK(cond)          \
+  do {                            \
+    if (false) { (void)(cond); }  \
+  } while (0)
+
+#define MWP_DCHECK_MSG(cond, msg)           \
+  do {                                      \
+    if (false) {                            \
+      (void)(cond);                         \
+      std::ostringstream mwp_check_os;      \
+      mwp_check_os << msg;                  \
+    }                                       \
+  } while (0)
+
+#else
+
+#define MWP_DCHECK(cond) MWP_CHECK(cond)
+#define MWP_DCHECK_MSG(cond, msg) MWP_CHECK_MSG(cond, msg)
+
+#endif  // NDEBUG

@@ -3,10 +3,17 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/thread_annotations.h"
+
 namespace mwp {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+/// Guards the emission path: the stderr stream (interleaving of whole
+/// lines) and the optional test capture sink.
+constinit Mutex g_mu;
+std::string* g_capture MWP_GUARDED_BY(g_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,14 +39,20 @@ void Log::set_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
-std::mutex& Log::mutex() {
-  static std::mutex m;
-  return m;
+void Log::set_capture_for_test(std::string* sink) {
+  MutexLock lock(g_mu);
+  g_capture = sink;
 }
 
 void Log::Write(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(threshold())) return;
-  std::lock_guard<std::mutex> lock(mutex());
+  MutexLock lock(g_mu);
+  if (g_capture != nullptr) {
+    g_capture->append("[").append(LevelName(level)).append("] ");
+    g_capture->append(message);
+    g_capture->push_back('\n');
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
                static_cast<int>(message.size()), message.data());
 }

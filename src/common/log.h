@@ -2,12 +2,11 @@
 //
 // The simulator is single-threaded per Simulation instance, but experiment
 // harnesses may run several simulations concurrently, so emission is guarded
-// by a mutex. Log lines carry the simulated timestamp when provided by the
-// caller; the logger itself is wall-clock-free so that simulation output is
-// deterministic.
+// by a mutex (annotated for clang's thread-safety analysis). Log lines carry
+// the simulated timestamp when provided by the caller; the logger itself is
+// wall-clock-free so that simulation output is deterministic.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -26,8 +25,10 @@ class Log {
   /// Emit one line at `level`. No-op when below the threshold.
   static void Write(LogLevel level, std::string_view message);
 
- private:
-  static std::mutex& mutex();
+  /// Redirect emission into `sink` (appended, one line per Write) instead
+  /// of stderr; nullptr restores stderr. The caller keeps ownership and
+  /// must clear the capture before `sink` dies. Intended for tests.
+  static void set_capture_for_test(std::string* sink);
 };
 
 namespace internal {

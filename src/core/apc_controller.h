@@ -6,6 +6,16 @@
 // suspending, resuming and migrating job VMs (charging the measured
 // virtualization costs) and resizing transactional application clusters.
 // Per-cycle statistics feed the experiment harness (Figures 2, 6, 7).
+//
+// Threading contract: the controller is confined to its simulation's
+// thread. RunCycle, OnJobSubmitted and OnNodeFault all execute inside
+// simulation events — an OnNodeFault repair "racing" a control cycle is
+// serialized by the event queue, never truly concurrent. The only
+// intra-controller concurrency is inside PlacementOptimizer's candidate
+// search, whose sharing rules live with that class; cross-controller
+// concurrency (several simulations in worker threads) is safe because
+// controllers share no mutable state except the internally synchronized
+// logger. The TSan lane's stress tests pin both properties down.
 #pragma once
 
 #include <functional>
@@ -63,7 +73,7 @@ struct CycleStats {
   /// cycle (the affected starts/resumes/migrates were skipped and retried).
   int failed_operations = 0;
   bool shortcut = false;
-  double solver_seconds = 0.0;  ///< wall-clock time of the optimizer
+  Seconds solver_seconds = 0.0;  ///< wall-clock time of the optimizer
   /// Per transactional app (same order as registration).
   std::vector<Utility> tx_utilities;
   std::vector<Seconds> tx_response_times;

@@ -17,11 +17,11 @@ HypColumnCache::HypColumnCache(Seconds t_eval, std::vector<double> grid,
 
 const HypotheticalRpf::Column* HypColumnCache::Get(
     int job, const HypotheticalJobState& s) {
-  auto& map = per_job_.at(static_cast<std::size_t>(job));
   const Key key{std::bit_cast<std::uint64_t>(s.work_done),
                 std::bit_cast<std::uint64_t>(s.start_delay)};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    auto& map = per_job_.at(static_cast<std::size_t>(job));
     auto it = map.find(key);
     if (it != map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -33,8 +33,9 @@ const HypotheticalRpf::Column* HypColumnCache::Get(
   // the loser's copy is simply dropped.
   auto col = std::make_unique<HypotheticalRpf::Column>(
       HypotheticalRpf::ComputeColumn(s, t_eval_, grid_));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map.try_emplace(key, std::move(col));
+  MutexLock lock(mu_);
+  auto [it, inserted] =
+      per_job_.at(static_cast<std::size_t>(job)).try_emplace(key, std::move(col));
   misses_.fetch_add(1, std::memory_order_relaxed);
   return it->second.get();
 }

@@ -19,10 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/hypothetical_rpf.h"
 #include "core/load_distributor.h"
 
@@ -65,12 +65,14 @@ class HypColumnCache {
 
   Seconds t_eval_;
   std::vector<double> grid_;
-  std::mutex mu_;
+  Mutex mu_;
   /// One map per snapshot job; unique_ptr storage keeps column addresses
-  /// stable across rehashes.
+  /// stable across rehashes. The vector's shape is fixed at construction;
+  /// the maps inside mutate under mu_. Published column pointers outlive
+  /// the lock by design (their storage is never erased).
   std::vector<
       std::unordered_map<Key, std::unique_ptr<HypotheticalRpf::Column>, KeyHash>>
-      per_job_;
+      per_job_ MWP_GUARDED_BY(mu_);
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
 };

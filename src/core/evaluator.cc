@@ -194,7 +194,7 @@ int PlacementEvaluator::Compare(const PlacementEvaluation& a,
                                 const PlacementEvaluation& b) const {
   MWP_CHECK_MSG(!a.rejected_by_bound && !b.rejected_by_bound,
                 "bound-rejected evaluations have no sorted vector to compare");
-  MWP_CHECK(a.sorted_utilities.size() == b.sorted_utilities.size());
+  MWP_DCHECK(a.sorted_utilities.size() == b.sorted_utilities.size());
   for (std::size_t i = 0; i < a.sorted_utilities.size(); ++i) {
     const double diff = a.sorted_utilities[i] - b.sorted_utilities[i];
     if (diff > options_.tie_tolerance) return 1;

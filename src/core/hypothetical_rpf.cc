@@ -43,7 +43,7 @@ HypotheticalRpf::Column HypotheticalRpf::ComputeColumn(
   // so that W/V rows stay well-defined (Eq. 4/5 clamp the same way).
   col.u_max = std::min(raw, grid.back());
   col.speed_at_max = RequiredSpeedFor(js, t_eval, col.u_max);
-  MWP_CHECK(std::isfinite(col.speed_at_max));
+  MWP_DCHECK(std::isfinite(col.speed_at_max));
 
   const std::size_t rows = grid.size();
   col.w.resize(rows);
@@ -65,7 +65,7 @@ void HypotheticalRpf::AccumulateRowSums(std::span<const Column* const> cols,
   // Jobs in index order per row — the same addition order as the seed's
   // row-major construction, so sums are bit-for-bit reproducible.
   for (const Column* col : cols) {
-    MWP_CHECK(col != nullptr && col->w.size() == row_sums.size());
+    MWP_DCHECK(col != nullptr && col->w.size() == row_sums.size());
     for (std::size_t i = 0; i < row_sums.size(); ++i) row_sums[i] += col->w[i];
   }
 }
@@ -74,8 +74,8 @@ void HypotheticalRpf::EvaluateColumns(std::span<const Column* const> cols,
                                       std::span<const MHz> row_sums,
                                       MHz aggregate,
                                       std::span<JobOutcome> out) {
-  MWP_CHECK(aggregate >= 0.0);
-  MWP_CHECK(out.size() == cols.size());
+  MWP_DCHECK(aggregate >= 0.0);
+  MWP_DCHECK(out.size() == cols.size());
   const std::size_t m_count = cols.size();
   if (m_count == 0) return;
   const auto rows = row_sums.size();
@@ -100,7 +100,7 @@ void HypotheticalRpf::EvaluateColumns(std::span<const Column* const> cols,
   auto it = std::upper_bound(row_sums.begin(), row_sums.end(), aggregate);
   const auto hi = static_cast<std::size_t>(it - row_sums.begin());
   const std::size_t lo = hi - 1;
-  MWP_CHECK(hi < rows);
+  MWP_DCHECK(hi < rows);
   const MHz span = row_sums[hi] - row_sums[lo];
   const double f = span > kEpsilon ? (aggregate - row_sums[lo]) / span : 0.0;
   for (std::size_t m = 0; m < m_count; ++m) {
@@ -170,7 +170,7 @@ std::vector<HypotheticalRpf::JobOutcome> HypotheticalRpf::Evaluate(
 }
 
 Utility HypotheticalRpf::LevelFor(MHz aggregate) const {
-  MWP_CHECK(aggregate >= 0.0);
+  MWP_DCHECK(aggregate >= 0.0);
   if (row_sum_.empty()) return grid_.back();
   if (aggregate >= row_sum_.back()) return grid_.back();
   if (aggregate <= row_sum_.front()) return grid_.front();

@@ -49,7 +49,7 @@ struct LoadDistributor::FillEntity {
 
   /// Demand at a common level, clamped at the entity's own maximum.
   MHz DemandAt(Utility level) const {
-    MWP_CHECK(rpf != nullptr);
+    MWP_DCHECK(rpf != nullptr);
     const Utility target = std::min(level, max_u);
     if (demand_memo != nullptr) {
       const std::uint64_t key = LevelKey(target);
@@ -127,7 +127,7 @@ std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
     }
     batch.kind = FillEntity::Kind::kBatch;
     if (!batch.nodes.empty()) {
-      MWP_CHECK(hypothetical_ != nullptr);
+      MWP_DCHECK(hypothetical_ != nullptr);
       batch.rpf = std::make_unique<BatchAggregateRpf>(hypothetical_.get());
       batch.active = true;
       batch.max_u = batch.rpf->max_utility();
@@ -139,7 +139,7 @@ std::vector<LoadDistributor::FillEntity> LoadDistributor::BuildEntities(
       const int entity = snap.EntityOfJob(j);
       const std::vector<int> nodes = p.NodesOf(entity);
       if (nodes.empty()) continue;
-      MWP_CHECK_MSG(nodes.size() == 1, "a job has a single instance");
+      MWP_DCHECK_MSG(nodes.size() == 1, "a job has a single instance");
       const JobView& jv = snap.job(j);
       FillEntity e;
       e.kind = FillEntity::Kind::kJob;
@@ -246,8 +246,8 @@ bool LoadDistributor::RouteDemands(const std::vector<FillEntity>& entities,
   const PlacementSnapshot& snap = *snapshot_;
   const int num_nodes = snap.num_nodes();
   const int e_count = static_cast<int>(entities.size());
-  MWP_CHECK(scratch.num_fill_entities == e_count &&
-            scratch.vertices == 2 + e_count + num_nodes);
+  MWP_DCHECK(scratch.num_fill_entities == e_count &&
+             scratch.vertices == 2 + e_count + num_nodes);
 
   MHz demand_total = 0.0;
   for (int i = 0; i < e_count; ++i) demand_total += demands[static_cast<std::size_t>(i)];

@@ -67,7 +67,7 @@ class CandidateStream {
       if (!base_ready_) {
         working_ = best_;
         for (std::size_t r = 0; r < removals_; ++r) {
-          MWP_CHECK(working_.at(residents_[r], node_) > 0);
+          MWP_DCHECK(working_.at(residents_[r], node_) > 0);
           working_.at(residents_[r], node_) -= 1;
         }
         free_ = snap_.FreeMemory(working_, node_);
@@ -108,7 +108,7 @@ class CandidateStream {
       if (snap_.EntityMemory(donor) > mig_free_ + kEpsilon) continue;
       PlacementMatrix candidate = best_;
       const int from = FirstNodeOf(candidate, donor);
-      MWP_CHECK(from != kInvalidNode && candidate.InstanceCount(donor) == 1);
+      MWP_DCHECK(from != kInvalidNode && candidate.InstanceCount(donor) == 1);
       candidate.at(donor, from) -= 1;
       candidate.at(donor, node_) += 1;
       if (!snap_.IsFeasible(candidate)) continue;

@@ -78,11 +78,19 @@ class PlacementOptimizer {
   int search_lanes() const { return lanes_; }
 
  private:
+  // Parallel-search sharing discipline (checked under TSan by the
+  // concurrency stress tests): Optimize may not be called concurrently on
+  // one optimizer. During a chunk, lane `k` writes only scratches_[k] and
+  // evals[k-slots]; the shared column cache inside evaluator_ synchronizes
+  // internally (see HypColumnCache); the incumbent Result is read-only
+  // until the chunk's ParallelFor has joined.
   const PlacementSnapshot* snapshot_;
   Options options_;
   PlacementEvaluator evaluator_;
   int lanes_ = 1;
-  /// One evaluation scratch per lane (index 0 is the calling thread).
+  /// One evaluation scratch per lane (index 0 is the calling thread). Never
+  /// shared across lanes; mutable because scoring through scratch is
+  /// behaviourally const.
   mutable std::vector<EvalScratch> scratches_;
   /// Worker pool; null when lanes_ == 1.
   std::unique_ptr<ThreadPool> pool_;

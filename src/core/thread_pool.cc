@@ -5,21 +5,26 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace mwp {
 
 struct ThreadPool::State {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable work_cv;   // workers wait for a batch
   std::condition_variable done_cv;   // caller waits for batch completion
-  const std::function<void(int, std::size_t)>* fn = nullptr;
-  std::size_t count = 0;
-  std::uint64_t generation = 0;  // bumped per batch to wake workers
+  /// Batch descriptor, published under mu before waking the workers and
+  /// cleared by the caller after every worker has signed off.
+  const std::function<void(int, std::size_t)>* fn MWP_GUARDED_BY(mu) = nullptr;
+  std::size_t count MWP_GUARDED_BY(mu) = 0;
+  std::uint64_t generation MWP_GUARDED_BY(mu) = 0;  // bumped per batch
+  std::exception_ptr error MWP_GUARDED_BY(mu);
+  /// Lock-free batch progress: the index dispenser, the per-worker batch
+  /// sign-off counter, and the first-error abort flag.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
   std::atomic<bool> abort{false};
-  std::exception_ptr error;
 };
 
 ThreadPool::ThreadPool(int workers) : state_(std::make_unique<State>()) {
@@ -34,7 +39,9 @@ ThreadPool::ThreadPool(int workers) : state_(std::make_unique<State>()) {
 ThreadPool::~ThreadPool() {
   for (std::jthread& t : threads_) t.request_stop();
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    // The stop flag is checked under mu in the workers' wait predicate, so
+    // notifying under mu guarantees no worker misses the wake-up.
+    MutexLock lock(state_->mu);
     state_->work_cv.notify_all();
   }
 }
@@ -46,10 +53,10 @@ void ThreadPool::WorkerLoop(std::stop_token stop, int lane) {
     const std::function<void(int, std::size_t)>* fn = nullptr;
     std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(s.mu);
-      s.work_cv.wait(lock, [&] {
-        return stop.stop_requested() || s.generation != seen_generation;
-      });
+      MutexLock lock(s.mu);
+      while (!stop.stop_requested() && s.generation == seen_generation) {
+        s.work_cv.wait(lock.native());
+      }
       if (stop.stop_requested()) return;
       seen_generation = s.generation;
       fn = s.fn;
@@ -63,7 +70,7 @@ void ThreadPool::WorkerLoop(std::stop_token stop, int lane) {
         (*fn)(lane, i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(s.mu);
+          MutexLock lock(s.mu);
           if (!s.error) s.error = std::current_exception();
         }
         s.abort.store(true, std::memory_order_relaxed);
@@ -72,7 +79,7 @@ void ThreadPool::WorkerLoop(std::stop_token stop, int lane) {
     {
       // This worker is done with the batch; the batch completes once every
       // worker has signed off (and the caller has drained its own share).
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       s.finished.fetch_add(1, std::memory_order_relaxed);
       s.done_cv.notify_one();
     }
@@ -89,7 +96,7 @@ void ThreadPool::ParallelFor(
   }
 
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.fn = &fn;
     s.count = count;
     s.next.store(0, std::memory_order_relaxed);
@@ -109,7 +116,7 @@ void ThreadPool::ParallelFor(
       fn(0, i);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         if (!s.error) s.error = std::current_exception();
       }
       s.abort.store(true, std::memory_order_relaxed);
@@ -117,20 +124,18 @@ void ThreadPool::ParallelFor(
   }
 
   // Wait for every worker to leave the batch (each signals once when it
-  // stops claiming indices).
+  // stops claiming indices), then retire the batch descriptor.
+  std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(s.mu);
-    s.done_cv.wait(lock, [&] {
-      return s.finished.load(std::memory_order_relaxed) >= threads_.size();
-    });
-    s.fn = nullptr;
-    if (s.error) {
-      std::exception_ptr err = s.error;
-      s.error = nullptr;
-      lock.unlock();
-      std::rethrow_exception(err);
+    MutexLock lock(s.mu);
+    while (s.finished.load(std::memory_order_relaxed) < threads_.size()) {
+      s.done_cv.wait(lock.native());
     }
+    s.fn = nullptr;
+    err = s.error;
+    s.error = nullptr;
   }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace mwp

@@ -7,6 +7,12 @@
 // that keeps the overall computation deterministic (the optimizer picks the
 // same winner the sequential loop would). With zero workers ParallelFor
 // degenerates to a plain sequential loop on the caller, with no locking.
+//
+// Threading contract: ParallelFor may be called from one thread at a time
+// (the optimizer that owns the pool). Batch descriptors are published to
+// workers under State::mu (see thread_pool.cc, which carries the clang
+// thread-safety annotations); index claiming and abort signalling use
+// atomics outside the lock.
 #pragma once
 
 #include <cstddef>

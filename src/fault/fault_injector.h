@@ -12,6 +12,14 @@
 // Every fault is appended to a human-readable trace, which doubles as the
 // determinism oracle in tests: same plan + same seed must yield the same
 // trace.
+//
+// Threading contract: a FaultInjector is confined to the thread driving its
+// Simulation — faults fire inside simulation events, and listeners run
+// synchronously on that thread, so no member needs a lock. Experiment
+// harnesses that run simulations concurrently must give each simulation its
+// own injector; the only process-wide state a fault path touches is the
+// logger, which synchronizes internally (see common/log.h). The TSan
+// concurrency stress tests exercise exactly that layout.
 #pragma once
 
 #include <cstdint>

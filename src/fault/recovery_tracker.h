@@ -7,6 +7,10 @@
 // when the condition holds. Register the tracker *after* the repairing
 // controller: a controller that repairs synchronously inside the crash event
 // can then be marked recovered at the crash instant itself (TTR = 0).
+//
+// Threading contract: thread-confined to the simulation thread, like every
+// FaultListener (callbacks run synchronously inside fault events). One
+// tracker per concurrently running simulation; no locking needed or taken.
 #pragma once
 
 #include <vector>

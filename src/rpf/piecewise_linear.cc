@@ -21,27 +21,27 @@ PiecewiseLinearCurve::PiecewiseLinearCurve(std::vector<Knot> knots)
 }
 
 double PiecewiseLinearCurve::min_x() const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   return knots_.front().x;
 }
 
 double PiecewiseLinearCurve::max_x() const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   return knots_.back().x;
 }
 
 double PiecewiseLinearCurve::min_y() const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   return knots_.front().y;
 }
 
 double PiecewiseLinearCurve::max_y() const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   return knots_.back().y;
 }
 
 double PiecewiseLinearCurve::Eval(double x) const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   if (x <= knots_.front().x) return knots_.front().y;
   if (x >= knots_.back().x) return knots_.back().y;
   // First knot with knot.x > x; its predecessor exists because of the
@@ -55,14 +55,14 @@ double PiecewiseLinearCurve::Eval(double x) const {
 }
 
 double PiecewiseLinearCurve::Inverse(double y) const {
-  MWP_CHECK(!knots_.empty());
+  MWP_DCHECK(!knots_.empty());
   if (y <= knots_.front().y) return knots_.front().x;
   if (y > knots_.back().y) return knots_.back().x;
   // First knot with knot.y >= y.
   auto hi = std::lower_bound(
       knots_.begin(), knots_.end(), y,
       [](const Knot& k, double value) { return k.y < value; });
-  MWP_CHECK(hi != knots_.begin() && hi != knots_.end());
+  MWP_DCHECK(hi != knots_.begin() && hi != knots_.end());
   auto lo = hi - 1;
   if (hi->y == lo->y) return lo->x;  // flat segment: left edge
   const double frac = (y - lo->y) / (hi->y - lo->y);

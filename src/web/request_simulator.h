@@ -45,10 +45,10 @@ struct RequestSimConfig {
 
 struct RequestSimResults {
   std::size_t completed = 0;      ///< measured completions (post-warm-up)
-  double mean_response_time = 0.0;
-  double p50_response_time = 0.0;
-  double p95_response_time = 0.0;
-  double max_response_time = 0.0;
+  Seconds mean_response_time = 0.0;
+  Seconds p50_response_time = 0.0;
+  Seconds p95_response_time = 0.0;
+  Seconds max_response_time = 0.0;
   double mean_in_system = 0.0;    ///< time-averaged concurrent requests
   double utilization = 0.0;       ///< busy fraction of the server
   Seconds sim_time = 0.0;

@@ -1,0 +1,96 @@
+// check.h macro semantics: diagnostics, throw behaviour, evaluation
+// discipline. The DCHECK expectations flip on NDEBUG, so this file pins the
+// contract in both build types.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace mwp {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MWP_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MWP_CHECK_MSG(true, "never built"));
+}
+
+TEST(CheckTest, FailingCheckThrowsLogicErrorWithContext) {
+  try {
+    MWP_CHECK(2 + 2 == 5);
+    FAIL() << "MWP_CHECK did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, CheckMsgStreamsFormattedMessage) {
+  const int node = 7;
+  try {
+    MWP_CHECK_MSG(node < 5, "node " << node << " out of range");
+    FAIL() << "MWP_CHECK_MSG did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node < 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("node 7 out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  MWP_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+
+  evaluations = 0;
+  MWP_CHECK_MSG(++evaluations > 0, "message");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, MessageIsNotBuiltWhenConditionHolds) {
+  int message_builds = 0;
+  auto expensive = [&message_builds] {
+    ++message_builds;
+    return std::string("costly");
+  };
+  MWP_CHECK_MSG(true, expensive());
+  EXPECT_EQ(message_builds, 0);
+}
+
+#ifdef NDEBUG
+
+TEST(CheckTest, DcheckCompilesOutInReleaseWithoutEvaluating) {
+  int evaluations = 0;
+  MWP_DCHECK(++evaluations > 0);
+  MWP_DCHECK(false);  // would throw in debug; must be inert here
+  EXPECT_EQ(evaluations, 0);
+
+  MWP_DCHECK_MSG(++evaluations > 0, "never " << 1);
+  MWP_DCHECK_MSG(false, "never " << 2);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else  // !NDEBUG
+
+TEST(CheckTest, DcheckMatchesCheckInDebug) {
+  int evaluations = 0;
+  EXPECT_NO_THROW(MWP_DCHECK(++evaluations > 0));
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(MWP_DCHECK(2 + 2 == 5), std::logic_error);
+
+  try {
+    const int lane = 3;
+    MWP_DCHECK_MSG(lane > 8, "lane " << lane << " below minimum");
+    FAIL() << "MWP_DCHECK_MSG did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lane 3 below minimum"),
+              std::string::npos);
+  }
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace mwp

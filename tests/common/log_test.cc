@@ -1,0 +1,57 @@
+// Logger semantics: threshold gating, line formatting through the capture
+// sink, and restoration of the default sink. (Concurrent emission is
+// stressed separately in tests/concurrency.)
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwp {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    old_threshold_ = Log::threshold();
+    Log::set_capture_for_test(&captured_);
+  }
+  void TearDown() override {
+    Log::set_capture_for_test(nullptr);
+    Log::set_threshold(old_threshold_);
+  }
+
+  std::string captured_;
+  LogLevel old_threshold_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, BelowThresholdIsSuppressed) {
+  Log::set_threshold(LogLevel::kWarn);
+  MWP_LOG_DEBUG << "quiet";
+  MWP_LOG_INFO << "also quiet";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, AtOrAboveThresholdEmitsTaggedLine) {
+  Log::set_threshold(LogLevel::kInfo);
+  MWP_LOG_INFO << "cycle " << 3 << " at t=" << 600.0;
+  MWP_LOG_ERROR << "node " << 2 << " offline";
+  EXPECT_EQ(captured_,
+            "[INFO ] cycle 3 at t=600\n"
+            "[ERROR] node 2 offline\n");
+}
+
+TEST_F(LogTest, OffThresholdSilencesEverything) {
+  Log::set_threshold(LogLevel::kOff);
+  MWP_LOG_ERROR << "even errors";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, WriteHonoursExactThresholdBoundary) {
+  Log::set_threshold(LogLevel::kWarn);
+  Log::Write(LogLevel::kWarn, "boundary");
+  EXPECT_EQ(captured_, "[WARN ] boundary\n");
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Domain-invariant linter for the mixed-workload-placement tree.
+
+Generic tools (clang-tidy, compiler warnings) cannot know this project's
+load-bearing conventions; this linter machine-enforces them:
+
+MWP001  RNG discipline — all randomness flows through common/rng.h.
+        `std::random_device`, `rand()`, `srand()`, `time(nullptr)` seeds and
+        raw standard engines anywhere else break the single-seed
+        reproducibility that seeded experiments AND deterministic fault
+        replay (same FaultPlan + seed => same trace) are built on.
+MWP002  Wall-clock discipline — simulated time is the only time. Reading
+        `system_clock`/`steady_clock` in library code makes results depend
+        on the host; the sole exception is the controller's solver-runtime
+        stopwatch, which measures the optimizer itself (allowlisted).
+MWP003  No raw `assert` — contract violations must throw through
+        `MWP_CHECK`/`MWP_DCHECK` so they carry file/line/message context
+        and stay active in Release (assert silently vanishes with NDEBUG,
+        exactly where placement bugs manifest as SLA noise, not crashes).
+MWP004  No iostream in hot-path modules (`core/`, `rpf/`) — logging there
+        goes through MWP_LOG_* (leveled, mutex-guarded, deterministic);
+        iostream adds global-ctor and locale baggage and unsynchronized
+        interleaving under the parallel search.
+MWP005  Units discipline at API boundaries — headers declare time-like
+        quantities as `Seconds` (common/units.h), not raw `double`, so the
+        paper's unit conventions stay visible where they are consumed.
+        Dimensionless names (factors, ratios, rates) are exempt.
+
+Usage:
+    mwp_lint.py [--root DIR]   lint the tree (default: repo root)
+    mwp_lint.py --self-test    verify every rule fires on seeded violations
+
+Exit status: 0 clean, 1 violations (or self-test failure), 2 usage error.
+Registered as ctest tests `lint.mwp_lint` and `lint.mwp_lint_selftest`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+# --- rule definitions -------------------------------------------------------
+
+# (rule id, compiled pattern, message). Patterns are matched per line after
+# comment stripping.
+RAW_RNG_PATTERNS = [
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\(")," rand()/srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "time(nullptr) seeding"),
+    (re.compile(r"std::(minstd_rand0?|mt19937(_64)?|ranlux\d+(_48)?|"
+                r"knuth_b|default_random_engine)\b"),
+     "a raw standard RNG engine"),
+]
+
+WALL_CLOCK_PATTERN = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)")
+
+ASSERT_PATTERN = re.compile(r"(?<![\w_])assert\s*\(")
+
+IOSTREAM_PATTERNS = [
+    (re.compile(r"#\s*include\s*<iostream>"), "#include <iostream>"),
+    (re.compile(r"std::(cout|cerr|clog)\b"), "std::cout/cerr/clog"),
+]
+
+# Time-like identifiers that must be declared `Seconds`, unless the name
+# marks them dimensionless (factor/ratio/rate/...).
+UNITS_TIME_NAME = re.compile(
+    r"\bdouble\s+(?P<name>\w*(?:_time|_seconds|response_time|deadline|"
+    r"duration|timeout)\w*|time|deadline|duration|timeout)\s*[;=,)]")
+UNITS_EXEMPT_NAME = re.compile(
+    r"factor|ratio|fraction|rate|satisf|scale|per_|_per|weight|share")
+
+# Files whose job is to implement the discipline (or that legitimately sit
+# outside it). Paths are relative to --root, POSIX-style.
+RNG_ALLOWLIST = {"src/common/rng.h"}
+WALL_CLOCK_ALLOWLIST = {
+    # The controller's solver stopwatch measures the optimizer's own
+    # wall-clock cost (CycleStats::solver_seconds) — host-dependent by
+    # intent, and excluded from all determinism oracles.
+    "src/core/apc_controller.cc",
+}
+HOT_PATH_MODULES = ("src/core/", "src/rpf/")
+
+LINT_DIRS = ("src", "bench", "examples")
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> list[str]:
+    """Returns the file's lines with // and /* */ comment text blanked out
+    (string literals are not parsed; the conventions never appear in
+    strings in this tree)."""
+    # Blank block comments but keep newlines so line numbers survive.
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    lines = []
+    for line in text.split("\n"):
+        cut = line.find("//")
+        lines.append(line[:cut] if cut >= 0 else line)
+    return lines
+
+
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        findings.append(Finding(path, 0, "MWP000", f"unreadable: {err}"))
+        return findings
+    lines = strip_comments(text)
+
+    for lineno, line in enumerate(lines, start=1):
+        if rel not in RNG_ALLOWLIST:
+            for pattern, what in RAW_RNG_PATTERNS:
+                if pattern.search(line):
+                    findings.append(Finding(
+                        path, lineno, "MWP001",
+                        f"{what.strip()} outside common/rng.h breaks "
+                        "seeded reproducibility; draw from mwp::Rng"))
+        if rel not in WALL_CLOCK_ALLOWLIST and WALL_CLOCK_PATTERN.search(line):
+            findings.append(Finding(
+                path, lineno, "MWP002",
+                "wall-clock read in library code; simulated time only "
+                "(allowlisted: the solver stopwatch in apc_controller.cc)"))
+        if ASSERT_PATTERN.search(line) and "static_assert" not in line:
+            findings.append(Finding(
+                path, lineno, "MWP003",
+                "raw assert(); use MWP_CHECK (always on) or MWP_DCHECK "
+                "(hot paths) from common/check.h"))
+        if rel.startswith(HOT_PATH_MODULES):
+            for pattern, what in IOSTREAM_PATTERNS:
+                if pattern.search(line):
+                    findings.append(Finding(
+                        path, lineno, "MWP004",
+                        f"{what} in hot-path module; use MWP_LOG_* from "
+                        "common/log.h"))
+        if rel.endswith(".h"):
+            match = UNITS_TIME_NAME.search(line)
+            if match and not UNITS_EXEMPT_NAME.search(match.group("name")):
+                findings.append(Finding(
+                    path, lineno, "MWP005",
+                    f"time-like '{match.group('name')}' declared as raw "
+                    "double; use the Seconds alias from common/units.h"))
+    return findings
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                rel = path.relative_to(root).as_posix()
+                findings.extend(lint_file(path, rel))
+    return findings
+
+
+# --- self-test --------------------------------------------------------------
+
+# Each fixture seeds exactly the violations listed in `expect` (rule ids in
+# order of appearance); `clean` fixtures must produce no findings.
+SELF_TEST_FIXTURES = [
+    {
+        "name": "src/core/bad_rng.cc",
+        "code": """
+            #include <random>
+            int Seed() {
+              std::random_device rd;            // MWP001
+              std::mt19937_64 engine(rd());     // MWP001
+              return rand() % 7;                // MWP001
+            }
+            long Clock() { return time(nullptr); }  // MWP001
+        """,
+        "expect": ["MWP001", "MWP001", "MWP001", "MWP001"],
+    },
+    {
+        "name": "src/sched/bad_clock.cc",
+        "code": """
+            #include <chrono>
+            double Now() {
+              auto t = std::chrono::steady_clock::now();  // MWP002
+              return t.time_since_epoch().count();
+            }
+        """,
+        "expect": ["MWP002"],
+    },
+    {
+        "name": "src/batch/bad_assert.cc",
+        "code": """
+            #include <cassert>
+            void Check(int n) {
+              assert(n > 0);  // MWP003
+              static_assert(sizeof(int) == 4);  // fine
+            }
+        """,
+        "expect": ["MWP003"],
+    },
+    {
+        "name": "src/core/bad_logging.cc",
+        "code": """
+            #include <iostream>
+            void Report(int n) { std::cout << n << "\\n"; }
+        """,
+        "expect": ["MWP004", "MWP004"],
+    },
+    {
+        "name": "src/web/bad_units.h",
+        "code": """
+            struct Stats {
+              double mean_response_time = 0.0;  // MWP005
+              double speed_factor = 1.0;        // exempt: dimensionless
+            };
+            void Wait(double timeout);          // MWP005
+        """,
+        "expect": ["MWP005", "MWP005"],
+    },
+    {
+        "name": "src/common/rng.h",
+        "code": """
+            #include <random>
+            struct Rng { std::mt19937_64 engine; };  // allowlisted file
+        """,
+        "expect": [],
+    },
+    {
+        "name": "src/core/clean.cc",
+        "code": """
+            #include "common/check.h"
+            #include "common/log.h"
+            #include "common/units.h"
+            void Cycle(mwp::Seconds now) {
+              MWP_CHECK(now >= 0.0);
+              MWP_LOG_DEBUG << "cycle at " << now;
+              // std::random_device in a comment is fine
+            }
+        """,
+        "expect": [],
+    },
+]
+
+
+def run_self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="mwp_lint_selftest_") as tmp:
+        root = Path(tmp)
+        for fixture in SELF_TEST_FIXTURES:
+            path = root / fixture["name"]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(fixture["code"], encoding="utf-8")
+        for fixture in SELF_TEST_FIXTURES:
+            rel = fixture["name"]
+            got = [f.rule for f in lint_file(root / rel, rel)]
+            want = fixture["expect"]
+            if got != want:
+                failures += 1
+                print(f"self-test FAILED for {rel}: expected {want}, "
+                      f"got {got}", file=sys.stderr)
+        # The whole-tree walker must see exactly the seeded violations.
+        total = [f.rule for f in lint_tree(root)]
+        want_total = sorted(
+            r for fixture in SELF_TEST_FIXTURES for r in fixture["expect"])
+        if sorted(total) != want_total:
+            failures += 1
+            print(f"self-test FAILED for tree walk: expected {want_total}, "
+                  f"got {sorted(total)}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"mwp_lint self-test: all {len(SELF_TEST_FIXTURES)} fixtures "
+          "behaved as expected")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter against seeded violations")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    if not (args.root / "src").is_dir():
+        print(f"error: {args.root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_tree(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"mwp_lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("mwp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
