@@ -6,6 +6,8 @@
 // faster. This benchmark reproduces both claims across system sizes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
 #include <memory>
 
 #include "batch/job_factory.h"
@@ -14,6 +16,7 @@
 #include "core/apc_controller.h"
 #include "core/placement_optimizer.h"
 #include "exp/experiment1.h"
+#include "obs/build_info.h"
 #include "sim/simulation.h"
 #include "web/workload_generator.h"
 
@@ -198,4 +201,47 @@ BENCHMARK(BM_RepairCycle)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace mwp
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): numbers recorded from anything
+// but a Release build are meaningless as baselines (BENCH_apc_runtime.json
+// was once recorded from a debug build), so refuse to run unless this is a
+// Release build or the caller passes --allow-nonrelease. Either way the
+// build type and git revision are stamped into the benchmark context so a
+// recorded JSON self-identifies.
+int main(int argc, char** argv) {
+  using mwp::obs::BuildInfo;
+  bool allow_nonrelease = false;
+  int out = 1;  // strip our flag so benchmark::Initialize never sees it
+  for (int in = 1; in < argc; ++in) {
+    if (std::strcmp(argv[in], "--allow-nonrelease") == 0) {
+      allow_nonrelease = true;
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  argc = out;
+
+  if (!BuildInfo::IsRelease()) {
+    if (!allow_nonrelease) {
+      std::cerr << "bench_apc_runtime: refusing to run from a '"
+                << BuildInfo::BuildType()
+                << "' build — benchmark numbers from non-Release builds are "
+                   "not comparable.\nRebuild with "
+                   "-DCMAKE_BUILD_TYPE=Release, or pass --allow-nonrelease "
+                   "to run anyway (tagged in the output context).\n";
+      return 1;
+    }
+    std::cerr << "bench_apc_runtime: WARNING — running from a '"
+              << BuildInfo::BuildType()
+              << "' build; do not record these numbers as a baseline.\n";
+  }
+  benchmark::AddCustomContext("mwp_build_type", BuildInfo::BuildType());
+  benchmark::AddCustomContext("mwp_git_sha", BuildInfo::GitSha());
+  benchmark::AddCustomContext("mwp_asserts_enabled",
+                              BuildInfo::AssertsEnabled() ? "true" : "false");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

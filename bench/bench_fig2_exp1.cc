@@ -7,11 +7,14 @@
 // of disruptive placement changes, and the per-cycle solver time.
 //
 //   ./bench_fig2_exp1 [--jobs 800] [--nodes 25] [--interarrival 260]
+//                     [--trace-out exp1.jsonl]
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment1.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 int main(int argc, char** argv) {
   using namespace mwp;
@@ -24,6 +27,9 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 42));
   const bool csv = cli.GetBool("csv", false);
   const Seconds bucket = cli.GetDouble("bucket", 10'000.0);
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
+  if (!trace_out.empty()) cfg.trace = &recorder;
 
   std::cout << "Experiment One: " << cfg.num_jobs << " identical jobs "
             << "(68,640,000 Mc @ 3,900 MHz, 4,320 MB, goal factor 2.7) on "
@@ -32,6 +38,20 @@ int main(int argc, char** argv) {
             << " s\n\n";
 
   const Experiment1Result r = RunExperiment1(cfg);
+
+  if (!trace_out.empty()) {
+    const auto traces = recorder.Traces();
+    if (obs::ExportTrace(trace_out,
+                         obs::MakeTraceContext("experiment1", cfg.seed,
+                                               cfg.control_cycle),
+                         traces)) {
+      std::cout << "Wrote " << traces.size() << " cycle traces to "
+                << trace_out << "\n\n";
+    } else {
+      std::cerr << "Failed to write trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
 
   const TimeSeries hyp = r.hypothetical_rp.Bucketed(bucket);
   const TimeSeries act = r.completion_rp.Bucketed(bucket);

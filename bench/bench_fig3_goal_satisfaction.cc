@@ -2,12 +2,15 @@
 // across the inter-arrival sweep 400 s … 50 s.
 //
 //   ./bench_fig3_goal_satisfaction [--jobs 800] [--interarrivals 400,350,...]
+//                                  [--trace-out exp2.jsonl]
 #include <iostream>
 #include <sstream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment2.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -29,6 +32,10 @@ int main(int argc, char** argv) {
       cli.GetString("interarrivals", "400,350,300,250,200,150,100,50"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
   const bool csv = cli.GetBool("csv", false);
+  // One recorder spans the whole sweep: the APC runs' cycle traces are
+  // concatenated in sweep order (each run restarts its cycle counter).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   std::cout << "Experiment Two / Figure 3: % of jobs meeting their "
                "completion-time goal\n("
@@ -45,11 +52,22 @@ int main(int argc, char** argv) {
       cfg.mean_interarrival = ia;
       cfg.scheduler = kind;
       cfg.seed = seed;
+      if (!trace_out.empty() && kind == SchedulerKind::kApc) {
+        cfg.trace = &recorder;
+      }
       const Experiment2Result r = RunExperiment2(cfg);
       row.push_back(FormatNumber(100.0 * r.deadline_satisfaction, 1) + "%");
     }
     t.AddRow(row);
     std::cerr << "  done inter-arrival " << ia << " s\n";
+  }
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("experiment2", seed,
+                                              Experiment2Config{}.control_cycle),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
   }
   std::cout << (csv ? t.ToCsv() : t.ToText());
   std::cout << "\nExpected shape (paper): all comparable above ~150 s; FCFS "

@@ -4,12 +4,15 @@
 // rate with many fewer changes.
 //
 //   ./bench_fig4_placement_changes [--jobs 800] [--interarrivals ...]
+//                                  [--trace-out exp2.jsonl]
 #include <iostream>
 #include <sstream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment2.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -31,6 +34,10 @@ int main(int argc, char** argv) {
       cli.GetString("interarrivals", "400,350,300,250,200,150,100,50"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
   const bool csv = cli.GetBool("csv", false);
+  // One recorder spans the whole sweep: the APC runs' cycle traces are
+  // concatenated in sweep order (each run restarts its cycle counter).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   std::cout << "Experiment Two / Figure 4: disruptive placement changes "
                "(suspend + resume + migrate)\n\n";
@@ -47,6 +54,9 @@ int main(int argc, char** argv) {
       cfg.mean_interarrival = ia;
       cfg.scheduler = kind;
       cfg.seed = seed;
+      if (!trace_out.empty() && kind == SchedulerKind::kApc) {
+        cfg.trace = &recorder;
+      }
       const Experiment2Result r = RunExperiment2(cfg);
       row.push_back(FormatNumber(r.disruptive_changes, 0));
       const std::string detail = FormatNumber(r.changes.suspends, 0) + "/" +
@@ -59,6 +69,14 @@ int main(int argc, char** argv) {
     row.push_back(apc_detail);
     t.AddRow(row);
     std::cerr << "  done inter-arrival " << ia << " s\n";
+  }
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("experiment2", seed,
+                                              Experiment2Config{}.control_cycle),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
   }
   std::cout << (csv ? t.ToCsv() : t.ToText());
   std::cout << "\nExpected shape (paper): FCFS = 0 everywhere; EDF grows "

@@ -3,12 +3,15 @@
 // dynamic APC sharing, static 9 TX / 16 LR nodes, static 6 TX / 19 LR.
 //
 //   ./bench_fig6_heterogeneous_rp [--duration 65000] [--bucket 5000]
+//                                 [--trace-out exp3.jsonl]
 #include <cmath>
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment3.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 int main(int argc, char** argv) {
   using namespace mwp;
@@ -20,6 +23,10 @@ int main(int argc, char** argv) {
   base.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 11));
   const Seconds bucket = cli.GetDouble("bucket", 5'000.0);
   const bool csv = cli.GetBool("csv", false);
+  // Per-cycle traces come from the dynamic-APC run (the static partitions
+  // run no control loop).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   std::cout << "Experiment Three / Figure 6: relative performance over time\n"
                "(TX = actual RP of the transactional app; LR = average "
@@ -32,6 +39,9 @@ int main(int argc, char** argv) {
   for (auto mode : modes) {
     Experiment3Config cfg = base;
     cfg.mode = mode;
+    if (!trace_out.empty() && mode == Experiment3Mode::kDynamicApc) {
+      cfg.trace = &recorder;
+    }
     results.push_back(RunExperiment3(cfg));
     std::cerr << "  done " << ToString(mode) << " (jobs submitted "
               << results.back().jobs_submitted << ", completed "
@@ -51,6 +61,14 @@ int main(int argc, char** argv) {
       row.push_back(std::isnan(lr) ? "-" : FormatNumber(lr, 3));
     }
     t.AddRow(row);
+  }
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("experiment3", base.seed,
+                                              base.control_cycle),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
   }
   std::cout << (csv ? t.ToCsv() : t.ToText());
   std::cout << "\nExpected shape (paper): APC starts with TX at its 0.66 "

@@ -2,12 +2,15 @@
 // the three system configurations of Experiment Three.
 //
 //   ./bench_fig7_heterogeneous_alloc [--duration 65000] [--bucket 5000]
+//                                    [--trace-out exp3.jsonl]
 #include <cmath>
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment3.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 int main(int argc, char** argv) {
   using namespace mwp;
@@ -19,6 +22,10 @@ int main(int argc, char** argv) {
   base.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 11));
   const Seconds bucket = cli.GetDouble("bucket", 5'000.0);
   const bool csv = cli.GetBool("csv", false);
+  // Per-cycle traces come from the dynamic-APC run (the static partitions
+  // run no control loop).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   std::cout << "Experiment Three / Figure 7: CPU allocation per workload "
                "[MHz]\n\n";
@@ -30,6 +37,9 @@ int main(int argc, char** argv) {
   for (auto mode : modes) {
     Experiment3Config cfg = base;
     cfg.mode = mode;
+    if (!trace_out.empty() && mode == Experiment3Mode::kDynamicApc) {
+      cfg.trace = &recorder;
+    }
     results.push_back(RunExperiment3(cfg));
     std::cerr << "  done " << ToString(mode) << '\n';
   }
@@ -47,6 +57,14 @@ int main(int argc, char** argv) {
       row.push_back(std::isnan(lr) ? "-" : FormatNumber(lr, 0));
     }
     t.AddRow(row);
+  }
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("experiment3", base.seed,
+                                              base.control_cycle),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
   }
   std::cout << (csv ? t.ToCsv() : t.ToText());
   std::cout << "\nExpected shape (paper): under APC the TX allocation starts "

@@ -11,11 +11,14 @@
 //
 //   ./node_failure_recovery [--seed 17] [--nodes 6] [--jobs 6]
 //                           [--duration 2000] [--trace]
+//                           [--trace-out exp4.jsonl]
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "exp/experiment4.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 
 int main(int argc, char** argv) {
   using namespace mwp;
@@ -27,6 +30,10 @@ int main(int argc, char** argv) {
   base.num_jobs = static_cast<int>(cli.GetInt("jobs", base.num_jobs));
   base.duration = cli.GetDouble("duration", base.duration);
   const bool show_trace = cli.GetBool("trace", false);
+  // Per-cycle traces come from the dynamic-APC run (the other policies run
+  // no control loop).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   const Experiment4Mode modes[] = {Experiment4Mode::kDynamicApc,
                                    Experiment4Mode::kStaticPartition,
@@ -38,6 +45,9 @@ int main(int argc, char** argv) {
     Experiment4Config config = base;
     config.mode = mode;
     config.fault_plan = MakeExperiment4FaultPlan(config);
+    if (!trace_out.empty() && mode == Experiment4Mode::kDynamicApc) {
+      config.trace = &recorder;
+    }
     const Experiment4Result r = RunExperiment4(config);
 
     std::cout << "=== " << ToString(mode) << " ===\n";
@@ -67,6 +77,14 @@ int main(int argc, char** argv) {
              FormatNumber(static_cast<double>(r.jobs_submitted), 0)});
   }
 
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("experiment4", base.seed,
+                                              base.control_cycle),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
+  }
   std::cout << "Recovery comparison under the identical fault plan (seed "
             << base.seed << "):\n"
             << summary.ToText();

@@ -8,7 +8,7 @@
 // scale: run jobs whose true cost is hidden, profile them, and show the
 // estimates converging to the truth.
 //
-//   ./profiling_demo [--rounds 8] [--per-round 5]
+//   ./profiling_demo [--rounds 8] [--per-round 5] [--trace-out demo.jsonl]
 #include <iostream>
 
 #include "batch/job_profiler.h"
@@ -17,6 +17,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/apc_controller.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
 #include "sim/simulation.h"
 #include "web/work_profiler.h"
 
@@ -25,6 +27,10 @@ int main(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   const int rounds = static_cast<int>(cli.GetInt("rounds", 8));
   const int per_round = static_cast<int>(cli.GetInt("per-round", 5));
+  // One recorder spans all rounds: each round's controller appends its
+  // cycles (the cycle counter restarts per round).
+  const std::string trace_out = cli.GetString("trace-out", "");
+  obs::TraceRecorder recorder;
 
   Rng rng(2026);
 
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
     ApcController::Config cfg;
     cfg.control_cycle = 30.0;
     cfg.costs = VmCostModel::Free();
+    if (!trace_out.empty()) cfg.trace = &recorder;
     ApcController controller(&cluster, &queue, cfg);
     for (int k = 0; k < per_round; ++k) {
       const Megacycles work = true_work * rng.Uniform(0.85, 1.15);
@@ -69,6 +76,14 @@ int main(int argc, char** argv) {
          FormatNumber(
              100.0 * job_profiler.WorkEstimateError("nightly-report", true_work),
              2) + "%"});
+  }
+  if (!trace_out.empty() &&
+      !obs::ExportTrace(trace_out,
+                        obs::MakeTraceContext("profiling_demo", 2026,
+                                              /*control_cycle=*/30.0),
+                        recorder.Traces())) {
+    std::cerr << "Failed to write trace to " << trace_out << '\n';
+    return 1;
   }
   std::cout << "Job workload profiler convergence (true work "
             << FormatNumber(true_work, 0) << " Mc):\n"

@@ -8,24 +8,20 @@ namespace mwp {
 
 Job& JobQueue::Submit(std::unique_ptr<Job> job) {
   MWP_CHECK(job != nullptr);
-  MWP_CHECK_MSG(Find(job->id()) == nullptr,
-                "duplicate job id " << job->id());
+  const auto [it, inserted] = index_.emplace(job->id(), jobs_.size());
+  MWP_CHECK_MSG(inserted, "duplicate job id " << job->id());
   jobs_.push_back(std::move(job));
   return *jobs_.back();
 }
 
 Job* JobQueue::Find(AppId id) {
-  for (auto& j : jobs_) {
-    if (j->id() == id) return j.get();
-  }
-  return nullptr;
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : jobs_[it->second].get();
 }
 
 const Job* JobQueue::Find(AppId id) const {
-  for (const auto& j : jobs_) {
-    if (j->id() == id) return j.get();
-  }
-  return nullptr;
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : jobs_[it->second].get();
 }
 
 std::vector<Job*> JobQueue::All() {

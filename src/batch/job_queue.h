@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "batch/job.h"
@@ -20,11 +21,15 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Transfer ownership of a job into the queue. Ids must be unique.
+  /// Transfer ownership of a job into the queue. Ids must be unique;
+  /// duplicate submission throws. O(1) expected — bulk submission of n jobs
+  /// is O(n) overall (the id index makes the duplicate check a hash lookup,
+  /// not a scan).
   Job& Submit(std::unique_ptr<Job> job);
 
   std::size_t size() const { return jobs_.size(); }
 
+  /// O(1) expected lookup by id; null when unknown.
   Job* Find(AppId id);
   const Job* Find(AppId id) const;
 
@@ -49,6 +54,9 @@ class JobQueue {
 
  private:
   std::vector<std::unique_ptr<Job>> jobs_;
+  /// id → index into jobs_. Jobs are never removed, so the map only grows
+  /// in Submit and stays in sync by construction.
+  std::unordered_map<AppId, std::size_t> index_;
 };
 
 }  // namespace mwp

@@ -279,6 +279,9 @@ void ApcController::RunCycle(Simulation& sim) {
     }
   }
 
+  RecordObservability(stats, result);
+  ++cycle_index_;
+
   if (config_.record_cycles) cycles_.push_back(std::move(stats));
   MWP_LOG_DEBUG << "cycle t=" << now << " jobs=" << snapshot.num_jobs()
                 << " evals=" << result.evaluations
@@ -295,6 +298,84 @@ void ApcController::RunCycle(Simulation& sim) {
     }
   }
   ArmCompletionWatch(sim);
+}
+
+obs::NodeHealthSummary ApcController::HealthSummary() const {
+  obs::NodeHealthSummary health;
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    switch (cluster_->node_state(n)) {
+      case NodeState::kOnline:
+        ++health.online;
+        break;
+      case NodeState::kDegraded:
+        ++health.degraded;
+        break;
+      case NodeState::kOffline:
+        ++health.offline;
+        break;
+    }
+    health.available_cpu += cluster_->available_cpu(n);
+    health.nominal_cpu += cluster_->node(n).total_cpu();
+  }
+  return health;
+}
+
+void ApcController::RecordObservability(
+    const CycleStats& stats, const PlacementOptimizer::Result& result) {
+  if (config_.trace == nullptr && config_.metrics == nullptr) return;
+
+  if (config_.trace != nullptr) {
+    obs::CycleTrace trace;
+    trace.cycle = cycle_index_;
+    trace.time = stats.time;
+    trace.rp_before = result.incumbent_utilities;
+    trace.rp_after = result.evaluation.sorted_utilities;
+    trace.avg_job_rp = stats.avg_job_rp;
+    trace.min_job_rp = stats.min_job_rp;
+    trace.num_jobs = stats.num_jobs;
+    trace.running_jobs = stats.running_jobs;
+    trace.queued_jobs = stats.queued_jobs;
+    trace.suspended_jobs = stats.suspended_jobs;
+    trace.batch_allocation = stats.batch_allocation;
+    trace.tx_allocation = stats.tx_allocation;
+    trace.cluster_utilization = stats.cluster_utilization;
+    trace.starts = stats.starts;
+    trace.stops = stats.stops;
+    trace.suspends = stats.suspends;
+    trace.resumes = stats.resumes;
+    trace.migrations = stats.migrations;
+    trace.failed_operations = stats.failed_operations;
+    trace.evaluations = stats.evaluations;
+    trace.shortcut = stats.shortcut;
+    trace.solver_seconds = stats.solver_seconds;
+    trace.cache_hits = result.cache_hits;
+    trace.cache_misses = result.cache_misses;
+    trace.distribute_calls = result.distribute_calls;
+    trace.node_health = HealthSummary();
+    trace.tx_utilities = stats.tx_utilities;
+    trace.tx_allocations = stats.tx_allocations;
+    config_.trace->Record(std::move(trace));
+  }
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("apc.cycles").Increment();
+    m.counter("apc.evaluations")
+        .Increment(static_cast<std::uint64_t>(stats.evaluations));
+    m.counter("apc.placement_changes")
+        .Increment(static_cast<std::uint64_t>(
+            stats.starts + stats.stops + stats.suspends + stats.resumes +
+            stats.migrations));
+    m.counter("apc.failed_operations")
+        .Increment(static_cast<std::uint64_t>(stats.failed_operations));
+    m.counter("apc.cache_hits").Increment(result.cache_hits);
+    m.counter("apc.cache_misses").Increment(result.cache_misses);
+    m.counter("apc.distribute_calls").Increment(result.distribute_calls);
+    if (stats.shortcut) m.counter("apc.shortcut_cycles").Increment();
+    m.gauge("apc.cluster_utilization").Set(stats.cluster_utilization);
+    if (stats.num_jobs > 0) m.gauge("apc.avg_job_rp").Set(stats.avg_job_rp);
+    m.histogram("apc.solver_seconds").Observe(stats.solver_seconds);
+  }
 }
 
 const TransactionalApp& ApcController::PlacementView(

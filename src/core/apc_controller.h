@@ -27,6 +27,8 @@
 #include "cluster/vm_cost_model.h"
 #include "common/stats.h"
 #include "core/placement_optimizer.h"
+#include "obs/cycle_trace.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "web/request_router.h"
 #include "web/transactional_app.h"
@@ -127,6 +129,12 @@ class ApcController {
     /// later dispatch or cycle). Unset = operations always succeed. Wired to
     /// FaultInjector::ShouldFailOperation by fault-injection experiments.
     std::function<bool(PlacementChange::Kind, AppId)> vm_operation_oracle;
+    /// Observability sinks, both optional and off by default (no per-cycle
+    /// work when unset). Non-owning; must outlive the controller. `trace`
+    /// receives one CycleTrace per control cycle; `metrics` receives the
+    /// apc.* counters, gauges and the solver-time histogram.
+    obs::TraceRecorder* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ApcController(const ClusterSpec* cluster, JobQueue* queue, Config config);
@@ -202,6 +210,13 @@ class ApcController {
   void ComputeFreeResources(std::vector<Megabytes>& mem,
                             std::vector<MHz>& cpu) const;
 
+  /// Emit the cycle's CycleTrace and metrics updates (no-op unless a sink
+  /// is configured). `stats` must be fully populated for the cycle.
+  void RecordObservability(const CycleStats& stats,
+                           const PlacementOptimizer::Result& result);
+  /// Current cluster health, as a trace summary.
+  obs::NodeHealthSummary HealthSummary() const;
+
   static constexpr int kUnbounded = 1 << 30;
 
   const ClusterSpec* cluster_;
@@ -221,6 +236,9 @@ class ApcController {
   int pending_quick_starts_ = 0;
   int pending_quick_resumes_ = 0;
   int pending_failed_ops_ = 0;
+  /// Control cycles run so far (CycleTrace sequence numbers; counted even
+  /// when record_cycles is off).
+  int cycle_index_ = 0;
 };
 
 }  // namespace mwp

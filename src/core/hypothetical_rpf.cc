@@ -41,8 +41,21 @@ HypotheticalRpf::Column HypotheticalRpf::ComputeColumn(
       (js.goal.completion_goal - earliest) / js.goal.relative_goal();
   // Utilities above the top of the grid cannot influence decisions; clamp
   // so that W/V rows stay well-defined (Eq. 4/5 clamp the same way).
-  col.u_max = std::min(raw, grid.back());
-  col.speed_at_max = RequiredSpeedFor(js, t_eval, col.u_max);
+  //
+  // Clamp from below as well: a job whose start_delay pushes even its best
+  // case under the grid floor (hopelessly late) would otherwise ask
+  // RequiredSpeedFor for a deadline so far violated that reconstructing it
+  // cancels catastrophically — the budget can come out non-positive and the
+  // speed infinite. At the floor the achievable utility saturates (the grid
+  // floor stands in for the paper's u_1 = -inf), so the honest answer is
+  // the job's maximum useful speed: run flat out, report the floor.
+  if (raw <= grid.front()) {
+    col.u_max = grid.front();
+    col.speed_at_max = speed_math::MaxUsefulSpeed(*js.profile, js.work_done);
+  } else {
+    col.u_max = std::min(raw, grid.back());
+    col.speed_at_max = RequiredSpeedFor(js, t_eval, col.u_max);
+  }
   MWP_DCHECK(std::isfinite(col.speed_at_max));
 
   const std::size_t rows = grid.size();

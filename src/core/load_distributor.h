@@ -72,8 +72,19 @@ class DistributorScratch {
  public:
   DistributorScratch() = default;
 
+  /// Activity counters, monotone over the scratch's lifetime — never reset
+  /// internally. The optimizer differences them around a solve to report
+  /// per-cycle distributor effort in the observability trace.
+  struct Stats {
+    std::uint64_t distribute_calls = 0;  ///< Distribute() invocations
+    std::uint64_t flow_probes = 0;       ///< max-flow feasibility probes
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   friend class LoadDistributor;
+
+  Stats stats_;
 
   /// Distributor the memo tables belong to; they are cleared when the
   /// scratch is handed to a different distributor.

@@ -8,7 +8,8 @@ namespace mwp {
 
 MixedWorkloadManager::MixedWorkloadManager(ClusterSpec cluster,
                                            ApcController::Config config)
-    : cluster_(std::move(cluster)),
+    : metrics_(config.metrics),
+      cluster_(std::move(cluster)),
       controller_(&cluster_, &queue_, std::move(config)) {}
 
 void MixedWorkloadManager::AddWebApplication(
@@ -29,6 +30,7 @@ AppId MixedWorkloadManager::SubmitJob(Simulation& sim,
       id, job_class + "-" + std::to_string(id), std::move(profile),
       JobGoal::FromFactor(sim.now(), goal_factor, min_exec)));
   job_classes_.emplace_back(id, job_class);
+  if (metrics_ != nullptr) metrics_->counter("mwm.jobs_submitted").Increment();
   controller_.OnJobSubmitted(sim);
   return id;
 }
@@ -61,6 +63,9 @@ void MixedWorkloadManager::RecordNewCompletions() {
     }
     job_profiler_.RecordJob(ClassOf(job->id()), *job);
     profiled_.push_back(job->id());
+    if (metrics_ != nullptr) {
+      metrics_->counter("mwm.jobs_completed").Increment();
+    }
   }
 }
 

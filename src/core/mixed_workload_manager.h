@@ -72,6 +72,9 @@ class MixedWorkloadManager {
   std::string ClassOf(AppId id) const;
   void RecordNewCompletions();
 
+  /// Config::metrics, kept so the facade can count its own traffic
+  /// (mwm.jobs_submitted / mwm.jobs_completed) next to the apc.* series.
+  obs::MetricsRegistry* metrics_ = nullptr;
   ClusterSpec cluster_;
   JobQueue queue_;
   ApcController controller_;

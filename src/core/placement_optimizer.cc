@@ -264,13 +264,37 @@ bool PlacementOptimizer::TryImproveNode(int node, Result& result) const {
   }
 }
 
+std::uint64_t PlacementOptimizer::TotalDistributeCalls() const {
+  std::uint64_t total = 0;
+  for (const EvalScratch& s : scratches_) {
+    total += s.distributor.stats().distribute_calls;
+  }
+  return total;
+}
+
 PlacementOptimizer::Result PlacementOptimizer::Optimize() const {
+  // Scratch and cache counters are monotone; differencing them around the
+  // search scopes the activity to this solve. Single-digit-nanosecond
+  // bookkeeping, so tracing costs nothing when nobody reads the Result
+  // fields.
+  const std::size_t hits_before = evaluator_.cache_hits();
+  const std::size_t misses_before = evaluator_.cache_misses();
+  const std::uint64_t distributes_before = TotalDistributeCalls();
+  Result result = RunSearch();
+  result.cache_hits = evaluator_.cache_hits() - hits_before;
+  result.cache_misses = evaluator_.cache_misses() - misses_before;
+  result.distribute_calls = TotalDistributeCalls() - distributes_before;
+  return result;
+}
+
+PlacementOptimizer::Result PlacementOptimizer::RunSearch() const {
   const PlacementSnapshot& snap = *snapshot_;
   Result result;
   result.placement = snap.current_placement();
   result.evaluation = evaluator_.Evaluate(result.placement, scratches_[0],
                                           nullptr);
   result.evaluations = 1;
+  result.incumbent_utilities = result.evaluation.sorted_utilities;
 
   // Paper's shortcut: when nobody wants more capacity, the incumbent (with
   // freshly rebalanced CPU) is the answer.

@@ -32,6 +32,7 @@
 // (speculative extras beyond the winner are discarded uncounted).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -67,6 +68,16 @@ class PlacementOptimizer {
     PlacementEvaluation evaluation;
     int evaluations = 0;  ///< candidates scored, incumbent included
     bool used_shortcut = false;
+    /// Sorted utility vector of the incumbent placement (the very first
+    /// evaluation, before any change was committed) — the "before" series a
+    /// CycleTrace pairs with evaluation.sorted_utilities.
+    std::vector<Utility> incumbent_utilities;
+    /// Solve-scoped activity deltas: hypothetical-RPF column cache hits and
+    /// misses (the shared evaluation cache) and LoadDistributor calls,
+    /// summed over all search lanes, for this Optimize call only.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t distribute_calls = 0;
   };
 
   explicit PlacementOptimizer(const PlacementSnapshot* snapshot);
@@ -104,6 +115,13 @@ class PlacementOptimizer {
   /// best/best_eval and returns true, or returns false when no candidate
   /// beats the incumbent.
   bool TryImproveNode(int node, Result& result) const;
+
+  /// The search itself; Optimize wraps it to difference the cache and
+  /// distributor counters into the Result.
+  Result RunSearch() const;
+
+  /// Distribute() calls accumulated over all lanes' scratches.
+  std::uint64_t TotalDistributeCalls() const;
 
   bool EvaluationBudgetLeft(const Result& result) const {
     return options_.max_evaluations == 0 ||

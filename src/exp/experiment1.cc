@@ -26,6 +26,7 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
   if (config.apc_tie_tolerance > 0.0) {
     cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
   }
+  cfg.trace = config.trace;
   ApcController controller(&cluster, &queue, cfg);
 
   // Submit all arrivals as events up-front (the schedule is independent of

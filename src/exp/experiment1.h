@@ -30,6 +30,9 @@ struct Experiment1Config {
   /// ablation sweeps this on the identical-job workload, where a tight
   /// tolerance re-admits suspend/resume rotations.
   double apc_tie_tolerance = 0.0;
+  /// Optional per-cycle trace sink (non-owning; must outlive the run).
+  /// Forwarded to ApcController::Config::trace.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct Experiment1Result {

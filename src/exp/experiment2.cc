@@ -48,6 +48,7 @@ Experiment2Result RunExperiment2(const Experiment2Config& config) {
     if (config.apc_tie_tolerance > 0.0) {
       cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
     }
+    cfg.trace = config.trace;
     apc = std::make_unique<ApcController>(&cluster, &queue, cfg);
     apc->Attach(sim, 0.0);
   } else {

@@ -16,6 +16,10 @@
 #include "batch/job_metrics.h"
 #include "sched/baseline_scheduler.h"
 
+namespace mwp::obs {
+class TraceRecorder;
+}  // namespace mwp::obs
+
 namespace mwp {
 
 enum class SchedulerKind { kApc, kEdf, kFcfs };
@@ -34,6 +38,9 @@ struct Experiment2Config {
   /// APC comparison tolerance (0 = library default); the tie-breaking
   /// ablation sweeps this.
   double apc_tie_tolerance = 0.0;
+  /// Optional per-cycle trace sink (APC mode only — the baseline schedulers
+  /// run no control cycles). Non-owning; must outlive the run.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct Experiment2Result {

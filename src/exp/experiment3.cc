@@ -112,6 +112,7 @@ Experiment3Result RunExperiment3(const Experiment3Config& config) {
     ApcController::Config cfg;
     cfg.control_cycle = config.control_cycle;
     cfg.costs = costs;
+    cfg.trace = config.trace;
     ApcController controller(&cluster, &queue, cfg);
     apc = &controller;
     controller.AddTransactionalApp(tx_spec,

@@ -22,6 +22,10 @@
 #include "batch/job_metrics.h"
 #include "web/transactional_app.h"
 
+namespace mwp::obs {
+class TraceRecorder;
+}  // namespace mwp::obs
+
 namespace mwp {
 
 enum class Experiment3Mode {
@@ -57,6 +61,10 @@ struct Experiment3Config {
   /// λ·c as a fraction of the saturation allocation (16,250 MHz here).
   double tx_stability_fraction = 0.125;
   Megabytes tx_memory_per_instance = 1'000.0;
+
+  /// Optional per-cycle trace sink (kDynamicApc mode only). Non-owning;
+  /// must outlive the run.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct Experiment3Result {

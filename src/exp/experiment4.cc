@@ -171,6 +171,7 @@ Experiment4Result RunExperiment4(const Experiment4Config& config) {
       ApcController::Config cfg;
       cfg.control_cycle = config.control_cycle;
       cfg.costs = costs;
+      cfg.trace = config.trace;
       cfg.optimizer.search_threads = config.search_threads;
       cfg.vm_operation_oracle = [&injector](PlacementChange::Kind kind,
                                             AppId app) {

@@ -77,6 +77,9 @@ struct Experiment4Config {
   std::uint64_t seed = 17;
   /// Optimizer search lanes (APC mode); exercised by the determinism test.
   int search_threads = 0;
+  /// Optional per-cycle trace sink (kDynamicApc mode only). Non-owning;
+  /// must outlive the run.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// The crash schedule the resilience comparison uses by default: two

@@ -1,0 +1,36 @@
+#include "obs/build_info.h"
+
+#include <cstring>
+
+// Both macros are injected by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake compiles (clangd, quick syntax checks) working.
+#ifndef MWP_BUILD_TYPE
+#define MWP_BUILD_TYPE "unknown"
+#endif
+#ifndef MWP_GIT_SHA
+#define MWP_GIT_SHA "unknown"
+#endif
+
+namespace mwp::obs {
+
+const char* BuildInfo::BuildType() {
+  return MWP_BUILD_TYPE[0] != '\0' ? MWP_BUILD_TYPE : "unknown";
+}
+
+const char* BuildInfo::GitSha() {
+  return MWP_GIT_SHA[0] != '\0' ? MWP_GIT_SHA : "unknown";
+}
+
+bool BuildInfo::IsRelease() {
+  return std::strcmp(BuildType(), "Release") == 0;
+}
+
+bool BuildInfo::AssertsEnabled() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace mwp::obs

@@ -1,0 +1,28 @@
+// Build provenance: which binary produced a recorded artifact.
+//
+// PR 1's benchmark baseline was silently recorded from a debug build —
+// nothing in the artifact tied the numbers to the build that made them.
+// Every exporter and benchmark now stamps its output with the build type
+// and git revision captured at configure time, so a non-Release artifact
+// is visible (and refusable) at the point of recording.
+#pragma once
+
+namespace mwp::obs {
+
+struct BuildInfo {
+  /// CMAKE_BUILD_TYPE the library was compiled under ("Release", "Debug",
+  /// ...; "unknown" when the build system did not say).
+  static const char* BuildType();
+  /// Short git revision at configure time; "unknown" outside a git
+  /// checkout. Stale by at most one configure, which is what the recorded
+  /// artifacts need (they are re-recorded from fresh builds).
+  static const char* GitSha();
+  /// True when BuildType() is exactly "Release" — the only configuration
+  /// performance artifacts may be recorded from.
+  static bool IsRelease();
+  /// True when MWP_CHECK's debug-only sibling (MWP_DCHECK) is active, i.e.
+  /// the library was compiled without NDEBUG.
+  static bool AssertsEnabled();
+};
+
+}  // namespace mwp::obs

@@ -1,0 +1,22 @@
+#include "obs/cycle_trace.h"
+
+#include <utility>
+
+namespace mwp::obs {
+
+void TraceRecorder::Record(CycleTrace trace) {
+  MutexLock lock(mu_);
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<CycleTrace> TraceRecorder::Traces() const {
+  MutexLock lock(mu_);
+  return traces_;
+}
+
+std::size_t TraceRecorder::size() const {
+  MutexLock lock(mu_);
+  return traces_.size();
+}
+
+}  // namespace mwp::obs

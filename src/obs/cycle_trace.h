@@ -1,0 +1,103 @@
+// Per-control-cycle trace records for the APC loop.
+//
+// A CycleTrace is the observable state of one control cycle (§3.1): the
+// sorted relative-performance vector before and after the solve — the
+// paper's optimization objective, so fairness is auditable per cycle, not
+// just in final tables — plus solver effort (evaluations, cache activity,
+// distributor calls, solver wall time), the placement changes by kind, and
+// the node-health summary the fault overlay exposes. Controllers append
+// records to a TraceRecorder; exporters (trace_export.h) serialize the
+// collected run.
+//
+// All times are simulation seconds except solver_seconds, which is the
+// controller's allowlisted solver stopwatch (host wall time by intent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/units.h"
+
+namespace mwp::obs {
+
+/// Cluster health at the instant the cycle's snapshot was taken (the PR-2
+/// fault overlay's view: online/degraded/offline, health-scaled capacity).
+struct NodeHealthSummary {
+  int online = 0;
+  int degraded = 0;
+  int offline = 0;
+  MHz available_cpu = 0.0;  ///< health-scaled capacity over all nodes
+  MHz nominal_cpu = 0.0;    ///< fault-free capacity of the same nodes
+};
+
+struct CycleTrace {
+  int cycle = 0;       ///< 0-based control-cycle sequence number
+  Seconds time = 0.0;  ///< simulation time of the cycle
+
+  /// Sorted utility vector of the incumbent placement (before the solve)
+  /// and of the committed decision — the lexicographic objective's operand.
+  std::vector<Utility> rp_before;
+  std::vector<Utility> rp_after;
+
+  /// Mean / min hypothetical RP over incomplete jobs; NaN when no jobs.
+  double avg_job_rp = 0.0;
+  double min_job_rp = 0.0;
+
+  int num_jobs = 0;
+  int running_jobs = 0;
+  int queued_jobs = 0;
+  int suspended_jobs = 0;
+
+  MHz batch_allocation = 0.0;
+  MHz tx_allocation = 0.0;
+  double cluster_utilization = 0.0;
+
+  // Placement changes by kind (includes quick-dispatch actions folded into
+  // the cycle, mirroring CycleStats).
+  int starts = 0;
+  int stops = 0;
+  int suspends = 0;
+  int resumes = 0;
+  int migrations = 0;
+  int failed_operations = 0;
+
+  // Solver effort.
+  int evaluations = 0;
+  bool shortcut = false;
+  Seconds solver_seconds = 0.0;
+  /// Hypothetical-RPF column cache activity during this cycle's solve
+  /// (the PR-1 evaluation cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// LoadDistributor::Distribute calls during this cycle's solve.
+  std::uint64_t distribute_calls = 0;
+
+  NodeHealthSummary node_health;
+
+  /// Per transactional app, registration order.
+  std::vector<Utility> tx_utilities;
+  std::vector<MHz> tx_allocations;
+};
+
+/// Append-only collector of CycleTrace records. Mutex-guarded so several
+/// simulations running in worker threads may share one recorder; within one
+/// simulation the controller appends sequentially.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(CycleTrace trace);
+
+  /// Copy of all records so far, in append order.
+  std::vector<CycleTrace> Traces() const;
+  std::size_t size() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<CycleTrace> traces_ MWP_GUARDED_BY(mu_);
+};
+
+}  // namespace mwp::obs

@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace mwp::obs {
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  MWP_CHECK(options_.first_bound > 0.0);
+  MWP_CHECK(options_.growth > 1.0);
+  MWP_CHECK(options_.num_bounds >= 1);
+  bounds_.reserve(static_cast<std::size_t>(options_.num_bounds));
+  double bound = options_.first_bound;
+  for (int i = 0; i < options_.num_bounds; ++i) {
+    bounds_.push_back(bound);
+    bound *= options_.growth;
+  }
+  bucket_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) bucket_counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += bucket_counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::UpperBound(int i) const {
+  MWP_CHECK(i >= 0 && i < num_buckets());
+  if (static_cast<std::size_t>(i) == bounds_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bounds_[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t Histogram::BucketCount(int i) const {
+  MWP_CHECK(i >= 0 && i < num_buckets());
+  return bucket_counts_[static_cast<std::size_t>(i)].load(
+      std::memory_order_relaxed);
+}
+
+void MetricsRegistry::CheckNameFree(const std::string& name) const {
+  const bool taken = counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+                     histograms_.count(name) > 0;
+  if (taken) {
+    throw std::logic_error("metric name '" + name +
+                           "' already registered with a different kind");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    CheckNameFree(name);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    CheckNameFree(name);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      HistogramOptions options) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    CheckNameFree(name);
+    it = histograms_.emplace(name, std::make_unique<Histogram>(options)).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = hist->count();
+    value.sum = hist->sum();
+    const int finite = hist->num_buckets() - 1;
+    for (int i = 0; i < finite; ++i) value.bounds.push_back(hist->UpperBound(i));
+    for (int i = 0; i < hist->num_buckets(); ++i) {
+      value.buckets.push_back(hist->BucketCount(i));
+    }
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+}  // namespace mwp::obs

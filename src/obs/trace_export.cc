@@ -1,0 +1,217 @@
+#include "obs/trace_export.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "obs/build_info.h"
+
+namespace mwp::obs {
+namespace {
+
+/// JSON has no NaN/Infinity literals; non-finite doubles become null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return FormatDouble(value);
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+template <typename T>
+std::string JsonArray(const std::vector<T>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonNumber(static_cast<double>(values[i]));
+  }
+  out += ']';
+  return out;
+}
+
+template <typename T>
+std::string JoinedCell(const std::vector<T>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ';';
+    out += FormatDouble(static_cast<double>(values[i]));
+  }
+  return out;
+}
+
+void WriteHeaderRecord(std::ostream& os, const TraceContext& context,
+                       std::size_t num_cycles) {
+  os << "{\"record\":\"header\",\"schema_version\":" << kTraceSchemaVersion
+     << ",\"experiment\":" << JsonString(context.experiment)
+     << ",\"seed\":" << context.seed
+     << ",\"control_cycle\":" << JsonNumber(context.control_cycle)
+     << ",\"build_type\":" << JsonString(context.build_type)
+     << ",\"git_sha\":" << JsonString(context.git_sha)
+     << ",\"num_cycles\":" << num_cycles << "}\n";
+}
+
+void WriteCycleRecord(std::ostream& os, const CycleTrace& t) {
+  os << "{\"record\":\"cycle\""
+     << ",\"cycle\":" << t.cycle
+     << ",\"time\":" << JsonNumber(t.time)
+     << ",\"avg_job_rp\":" << JsonNumber(t.avg_job_rp)
+     << ",\"min_job_rp\":" << JsonNumber(t.min_job_rp)
+     << ",\"num_jobs\":" << t.num_jobs
+     << ",\"running_jobs\":" << t.running_jobs
+     << ",\"queued_jobs\":" << t.queued_jobs
+     << ",\"suspended_jobs\":" << t.suspended_jobs
+     << ",\"batch_allocation\":" << JsonNumber(t.batch_allocation)
+     << ",\"tx_allocation\":" << JsonNumber(t.tx_allocation)
+     << ",\"cluster_utilization\":" << JsonNumber(t.cluster_utilization)
+     << ",\"starts\":" << t.starts
+     << ",\"stops\":" << t.stops
+     << ",\"suspends\":" << t.suspends
+     << ",\"resumes\":" << t.resumes
+     << ",\"migrations\":" << t.migrations
+     << ",\"failed_operations\":" << t.failed_operations
+     << ",\"evaluations\":" << t.evaluations
+     << ",\"shortcut\":" << (t.shortcut ? "true" : "false")
+     << ",\"solver_seconds\":" << JsonNumber(t.solver_seconds)
+     << ",\"cache_hits\":" << t.cache_hits
+     << ",\"cache_misses\":" << t.cache_misses
+     << ",\"distribute_calls\":" << t.distribute_calls
+     << ",\"nodes_online\":" << t.node_health.online
+     << ",\"nodes_degraded\":" << t.node_health.degraded
+     << ",\"nodes_offline\":" << t.node_health.offline
+     << ",\"available_cpu\":" << JsonNumber(t.node_health.available_cpu)
+     << ",\"nominal_cpu\":" << JsonNumber(t.node_health.nominal_cpu)
+     << ",\"rp_before\":" << JsonArray(t.rp_before)
+     << ",\"rp_after\":" << JsonArray(t.rp_after)
+     << ",\"tx_utilities\":" << JsonArray(t.tx_utilities)
+     << ",\"tx_allocations\":" << JsonArray(t.tx_allocations) << "}\n";
+}
+
+constexpr const char* kCsvColumns =
+    "cycle,time,avg_job_rp,min_job_rp,num_jobs,running_jobs,queued_jobs,"
+    "suspended_jobs,batch_allocation,tx_allocation,cluster_utilization,"
+    "starts,stops,suspends,resumes,migrations,failed_operations,evaluations,"
+    "shortcut,solver_seconds,cache_hits,cache_misses,distribute_calls,"
+    "nodes_online,nodes_degraded,nodes_offline,available_cpu,nominal_cpu,"
+    "rp_before,rp_after,tx_utilities,tx_allocations";
+
+}  // namespace
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  MWP_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+TraceContext MakeTraceContext(std::string experiment, std::uint64_t seed,
+                              Seconds control_cycle) {
+  TraceContext context;
+  context.experiment = std::move(experiment);
+  context.seed = seed;
+  context.control_cycle = control_cycle;
+  context.build_type = BuildInfo::BuildType();
+  context.git_sha = BuildInfo::GitSha();
+  return context;
+}
+
+void WriteTraceJsonl(std::ostream& os, const TraceContext& context,
+                     std::span<const CycleTrace> traces) {
+  WriteHeaderRecord(os, context, traces.size());
+  for (const CycleTrace& t : traces) WriteCycleRecord(os, t);
+}
+
+void WriteTraceCsv(std::ostream& os, const TraceContext& context,
+                   std::span<const CycleTrace> traces) {
+  os << "# mwp-cycle-trace schema_version=" << kTraceSchemaVersion
+     << " experiment=" << context.experiment << " seed=" << context.seed
+     << " control_cycle=" << FormatDouble(context.control_cycle)
+     << " build_type=" << context.build_type
+     << " git_sha=" << context.git_sha << "\n"
+     << kCsvColumns << "\n";
+  for (const CycleTrace& t : traces) {
+    os << t.cycle << ',' << FormatDouble(t.time) << ','
+       << FormatDouble(t.avg_job_rp) << ',' << FormatDouble(t.min_job_rp)
+       << ',' << t.num_jobs << ',' << t.running_jobs << ',' << t.queued_jobs
+       << ',' << t.suspended_jobs << ',' << FormatDouble(t.batch_allocation)
+       << ',' << FormatDouble(t.tx_allocation) << ','
+       << FormatDouble(t.cluster_utilization) << ',' << t.starts << ','
+       << t.stops << ',' << t.suspends << ',' << t.resumes << ','
+       << t.migrations << ',' << t.failed_operations << ',' << t.evaluations
+       << ',' << (t.shortcut ? 1 : 0) << ',' << FormatDouble(t.solver_seconds)
+       << ',' << t.cache_hits << ',' << t.cache_misses << ','
+       << t.distribute_calls << ',' << t.node_health.online << ','
+       << t.node_health.degraded << ',' << t.node_health.offline << ','
+       << FormatDouble(t.node_health.available_cpu) << ','
+       << FormatDouble(t.node_health.nominal_cpu) << ','
+       << JoinedCell(t.rp_before) << ',' << JoinedCell(t.rp_after) << ','
+       << JoinedCell(t.tx_utilities) << ',' << JoinedCell(t.tx_allocations)
+       << "\n";
+  }
+}
+
+bool ExportTrace(const std::string& path, const TraceContext& context,
+                 std::span<const CycleTrace> traces) {
+  std::ofstream out(path);
+  if (!out) {
+    MWP_LOG_ERROR << "cannot open trace output file '" << path << "'";
+    return false;
+  }
+  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  if (csv) {
+    WriteTraceCsv(out, context, traces);
+  } else {
+    WriteTraceJsonl(out, context, traces);
+  }
+  out.flush();
+  if (!out) {
+    MWP_LOG_ERROR << "error while writing trace output file '" << path << "'";
+    return false;
+  }
+  return true;
+}
+
+void WriteMetricsJsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    os << "{\"record\":\"counter\",\"name\":" << JsonString(c.name)
+       << ",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "{\"record\":\"gauge\",\"name\":" << JsonString(g.name)
+       << ",\"value\":" << JsonNumber(g.value) << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "{\"record\":\"histogram\",\"name\":" << JsonString(h.name)
+       << ",\"count\":" << h.count << ",\"sum\":" << JsonNumber(h.sum)
+       << ",\"bounds\":" << JsonArray(h.bounds)
+       << ",\"buckets\":" << JsonArray(h.buckets) << "}\n";
+  }
+}
+
+}  // namespace mwp::obs

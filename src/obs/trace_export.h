@@ -1,0 +1,69 @@
+// Versioned exporters for CycleTrace runs: JSON-lines and CSV.
+//
+// Schema v1 (kTraceSchemaVersion):
+//   - JSONL: line 1 is a header record
+//       {"record":"header","schema_version":1,"experiment":...,"seed":...,
+//        "control_cycle":...,"build_type":...,"git_sha":...,"num_cycles":...}
+//     followed by one {"record":"cycle",...} object per control cycle with a
+//     fixed key order (see trace_export.cc). NaN (e.g. avg_job_rp with no
+//     jobs) is emitted as JSON null.
+//   - CSV: line 1 is a '#'-prefixed header carrying the same context,
+//     line 2 the column names, then one row per cycle; vector-valued fields
+//     (rp_before, rp_after, tx_*) are ';'-joined within their cell and NaN
+//     is spelled "nan".
+//
+// Doubles are serialized with std::to_chars shortest round-trip formatting,
+// so re-parsing an export reproduces the recorded values bit-for-bit and
+// golden files are stable across hosts. Any field addition, removal or
+// reorder MUST bump kTraceSchemaVersion; the golden-file tests exist to make
+// an unversioned change fail loudly. tools/trace/validate_trace.py checks
+// emitted JSONL against this schema in CI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "common/units.h"
+#include "obs/cycle_trace.h"
+#include "obs/metrics.h"
+
+namespace mwp::obs {
+
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Run-level provenance written into every export's header. Fill
+/// `experiment`, `seed` and `control_cycle` per run; MakeTraceContext stamps
+/// the build fields from BuildInfo.
+struct TraceContext {
+  std::string experiment;      ///< e.g. "experiment1"
+  std::uint64_t seed = 0;      ///< RNG seed of the run
+  Seconds control_cycle = 0.0; ///< controller period
+  std::string build_type;      ///< BuildInfo::BuildType() of the producer
+  std::string git_sha;         ///< BuildInfo::GitSha() of the producer
+};
+
+/// TraceContext with build_type / git_sha filled from BuildInfo.
+TraceContext MakeTraceContext(std::string experiment, std::uint64_t seed,
+                              Seconds control_cycle);
+
+void WriteTraceJsonl(std::ostream& os, const TraceContext& context,
+                     std::span<const CycleTrace> traces);
+void WriteTraceCsv(std::ostream& os, const TraceContext& context,
+                   std::span<const CycleTrace> traces);
+
+/// Writes to `path`, choosing CSV when the path ends in ".csv" and JSONL
+/// otherwise. Returns false (after logging) when the file cannot be written.
+bool ExportTrace(const std::string& path, const TraceContext& context,
+                 std::span<const CycleTrace> traces);
+
+/// Appends one JSONL record per instrument ({"record":"counter"|"gauge"|
+/// "histogram",...}) — the registry's companion to the cycle records.
+void WriteMetricsJsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Shortest round-trip decimal form of `value` ("nan"/"inf"/"-inf" for
+/// non-finite values) — the exporters' number format, exposed for tests.
+std::string FormatDouble(double value);
+
+}  // namespace mwp::obs

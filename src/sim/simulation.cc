@@ -3,7 +3,19 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mwp {
+
+void Simulation::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    executed_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
+    return;
+  }
+  executed_counter_ = &metrics->counter("sim.events_executed");
+  cancelled_counter_ = &metrics->counter("sim.events_cancelled");
+}
 
 EventHandle Simulation::ScheduleAt(Seconds at, EventFn fn) {
   MWP_CHECK_MSG(at >= now_, "event scheduled in the past: at=" << at
@@ -44,7 +56,11 @@ void Simulation::PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
 void Simulation::Cancel(EventHandle handle) {
   if (!handle.valid()) return;
   if (handle.id_ == executing_id_) executing_cancelled_ = true;
-  handlers_.erase(handle.id_);  // releases the callback's closure now
+  // Erasing releases the callback's closure now, not at fire time.
+  const bool erased = handlers_.erase(handle.id_) > 0;
+  if (erased && cancelled_counter_ != nullptr) {
+    cancelled_counter_->Increment();
+  }
 }
 
 bool Simulation::Step(Seconds horizon) {
@@ -63,6 +79,7 @@ bool Simulation::Step(Seconds horizon) {
     MWP_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
+    if (executed_counter_ != nullptr) executed_counter_->Increment();
     const std::uint64_t prev_id = std::exchange(executing_id_, ev.id);
     const bool prev_cancelled = std::exchange(executing_cancelled_, false);
     fn(*this);

@@ -22,6 +22,11 @@
 
 namespace mwp {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 class Simulation;
 
 /// An event handler. Receives the owning simulation, whose clock already
@@ -85,6 +90,12 @@ class Simulation {
   std::size_t pending_events() const { return handlers_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Attach a metrics registry: executed and cancelled events are counted
+  /// under "sim.events_executed" / "sim.events_cancelled". The registry
+  /// must outlive the simulation; pass nullptr to detach. Off by default —
+  /// the engine takes no locks and pays nothing when unset.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   /// Queue entries are plain data; the callback lives in handlers_ keyed by
   /// id, so Cancel can release it without disturbing the heap. An entry
@@ -112,6 +123,10 @@ class Simulation {
   /// this, since the executing handler is already out of the map.
   std::uint64_t executing_id_ = 0;
   bool executing_cancelled_ = false;
+  /// Registry-owned counters resolved once in set_metrics; null when no
+  /// registry is attached (the common case — increments are branch-guarded).
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
 
   void PushPeriodicTick(Seconds at, std::uint64_t id, Seconds period,
                         std::shared_ptr<EventFn> body);

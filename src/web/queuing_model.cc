@@ -85,16 +85,23 @@ Utility QueuingModel::UtilityAt(MHz allocation) const {
   return std::max(u, kUtilityFloor);
 }
 
+Utility QueuingModel::utility_floor() const { return UtilityAt(0.0); }
+
 MHz QueuingModel::AllocationFor(Utility target) const {
   if (target >= max_utility()) return params_.saturation_allocation;
-  const Seconds t_target =
-      params_.response_time_goal * (1.0 - std::max(target, kUtilityFloor));
+  // Utility saturation (see the header's inversion contract): at or below
+  // the floor no allocation can do worse than granting nothing, so the
+  // inverse is 0 MHz — the *utility* is what saturates, keeping the round
+  // trip UtilityAt(AllocationFor(u)) == u exact on the whole valid range.
+  if (target <= utility_floor()) return 0.0;
+  const Seconds t_target = params_.response_time_goal * (1.0 - target);
   const MHz rho = stability_boundary();
   const MHz knee = rho + linear_margin_;
   const Seconds t_knee =
       params_.min_response_time + params_.demand_per_request / linear_margin_;
   if (t_target >= t_knee) {
-    // Invert the linear extension.
+    // Invert the linear extension. target > utility_floor() bounds w above
+    // 0; the max only absorbs rounding error within one ulp of the floor.
     const double slope =
         params_.demand_per_request / (linear_margin_ * linear_margin_);
     const MHz w = knee - (t_target - t_knee) / slope;

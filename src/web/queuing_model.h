@@ -56,7 +56,25 @@ class QueuingModel : public Rpf {
   /// Minimum capacity for stability: λ·c.
   MHz stability_boundary() const;
 
+  /// Lowest reportable utility: UtilityAt(0), the utility of granting this
+  /// application nothing. Every achievable utility lies in
+  /// [utility_floor(), max_utility()].
+  Utility utility_floor() const;
+
   // Rpf interface.
+  //
+  // Inversion contract: AllocationFor saturates the reported *utility*, not
+  // the allocation. Targets at or above max_utility() map to ω_sat; targets
+  // at or below utility_floor() map to 0 MHz (no allocation can do worse
+  // than granting nothing — the model's utility saturates there, see
+  // UtilityAt's kUtilityFloor clamp). In between the model is strictly
+  // monotone, so the round trip
+  //     UtilityAt(AllocationFor(u)) ≈ u
+  // holds exactly for every u in [utility_floor(), max_utility()] — the
+  // property progressive filling (LoadDistributor) relies on when it probes
+  // allocations at a common utility level. Callers asking for a deeply
+  // violated target must not expect a negative or magic allocation; they get
+  // 0 MHz and can detect saturation by comparing against utility_floor().
   Utility UtilityAt(MHz allocation) const override;
   MHz AllocationFor(Utility target) const override;
   Utility max_utility() const override;

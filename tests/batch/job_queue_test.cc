@@ -65,6 +65,31 @@ TEST(JobQueueTest, ViewsReflectStatus) {
   EXPECT_EQ(q.num_completed(), 1u);
 }
 
+TEST(JobQueueTest, BulkSubmitFindsEveryJob) {
+  // Submit O(n) exercises the id → index map (Submit/Find used to scan the
+  // whole vector, making experiment setup quadratic in job count).
+  JobQueue q;
+  constexpr AppId kCount = 500;
+  for (AppId id = 1; id <= kCount; ++id) q.Submit(MakeJob(id * 3));
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kCount));
+  for (AppId id = 1; id <= kCount; ++id) {
+    const Job* job = q.Find(id * 3);
+    ASSERT_NE(job, nullptr) << "id " << id * 3;
+    EXPECT_EQ(job->id(), id * 3);
+  }
+  EXPECT_EQ(q.Find(2), nullptr);  // never submitted (ids are multiples of 3)
+}
+
+TEST(JobQueueTest, DuplicateRejectedAfterBulkSubmit) {
+  JobQueue q;
+  for (AppId id = 1; id <= 100; ++id) q.Submit(MakeJob(id));
+  EXPECT_THROW(q.Submit(MakeJob(57)), std::logic_error);
+  // The failed submit must not have corrupted the queue or the index.
+  EXPECT_EQ(q.size(), 100u);
+  ASSERT_NE(q.Find(57), nullptr);
+  EXPECT_EQ(q.Find(57)->id(), 57);
+}
+
 TEST(JobQueueTest, NullSubmitThrows) {
   JobQueue q;
   EXPECT_THROW(q.Submit(nullptr), std::logic_error);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mwp {
 namespace {
 
@@ -95,6 +97,32 @@ TEST(HypotheticalRpfTest, EvaluateScenario2Placement1Equalizes) {
   EXPECT_NEAR(outcomes[0].utility, 0.655, 0.02);
   EXPECT_NEAR(outcomes[1].utility, 0.655, 0.02);
   EXPECT_NEAR(outcomes[0].speed + outcomes[1].speed, 1'000.0, 1.0);
+}
+
+TEST(HypotheticalRpfTest, HopelesslyLateJobClampsToGridFloor) {
+  // Regression: a job so far past its goal that its raw maximum achievable
+  // RP lies below the grid floor. Reconstructing the deadline from such a
+  // u_max cancels catastrophically (budget ≤ 0 → infinite required speed);
+  // the column must instead clamp to the floor with the job's finite
+  // flat-out speed.
+  JobProfile p = JobProfile::SingleStage(1'000.0, 1'000.0, 750.0);
+  JobGoal goal = JobGoal::FromFactor(0.0, 2.0, 1.0);  // goal at t = 2 s
+  std::vector<HypotheticalJobState> states = {{&p, goal, 0.0, 0.0}};
+  // Evaluated 1,000 s in: raw u ≈ (2 - 1001) / 2 ≈ -500, far below -64.
+  HypotheticalRpf hyp(std::move(states), /*t_eval=*/1'000.0);
+
+  EXPECT_DOUBLE_EQ(hyp.MaxAchievable(0), hyp.grid_point(0));
+  for (const Utility u : {hyp.grid_point(0), -10.0, 0.0, 0.5, 1.0}) {
+    const MHz w = hyp.SpeedFor(0, u);
+    EXPECT_TRUE(std::isfinite(w)) << "u=" << u;
+    EXPECT_GE(w, 0.0) << "u=" << u;
+    // Saturated at u_max: every target costs the same flat-out speed.
+    EXPECT_DOUBLE_EQ(w, hyp.SpeedFor(0, hyp.grid_point(0))) << "u=" << u;
+  }
+  const auto outcomes = hyp.Evaluate(10'000.0);
+  EXPECT_TRUE(std::isfinite(outcomes[0].speed));
+  EXPECT_TRUE(std::isfinite(outcomes[0].utility));
+  EXPECT_LE(outcomes[0].utility, hyp.grid_point(0) + 1e-9);
 }
 
 TEST(HypotheticalRpfTest, AggregateAllocationForSumsJobSpeeds) {

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mwp::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterFindsOrCreates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("apc.cycles");
+  c.Increment();
+  c.Increment(3);
+  EXPECT_EQ(c.value(), 4u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("apc.cycles"), &c);
+  EXPECT_EQ(registry.counter("apc.cycles").value(), 4u);
+}
+
+TEST(MetricsRegistryTest, GaugeHoldsLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("utilization");
+  g.Set(0.25);
+  g.Set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  EXPECT_EQ(&registry.gauge("utilization"), &g);
+}
+
+TEST(MetricsRegistryTest, CrossKindNameReuseThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x"), std::logic_error);
+  registry.gauge("y");
+  EXPECT_THROW(registry.counter("y"), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreLogScale) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;  // bounds 1, 2, 4, 8 + overflow
+  Histogram& h = registry.histogram("solver", options);
+  ASSERT_EQ(h.num_buckets(), 5);
+  EXPECT_DOUBLE_EQ(h.UpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.UpperBound(3), 8.0);
+  EXPECT_TRUE(std::isinf(h.UpperBound(4)));
+
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.5);   // bucket 1
+  h.Observe(8.0);   // bucket 3 (bounds are inclusive)
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+}
+
+TEST(MetricsRegistryTest, InvalidHistogramOptionsThrow) {
+  MetricsRegistry registry;
+  HistogramOptions bad;
+  bad.growth = 1.0;
+  EXPECT_THROW(registry.histogram("g", bad), std::logic_error);
+  bad = HistogramOptions{};
+  bad.first_bound = 0.0;
+  EXPECT_THROW(registry.histogram("f", bad), std::logic_error);
+  bad = HistogramOptions{};
+  bad.num_bounds = 0;
+  EXPECT_THROW(registry.histogram("n", bad), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Increment(2);
+  registry.counter("a.count").Increment(1);
+  registry.gauge("z.gauge").Set(1.5);
+  registry.histogram("h.hist").Observe(0.25);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b.count");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 0.25);
+  EXPECT_EQ(snap.histograms[0].buckets.size(),
+            snap.histograms[0].bounds.size() + 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesLoseNothing) {
+  // Registration takes the lock; updates afterwards are relaxed atomics.
+  // Hammer one counter and one histogram from several threads and check
+  // that every observation landed.
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hot");
+  Histogram& h = registry.histogram("hot.hist");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace mwp::obs

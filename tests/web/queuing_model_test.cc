@@ -148,6 +148,46 @@ TEST(QueuingModelTest, InfeasibleCalibrationThrows) {
       std::logic_error);
 }
 
+TEST(QueuingModelTest, UtilityFloorIsZeroAllocationUtility) {
+  const QueuingModel m = Simple();
+  EXPECT_DOUBLE_EQ(m.utility_floor(), m.UtilityAt(0.0));
+  EXPECT_GE(m.utility_floor(), kUtilityFloor);
+}
+
+TEST(QueuingModelTest, AllocationForSaturatesUtilityNotAllocation) {
+  // The inversion contract: a target below what zero allocation already
+  // reports costs nothing (0 MHz), and a target at or above the ceiling
+  // costs exactly the saturation allocation. The old behavior clamped the
+  // *target* at kUtilityFloor and then inverted, demanding a nonzero
+  // allocation for utilities the model can never report.
+  const QueuingModel m = Simple();
+  EXPECT_DOUBLE_EQ(m.AllocationFor(m.utility_floor()), 0.0);
+  EXPECT_DOUBLE_EQ(m.AllocationFor(m.utility_floor() - 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.AllocationFor(kUtilityFloor), 0.0);
+  EXPECT_DOUBLE_EQ(m.AllocationFor(-1e9), 0.0);
+  EXPECT_DOUBLE_EQ(m.AllocationFor(m.max_utility()),
+                   m.saturation_allocation());
+}
+
+TEST(QueuingModelTest, RoundTripPropertyAcrossReportableRange) {
+  // UtilityAt(AllocationFor(u)) ≈ u on the whole reportable range
+  // [utility_floor(), max_utility()], endpoints included.
+  for (const QueuingModel& m :
+       {Simple(),
+        QueuingModel::Calibrate(1'000.0, 1.0, 0.66, 130'000.0, 0.715)}) {
+    const Utility lo = m.utility_floor();
+    const Utility hi = m.max_utility();
+    ASSERT_LT(lo, hi);
+    for (int i = 0; i <= 200; ++i) {
+      const Utility u = lo + (hi - lo) * (static_cast<double>(i) / 200.0);
+      const MHz w = m.AllocationFor(u);
+      EXPECT_GE(w, 0.0) << "u=" << u;
+      EXPECT_LE(w, m.saturation_allocation()) << "u=" << u;
+      EXPECT_NEAR(m.UtilityAt(w), u, 1e-6) << "u=" << u;
+    }
+  }
+}
+
 class QueuingRoundTrip : public ::testing::TestWithParam<double> {};
 
 TEST_P(QueuingRoundTrip, AllocationUtilityConsistency) {

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate a CycleTrace JSONL export against trace schema v1.
+
+Usage: validate_trace.py TRACE.jsonl [--min-cycles N]
+
+Checks, in order:
+  * line 1 is a header record with schema_version == 1 and the full
+    provenance key set (experiment, seed, control_cycle, build_type,
+    git_sha, num_cycles);
+  * every further line is a cycle record carrying exactly the schema v1
+    key set, with the right JSON types (null allowed where the producer
+    emits NaN: avg_job_rp, min_job_rp and other double fields);
+  * cycle numbers and counts are internally consistent (monotone cycle
+    sequence per run segment, num_cycles == number of cycle records).
+
+Exit status 0 when the file validates, 1 otherwise (with a line-numbered
+diagnostic on stderr). CI runs this on a scaled-down Experiment 1 export;
+the C++ golden-file tests pin the byte-level format, this tool pins the
+semantic shape that downstream consumers rely on.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+HEADER_KEYS = {
+    "record": str,
+    "schema_version": int,
+    "experiment": str,
+    "seed": int,
+    "control_cycle": (int, float),
+    "build_type": str,
+    "git_sha": str,
+    "num_cycles": int,
+}
+
+# Field -> (type(s), nullable). Order is not checked here (the golden-file
+# unit tests pin byte order); presence and types are.
+NUMBER = (int, float)
+CYCLE_KEYS = {
+    "record": (str, False),
+    "cycle": (int, False),
+    "time": (NUMBER, True),
+    "avg_job_rp": (NUMBER, True),
+    "min_job_rp": (NUMBER, True),
+    "num_jobs": (int, False),
+    "running_jobs": (int, False),
+    "queued_jobs": (int, False),
+    "suspended_jobs": (int, False),
+    "batch_allocation": (NUMBER, True),
+    "tx_allocation": (NUMBER, True),
+    "cluster_utilization": (NUMBER, True),
+    "starts": (int, False),
+    "stops": (int, False),
+    "suspends": (int, False),
+    "resumes": (int, False),
+    "migrations": (int, False),
+    "failed_operations": (int, False),
+    "evaluations": (int, False),
+    "shortcut": (bool, False),
+    "solver_seconds": (NUMBER, True),
+    "cache_hits": (int, False),
+    "cache_misses": (int, False),
+    "distribute_calls": (int, False),
+    "nodes_online": (int, False),
+    "nodes_degraded": (int, False),
+    "nodes_offline": (int, False),
+    "available_cpu": (NUMBER, True),
+    "nominal_cpu": (NUMBER, True),
+    "rp_before": (list, False),
+    "rp_after": (list, False),
+    "tx_utilities": (list, False),
+    "tx_allocations": (list, False),
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(line_no, message):
+    raise ValidationError(f"line {line_no}: {message}")
+
+
+def check_header(obj, line_no):
+    if obj.get("record") != "header":
+        fail(line_no, f"first record must be a header, got {obj.get('record')!r}")
+    if set(obj) != set(HEADER_KEYS):
+        extra = set(obj) - set(HEADER_KEYS)
+        missing = set(HEADER_KEYS) - set(obj)
+        fail(line_no, f"header key mismatch: extra={sorted(extra)} "
+                      f"missing={sorted(missing)}")
+    for key, expected in HEADER_KEYS.items():
+        if not isinstance(obj[key], expected):
+            fail(line_no, f"header field {key!r} has type "
+                          f"{type(obj[key]).__name__}")
+    if obj["schema_version"] != SCHEMA_VERSION:
+        fail(line_no, f"schema_version {obj['schema_version']} != "
+                      f"{SCHEMA_VERSION}")
+    return obj["num_cycles"]
+
+
+def check_cycle(obj, line_no):
+    if obj.get("record") != "cycle":
+        fail(line_no, f"expected a cycle record, got {obj.get('record')!r}")
+    if set(obj) != set(CYCLE_KEYS):
+        extra = set(obj) - set(CYCLE_KEYS)
+        missing = set(CYCLE_KEYS) - set(obj)
+        fail(line_no, f"cycle key mismatch: extra={sorted(extra)} "
+                      f"missing={sorted(missing)}")
+    for key, (expected, nullable) in CYCLE_KEYS.items():
+        value = obj[key]
+        if value is None:
+            if not nullable:
+                fail(line_no, f"field {key!r} must not be null")
+            continue
+        # bool is an int subclass in Python; don't let true pass as an int.
+        if isinstance(value, bool) and expected is not bool:
+            fail(line_no, f"field {key!r} has type bool")
+        if not isinstance(value, expected):
+            fail(line_no, f"field {key!r} has type {type(value).__name__}")
+    for key in ("rp_before", "rp_after", "tx_utilities", "tx_allocations"):
+        for element in obj[key]:
+            if element is not None and not isinstance(element, NUMBER):
+                fail(line_no, f"array {key!r} holds a "
+                              f"{type(element).__name__}")
+    if len(obj["rp_after"]) != obj["num_jobs"] + len(obj["tx_utilities"]):
+        fail(line_no, "rp_after length != num_jobs + tx entities")
+
+
+def validate(path, min_cycles):
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValidationError("empty file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        fail(1, f"invalid JSON: {err}")
+    declared = check_header(header, 1)
+
+    previous_cycle = None
+    for line_no, line in enumerate(lines[1:], start=2):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(line_no, f"invalid JSON: {err}")
+        check_cycle(obj, line_no)
+        # Sweep exports concatenate runs; within a run cycles advance by 1.
+        if previous_cycle is not None and obj["cycle"] not in (
+                previous_cycle + 1, 0):
+            fail(line_no, f"cycle jumped from {previous_cycle} to "
+                          f"{obj['cycle']}")
+        previous_cycle = obj["cycle"]
+
+    count = len(lines) - 1
+    if count != declared:
+        raise ValidationError(
+            f"header declares {declared} cycles but file has {count}")
+    if count < min_cycles:
+        raise ValidationError(
+            f"expected at least {min_cycles} cycles, found {count}")
+    return count
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument("--min-cycles", type=int, default=1,
+                        help="minimum number of cycle records (default 1)")
+    args = parser.parse_args()
+    try:
+        count = validate(args.trace, args.min_cycles)
+    except ValidationError as err:
+        print(f"{args.trace}: INVALID — {err}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK ({count} cycle records, schema v{SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
