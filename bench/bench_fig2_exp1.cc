@@ -7,8 +7,10 @@
 // of disruptive placement changes, and the per-cycle solver time.
 //
 //   ./bench_fig2_exp1 [--jobs 800] [--nodes 25] [--interarrival 260]
-//                     [--trace-out exp1.jsonl]
+//                     [--trace-out exp1.jsonl] [--trace-full]
+//                     [--run-id exp1-s42]
 #include <iostream>
+#include <string>
 
 #include "common/cli.h"
 #include "common/table.h"
@@ -28,8 +30,17 @@ int main(int argc, char** argv) {
   const bool csv = cli.GetBool("csv", false);
   const Seconds bucket = cli.GetDouble("bucket", 10'000.0);
   const std::string trace_out = cli.GetString("trace-out", "");
+  // --trace-full embeds the optimizer input/decision in every cycle record
+  // so the export can be re-run through replay_apc.
+  const bool trace_full = cli.GetBool("trace-full", false);
+  const std::string run_id =
+      cli.GetString("run-id", "exp1-s" + std::to_string(cfg.seed));
   obs::TraceRecorder recorder;
-  if (!trace_out.empty()) cfg.trace = &recorder;
+  if (!trace_out.empty()) {
+    cfg.trace = &recorder;
+    cfg.trace_run_id = run_id;
+    cfg.trace_full = trace_full;
+  }
 
   std::cout << "Experiment One: " << cfg.num_jobs << " identical jobs "
             << "(68,640,000 Mc @ 3,900 MHz, 4,320 MB, goal factor 2.7) on "
@@ -43,7 +54,7 @@ int main(int argc, char** argv) {
     const auto traces = recorder.Traces();
     if (obs::ExportTrace(trace_out,
                          obs::MakeTraceContext("experiment1", cfg.seed,
-                                               cfg.control_cycle),
+                                               cfg.control_cycle, run_id),
                          traces)) {
       std::cout << "Wrote " << traces.size() << " cycle traces to "
                 << trace_out << "\n\n";

@@ -2,7 +2,7 @@
 // across the inter-arrival sweep 400 s … 50 s.
 //
 //   ./bench_fig3_goal_satisfaction [--jobs 800] [--interarrivals 400,350,...]
-//                                  [--trace-out exp2.jsonl]
+//                                  [--trace-out exp2.jsonl] [--trace-full]
 #include <iostream>
 #include <sstream>
 
@@ -33,8 +33,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
   const bool csv = cli.GetBool("csv", false);
   // One recorder spans the whole sweep: the APC runs' cycle traces are
-  // concatenated in sweep order (each run restarts its cycle counter).
+  // concatenated in sweep order (each run restarts its cycle counter and is
+  // tagged with a per-run id like "ia200"; the sweep header carries none).
   const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
   obs::TraceRecorder recorder;
 
   std::cout << "Experiment Two / Figure 3: % of jobs meeting their "
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       if (!trace_out.empty() && kind == SchedulerKind::kApc) {
         cfg.trace = &recorder;
+        cfg.trace_run_id = "ia" + FormatNumber(ia, 0);
+        cfg.trace_full = trace_full;
       }
       const Experiment2Result r = RunExperiment2(cfg);
       row.push_back(FormatNumber(100.0 * r.deadline_satisfaction, 1) + "%");

@@ -4,7 +4,7 @@
 // rate with many fewer changes.
 //
 //   ./bench_fig4_placement_changes [--jobs 800] [--interarrivals ...]
-//                                  [--trace-out exp2.jsonl]
+//                                  [--trace-out exp2.jsonl] [--trace-full]
 #include <iostream>
 #include <sstream>
 
@@ -35,8 +35,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.GetInt("seed", 7));
   const bool csv = cli.GetBool("csv", false);
   // One recorder spans the whole sweep: the APC runs' cycle traces are
-  // concatenated in sweep order (each run restarts its cycle counter).
+  // concatenated in sweep order (each run restarts its cycle counter and is
+  // tagged with a per-run id like "ia200"; the sweep header carries none).
   const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
   obs::TraceRecorder recorder;
 
   std::cout << "Experiment Two / Figure 4: disruptive placement changes "
@@ -56,6 +58,8 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       if (!trace_out.empty() && kind == SchedulerKind::kApc) {
         cfg.trace = &recorder;
+        cfg.trace_run_id = "ia" + FormatNumber(ia, 0);
+        cfg.trace_full = trace_full;
       }
       const Experiment2Result r = RunExperiment2(cfg);
       row.push_back(FormatNumber(r.disruptive_changes, 0));

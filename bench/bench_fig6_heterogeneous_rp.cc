@@ -3,9 +3,11 @@
 // dynamic APC sharing, static 9 TX / 16 LR nodes, static 6 TX / 19 LR.
 //
 //   ./bench_fig6_heterogeneous_rp [--duration 65000] [--bucket 5000]
-//                                 [--trace-out exp3.jsonl]
+//                                 [--trace-out exp3.jsonl] [--trace-full]
+//                                 [--run-id exp3-s11]
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "common/cli.h"
 #include "common/table.h"
@@ -26,6 +28,9 @@ int main(int argc, char** argv) {
   // Per-cycle traces come from the dynamic-APC run (the static partitions
   // run no control loop).
   const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
+  const std::string run_id =
+      cli.GetString("run-id", "exp3-s" + std::to_string(base.seed));
   obs::TraceRecorder recorder;
 
   std::cout << "Experiment Three / Figure 6: relative performance over time\n"
@@ -41,6 +46,8 @@ int main(int argc, char** argv) {
     cfg.mode = mode;
     if (!trace_out.empty() && mode == Experiment3Mode::kDynamicApc) {
       cfg.trace = &recorder;
+      cfg.trace_run_id = run_id;
+      cfg.trace_full = trace_full;
     }
     results.push_back(RunExperiment3(cfg));
     std::cerr << "  done " << ToString(mode) << " (jobs submitted "
@@ -65,7 +72,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() &&
       !obs::ExportTrace(trace_out,
                         obs::MakeTraceContext("experiment3", base.seed,
-                                              base.control_cycle),
+                                              base.control_cycle, run_id),
                         recorder.Traces())) {
     std::cerr << "Failed to write trace to " << trace_out << '\n';
     return 1;

@@ -11,8 +11,10 @@
 //
 //   ./node_failure_recovery [--seed 17] [--nodes 6] [--jobs 6]
 //                           [--duration 2000] [--trace]
-//                           [--trace-out exp4.jsonl]
+//                           [--trace-out exp4.jsonl] [--trace-full]
+//                           [--run-id exp4-s17]
 #include <iostream>
+#include <string>
 
 #include "common/cli.h"
 #include "common/table.h"
@@ -33,6 +35,9 @@ int main(int argc, char** argv) {
   // Per-cycle traces come from the dynamic-APC run (the other policies run
   // no control loop).
   const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
+  const std::string run_id =
+      cli.GetString("run-id", "exp4-s" + std::to_string(base.seed));
   obs::TraceRecorder recorder;
 
   const Experiment4Mode modes[] = {Experiment4Mode::kDynamicApc,
@@ -47,6 +52,8 @@ int main(int argc, char** argv) {
     config.fault_plan = MakeExperiment4FaultPlan(config);
     if (!trace_out.empty() && mode == Experiment4Mode::kDynamicApc) {
       config.trace = &recorder;
+      config.trace_run_id = run_id;
+      config.trace_full = trace_full;
     }
     const Experiment4Result r = RunExperiment4(config);
 
@@ -80,7 +87,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() &&
       !obs::ExportTrace(trace_out,
                         obs::MakeTraceContext("experiment4", base.seed,
-                                              base.control_cycle),
+                                              base.control_cycle, run_id),
                         recorder.Traces())) {
     std::cerr << "Failed to write trace to " << trace_out << '\n';
     return 1;

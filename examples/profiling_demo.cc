@@ -9,7 +9,9 @@
 // estimates converging to the truth.
 //
 //   ./profiling_demo [--rounds 8] [--per-round 5] [--trace-out demo.jsonl]
+//                    [--trace-full]
 #include <iostream>
+#include <string>
 
 #include "batch/job_profiler.h"
 #include "batch/job_queue.h"
@@ -28,8 +30,10 @@ int main(int argc, char** argv) {
   const int rounds = static_cast<int>(cli.GetInt("rounds", 8));
   const int per_round = static_cast<int>(cli.GetInt("per-round", 5));
   // One recorder spans all rounds: each round's controller appends its
-  // cycles (the cycle counter restarts per round).
+  // cycles (the cycle counter restarts per round; each round gets its own
+  // run id, so the multi-run header carries none).
   const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
   obs::TraceRecorder recorder;
 
   Rng rng(2026);
@@ -52,7 +56,11 @@ int main(int argc, char** argv) {
     ApcController::Config cfg;
     cfg.control_cycle = 30.0;
     cfg.costs = VmCostModel::Free();
-    if (!trace_out.empty()) cfg.trace = &recorder;
+    if (!trace_out.empty()) {
+      cfg.trace = &recorder;
+      cfg.trace_run_id = "round" + std::to_string(round + 1);
+      cfg.trace_full = trace_full;
+    }
     ApcController controller(&cluster, &queue, cfg);
     for (int k = 0; k < per_round; ++k) {
       const Megacycles work = true_work * rng.Uniform(0.85, 1.15);

@@ -279,7 +279,7 @@ void ApcController::RunCycle(Simulation& sim) {
     }
   }
 
-  RecordObservability(stats, result);
+  RecordObservability(stats, result, snapshot);
   ++cycle_index_;
 
   if (config_.record_cycles) cycles_.push_back(std::move(stats));
@@ -320,12 +320,117 @@ obs::NodeHealthSummary ApcController::HealthSummary() const {
   return health;
 }
 
+namespace {
+
+/// Freezes the optimizer input of one cycle for replay (schema v2 "input").
+/// Everything the optimizer reads is copied out of the snapshot it actually
+/// saw; node health comes from the live cluster, which cannot have changed
+/// since Capture (the event queue serializes faults against cycles).
+obs::CycleInputRecord BuildInputRecord(
+    const PlacementSnapshot& snapshot,
+    const PlacementOptimizer::Options& options) {
+  obs::CycleInputRecord in;
+  in.now = snapshot.now();
+  in.control_cycle = snapshot.control_cycle();
+
+  const ClusterSpec& cluster = snapshot.cluster();
+  in.nodes.reserve(static_cast<std::size_t>(cluster.num_nodes()));
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    obs::TraceNodeInput node;
+    node.num_cpus = cluster.node(n).num_cpus;
+    node.cpu_speed = cluster.node(n).cpu_speed_mhz;
+    node.memory = cluster.node(n).memory_mb;
+    node.state = static_cast<int>(cluster.node_state(n));
+    node.speed_factor = cluster.node_state(n) == NodeState::kDegraded
+                            ? cluster.node_speed_factor(n)
+                            : 1.0;
+    in.nodes.push_back(node);
+  }
+
+  in.jobs.reserve(static_cast<std::size_t>(snapshot.num_jobs()));
+  for (const JobView& jv : snapshot.jobs()) {
+    obs::TraceJobInput job;
+    job.id = jv.id;
+    job.submit_time = jv.goal.submit_time;
+    job.desired_start = jv.goal.desired_start;
+    job.completion_goal = jv.goal.completion_goal;
+    job.work_done = jv.work_done;
+    job.status = static_cast<int>(jv.status);
+    job.current_node = jv.current_node;
+    job.overhead_until = jv.overhead_until;
+    job.place_overhead = jv.place_overhead;
+    job.migrate_overhead = jv.migrate_overhead;
+    job.memory = jv.memory;
+    job.max_speed = jv.max_speed;
+    job.min_speed = jv.min_speed;
+    for (const JobStage& st : jv.profile->stages()) {
+      job.stages.push_back({st.work, st.max_speed, st.min_speed, st.memory});
+    }
+    in.jobs.push_back(std::move(job));
+  }
+
+  in.tx_apps.reserve(static_cast<std::size_t>(snapshot.num_tx()));
+  for (const TxView& tv : snapshot.tx_apps()) {
+    const TransactionalAppSpec& spec = tv.app->spec();
+    obs::TraceTxInput tx;
+    tx.id = tv.id;
+    tx.name = spec.name;
+    tx.memory = spec.memory_per_instance;
+    tx.response_time_goal = spec.response_time_goal;
+    tx.demand_per_request = spec.demand_per_request;
+    tx.min_response_time = spec.min_response_time;
+    tx.saturation = spec.saturation_allocation;
+    tx.max_instances = spec.max_instances;
+    tx.arrival_rate = tv.arrival_rate;
+    tx.current_nodes = tv.current_nodes;
+    in.tx_apps.push_back(std::move(tx));
+  }
+
+  in.options.max_sweeps = options.max_sweeps;
+  in.options.max_changes_per_node = options.max_changes_per_node;
+  in.options.max_wishes_tried = options.max_wishes_tried;
+  in.options.max_migrations_tried = options.max_migrations_tried;
+  in.options.max_evaluations = options.max_evaluations;
+  in.options.tie_tolerance = options.evaluator.tie_tolerance;
+  in.options.grid = options.evaluator.grid;
+  in.options.level_tolerance = options.evaluator.distributor.level_tolerance;
+  in.options.probe_delta = options.evaluator.distributor.probe_delta;
+  in.options.bisection_iters = options.evaluator.distributor.bisection_iters;
+  in.options.batch_aggregate = options.evaluator.distributor.batch_aggregate;
+
+  for (const auto& [app, nodes] : snapshot.constraints().pins()) {
+    in.pins.push_back({app, nodes});
+  }
+  in.separations = snapshot.constraints().separations();
+  return in;
+}
+
+/// Freezes the committed decision (schema v2 "decision"): non-zero placement
+/// cells in row-major (entity, node) order plus per-entity totals.
+obs::CycleDecisionRecord BuildDecisionRecord(
+    const PlacementSnapshot& snapshot,
+    const PlacementOptimizer::Result& result) {
+  obs::CycleDecisionRecord decision;
+  for (int e = 0; e < snapshot.num_entities(); ++e) {
+    for (int n = 0; n < snapshot.num_nodes(); ++n) {
+      const int count = result.placement.at(e, n);
+      if (count > 0) decision.placement.push_back({e, n, count});
+    }
+  }
+  decision.allocations = result.evaluation.distribution.totals;
+  return decision;
+}
+
+}  // namespace
+
 void ApcController::RecordObservability(
-    const CycleStats& stats, const PlacementOptimizer::Result& result) {
+    const CycleStats& stats, const PlacementOptimizer::Result& result,
+    const PlacementSnapshot& snapshot) {
   if (config_.trace == nullptr && config_.metrics == nullptr) return;
 
   if (config_.trace != nullptr) {
     obs::CycleTrace trace;
+    trace.run_id = config_.trace_run_id;
     trace.cycle = cycle_index_;
     trace.time = stats.time;
     trace.rp_before = result.incumbent_utilities;
@@ -354,6 +459,10 @@ void ApcController::RecordObservability(
     trace.node_health = HealthSummary();
     trace.tx_utilities = stats.tx_utilities;
     trace.tx_allocations = stats.tx_allocations;
+    if (config_.trace_full) {
+      trace.input = BuildInputRecord(snapshot, config_.optimizer);
+      trace.decision = BuildDecisionRecord(snapshot, result);
+    }
     config_.trace->Record(std::move(trace));
   }
 

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "batch/job_queue.h"
@@ -135,6 +136,13 @@ class ApcController {
     /// apc.* counters, gauges and the solver-time histogram.
     obs::TraceRecorder* trace = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Stamped into every CycleTrace (schema v2): identifies this run when
+    /// several runs' records end up in one export (sweeps).
+    std::string trace_run_id;
+    /// Also record each cycle's full optimizer input and committed decision
+    /// (CycleInputRecord / CycleDecisionRecord) so the run can be replayed
+    /// by src/replay. Heavier; off by default.
+    bool trace_full = false;
   };
 
   ApcController(const ClusterSpec* cluster, JobQueue* queue, Config config);
@@ -211,9 +219,12 @@ class ApcController {
                             std::vector<MHz>& cpu) const;
 
   /// Emit the cycle's CycleTrace and metrics updates (no-op unless a sink
-  /// is configured). `stats` must be fully populated for the cycle.
+  /// is configured). `stats` must be fully populated for the cycle;
+  /// `snapshot` is the optimizer input of the cycle, serialized into the
+  /// trace when Config::trace_full is set.
   void RecordObservability(const CycleStats& stats,
-                           const PlacementOptimizer::Result& result);
+                           const PlacementOptimizer::Result& result,
+                           const PlacementSnapshot& snapshot);
   /// Current cluster health, as a trace summary.
   obs::NodeHealthSummary HealthSummary() const;
 

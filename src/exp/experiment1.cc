@@ -27,6 +27,8 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
     cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
   }
   cfg.trace = config.trace;
+  cfg.trace_run_id = config.trace_run_id;
+  cfg.trace_full = config.trace_full;
   ApcController controller(&cluster, &queue, cfg);
 
   // Submit all arrivals as events up-front (the schedule is independent of

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/stats.h"
 #include "core/apc_controller.h"
@@ -33,6 +34,10 @@ struct Experiment1Config {
   /// Optional per-cycle trace sink (non-owning; must outlive the run).
   /// Forwarded to ApcController::Config::trace.
   obs::TraceRecorder* trace = nullptr;
+  /// Run identifier stamped into every recorded CycleTrace (schema v2).
+  std::string trace_run_id;
+  /// Record full optimizer inputs + decisions for replay (src/replay).
+  bool trace_full = false;
 };
 
 struct Experiment1Result {

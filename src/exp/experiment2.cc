@@ -49,6 +49,8 @@ Experiment2Result RunExperiment2(const Experiment2Config& config) {
       cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
     }
     cfg.trace = config.trace;
+    cfg.trace_run_id = config.trace_run_id;
+    cfg.trace_full = config.trace_full;
     apc = std::make_unique<ApcController>(&cluster, &queue, cfg);
     apc->Attach(sim, 0.0);
   } else {

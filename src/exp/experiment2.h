@@ -41,6 +41,11 @@ struct Experiment2Config {
   /// Optional per-cycle trace sink (APC mode only — the baseline schedulers
   /// run no control cycles). Non-owning; must outlive the run.
   obs::TraceRecorder* trace = nullptr;
+  /// Run identifier stamped into every recorded CycleTrace (schema v2);
+  /// sweeps that share one recorder give each run a distinct id.
+  std::string trace_run_id;
+  /// Record full optimizer inputs + decisions for replay (src/replay).
+  bool trace_full = false;
 };
 
 struct Experiment2Result {

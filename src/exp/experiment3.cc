@@ -113,6 +113,8 @@ Experiment3Result RunExperiment3(const Experiment3Config& config) {
     cfg.control_cycle = config.control_cycle;
     cfg.costs = costs;
     cfg.trace = config.trace;
+    cfg.trace_run_id = config.trace_run_id;
+    cfg.trace_full = config.trace_full;
     ApcController controller(&cluster, &queue, cfg);
     apc = &controller;
     controller.AddTransactionalApp(tx_spec,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -65,6 +66,11 @@ struct Experiment3Config {
   /// Optional per-cycle trace sink (kDynamicApc mode only). Non-owning;
   /// must outlive the run.
   obs::TraceRecorder* trace = nullptr;
+  /// Run identifier stamped into every recorded CycleTrace (schema v2);
+  /// sweeps that share one recorder give each run a distinct id.
+  std::string trace_run_id;
+  /// Record full optimizer inputs + decisions for replay (src/replay).
+  bool trace_full = false;
 };
 
 struct Experiment3Result {

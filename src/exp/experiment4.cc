@@ -172,6 +172,8 @@ Experiment4Result RunExperiment4(const Experiment4Config& config) {
       cfg.control_cycle = config.control_cycle;
       cfg.costs = costs;
       cfg.trace = config.trace;
+      cfg.trace_run_id = config.trace_run_id;
+      cfg.trace_full = config.trace_full;
       cfg.optimizer.search_threads = config.search_threads;
       cfg.vm_operation_oracle = [&injector](PlacementChange::Kind kind,
                                             AppId app) {

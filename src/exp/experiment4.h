@@ -80,6 +80,10 @@ struct Experiment4Config {
   /// Optional per-cycle trace sink (kDynamicApc mode only). Non-owning;
   /// must outlive the run.
   obs::TraceRecorder* trace = nullptr;
+  /// Run identifier stamped into every recorded CycleTrace (schema v2).
+  std::string trace_run_id;
+  /// Record full optimizer inputs + decisions for replay (src/replay).
+  bool trace_full = false;
 };
 
 /// The crash schedule the resilience comparison uses by default: two

@@ -14,6 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -31,7 +34,137 @@ struct NodeHealthSummary {
   MHz nominal_cpu = 0.0;    ///< fault-free capacity of the same nodes
 };
 
+// --- full optimizer input (schema v2, recorded under `trace_full`) --------
+//
+// The replay harness (src/replay) reconstructs a PlacementSnapshot from
+// these records and re-runs the solver, so every field the optimizer reads
+// is frozen here. All values are copied out of the snapshot the controller
+// actually optimized — not re-derived — so a replay in the same build is
+// bit-exact.
+
+/// One node's capacity and captured health.
+struct TraceNodeInput {
+  int num_cpus = 1;
+  MHz cpu_speed = 0.0;        ///< per-processor speed
+  Megabytes memory = 0.0;
+  int state = 0;              ///< NodeState as int (0 online, 1 degraded, 2 offline)
+  double speed_factor = 1.0;  ///< degraded-CPU multiplier
+
+  bool operator==(const TraceNodeInput&) const = default;
+};
+
+/// One stage of a job's resource usage profile (JobStage).
+struct TraceStageInput {
+  Megacycles work = 0.0;
+  MHz max_speed = 0.0;
+  MHz min_speed = 0.0;
+  Megabytes memory = 0.0;
+
+  bool operator==(const TraceStageInput&) const = default;
+};
+
+/// One frozen JobView plus the profile it points at.
+struct TraceJobInput {
+  AppId id = kInvalidApp;
+  Seconds submit_time = 0.0;      ///< JobGoal
+  Seconds desired_start = 0.0;
+  Seconds completion_goal = 0.0;
+  Megacycles work_done = 0.0;
+  int status = 0;                 ///< JobStatus as int
+  NodeId current_node = kInvalidNode;
+  Seconds overhead_until = 0.0;
+  Seconds place_overhead = 0.0;
+  Seconds migrate_overhead = 0.0;
+  Megabytes memory = 0.0;
+  MHz max_speed = 0.0;
+  MHz min_speed = 0.0;
+  std::vector<TraceStageInput> stages;
+
+  bool operator==(const TraceJobInput&) const = default;
+};
+
+/// One frozen TxView plus the spec behind it.
+struct TraceTxInput {
+  AppId id = kInvalidApp;
+  std::string name;
+  Megabytes memory = 0.0;             ///< per instance
+  Seconds response_time_goal = 0.0;
+  Megacycles demand_per_request = 0.0;
+  Seconds min_response_time = 0.0;
+  MHz saturation = 0.0;
+  int max_instances = 0;
+  double arrival_rate = 0.0;
+  std::vector<NodeId> current_nodes;
+
+  bool operator==(const TraceTxInput&) const = default;
+};
+
+/// The solver configuration of the recording run (PlacementOptimizer,
+/// PlacementEvaluator and LoadDistributor options that shape the search).
+/// search_threads is deliberately absent: the chosen placement is identical
+/// for every lane count, so replay may pick its own.
+struct TraceSolverOptions {
+  int max_sweeps = 2;
+  int max_changes_per_node = 8;
+  int max_wishes_tried = 8;
+  int max_migrations_tried = 3;
+  int max_evaluations = 0;
+  double tie_tolerance = 0.02;
+  std::vector<double> grid;  ///< empty = library default sampling grid
+  double level_tolerance = 1e-4;
+  double probe_delta = 1e-3;
+  int bisection_iters = 48;
+  bool batch_aggregate = true;
+
+  bool operator==(const TraceSolverOptions&) const = default;
+};
+
+/// One pinning constraint: `app` may only run on `nodes`.
+struct TracePin {
+  AppId app = kInvalidApp;
+  std::vector<NodeId> nodes;
+
+  bool operator==(const TracePin&) const = default;
+};
+
+/// The full optimizer input of one control cycle.
+struct CycleInputRecord {
+  Seconds now = 0.0;
+  Seconds control_cycle = 0.0;
+  std::vector<TraceNodeInput> nodes;
+  std::vector<TraceJobInput> jobs;
+  std::vector<TraceTxInput> tx_apps;
+  TraceSolverOptions options;
+  std::vector<TracePin> pins;
+  std::vector<std::pair<AppId, AppId>> separations;
+
+  bool operator==(const CycleInputRecord&) const = default;
+};
+
+/// One non-zero cell of the decided placement matrix.
+struct TracePlacementCell {
+  int entity = 0;
+  int node = 0;
+  int count = 0;
+
+  bool operator==(const TracePlacementCell&) const = default;
+};
+
+/// The committed decision of one control cycle: the optimizer's placement
+/// (sparse, row-major cell order) and the distributor's per-entity
+/// allocation totals under it.
+struct CycleDecisionRecord {
+  std::vector<TracePlacementCell> placement;
+  std::vector<MHz> allocations;
+
+  bool operator==(const CycleDecisionRecord&) const = default;
+};
+
 struct CycleTrace {
+  /// Identifier of the producing run. Sweep exports concatenate several
+  /// runs into one file; records from one run share a run_id so joins
+  /// against printed per-run tables are mechanical (schema v2).
+  std::string run_id;
   int cycle = 0;       ///< 0-based control-cycle sequence number
   Seconds time = 0.0;  ///< simulation time of the cycle
 
@@ -78,6 +211,12 @@ struct CycleTrace {
   /// Per transactional app, registration order.
   std::vector<Utility> tx_utilities;
   std::vector<MHz> tx_allocations;
+
+  /// Full optimizer input and committed decision, recorded only when the
+  /// producer ran with full tracing (ApcController::Config::trace_full /
+  /// the --trace-full flag). Either both are set or neither.
+  std::optional<CycleInputRecord> input;
+  std::optional<CycleDecisionRecord> decision;
 };
 
 /// Append-only collector of CycleTrace records. Mutex-guarded so several

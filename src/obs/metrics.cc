@@ -43,6 +43,58 @@ std::uint64_t Histogram::count() const {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+namespace {
+
+// Shared quantile estimator over (finite bounds, bucket counts with overflow
+// last). Kept in one place so the live instrument and snapshot exporters
+// cannot drift apart.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& buckets,
+                           double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0 || bounds.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds.size()) {
+        // Overflow bucket: observations are only known to exceed the last
+        // finite bound, so report that bound as a lower-bound estimate.
+        return bounds.back();
+      }
+      const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  // Rounding in the cumulative walk can leave the target just past the last
+  // non-empty bucket; the quantile is then the maximum observed bound.
+  return bounds.back();
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  std::vector<std::uint64_t> buckets(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets[i] = bucket_counts_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileFromBuckets(bounds_, buckets, q);
+}
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q) {
+  return QuantileFromBuckets(histogram.bounds, histogram.buckets, q);
+}
+
 double Histogram::UpperBound(int i) const {
   MWP_CHECK(i >= 0 && i < num_buckets());
   if (static_cast<std::size_t>(i) == bounds_.size()) {

@@ -71,6 +71,14 @@ class Histogram {
 
   std::uint64_t count() const;
   double sum() const;
+  /// Estimated q-quantile (q in [0, 1], clamped) from the bucket counts:
+  /// the target rank q * count() is located by cumulative count, then
+  /// interpolated linearly within its bucket's [lower, upper] bound range
+  /// (the first bucket's lower bound is 0). Observations in the overflow
+  /// bucket are only known to exceed the last finite bound, so a quantile
+  /// landing there returns that bound (a lower-bound estimate). NaN when
+  /// the histogram is empty.
+  double Quantile(double q) const;
   /// Buckets including the overflow bucket (== options.num_bounds + 1).
   int num_buckets() const { return static_cast<int>(bounds_.size()) + 1; }
   /// Inclusive upper bound of bucket `i`; +infinity for the overflow bucket.
@@ -106,6 +114,12 @@ struct MetricsSnapshot {
   std::vector<GaugeValue> gauges;          ///< sorted by name
   std::vector<HistogramValue> histograms;  ///< sorted by name
 };
+
+/// Histogram::Quantile over a snapshot's bucket copy (same estimator; see
+/// the member for semantics). Exporters use this to stamp p50/p95/p99 into
+/// the metrics JSONL without touching the live instrument.
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q);
 
 /// Name → instrument registry. Lookup/registration takes the registry mutex;
 /// the returned references are stable for the registry's lifetime, so

@@ -67,6 +67,7 @@ std::string JoinedCell(const std::vector<T>& values) {
 void WriteHeaderRecord(std::ostream& os, const TraceContext& context,
                        std::size_t num_cycles) {
   os << "{\"record\":\"header\",\"schema_version\":" << kTraceSchemaVersion
+     << ",\"run_id\":" << JsonString(context.run_id)
      << ",\"experiment\":" << JsonString(context.experiment)
      << ",\"seed\":" << context.seed
      << ",\"control_cycle\":" << JsonNumber(context.control_cycle)
@@ -75,8 +76,100 @@ void WriteHeaderRecord(std::ostream& os, const TraceContext& context,
      << ",\"num_cycles\":" << num_cycles << "}\n";
 }
 
+/// Serializes the full optimizer input of one cycle (schema v2 "input" key).
+/// Key order is part of the schema: the byte-stability property test
+/// round-trips through src/replay/trace_reader and re-export.
+void WriteInputObject(std::ostream& os, const CycleInputRecord& in) {
+  os << "{\"now\":" << JsonNumber(in.now)
+     << ",\"control_cycle\":" << JsonNumber(in.control_cycle) << ",\"nodes\":[";
+  for (std::size_t i = 0; i < in.nodes.size(); ++i) {
+    const TraceNodeInput& n = in.nodes[i];
+    if (i > 0) os << ',';
+    os << "{\"cpus\":" << n.num_cpus << ",\"speed\":" << JsonNumber(n.cpu_speed)
+       << ",\"memory\":" << JsonNumber(n.memory) << ",\"state\":" << n.state
+       << ",\"speed_factor\":" << JsonNumber(n.speed_factor) << "}";
+  }
+  os << "],\"jobs\":[";
+  for (std::size_t i = 0; i < in.jobs.size(); ++i) {
+    const TraceJobInput& j = in.jobs[i];
+    if (i > 0) os << ',';
+    os << "{\"id\":" << j.id << ",\"submit_time\":" << JsonNumber(j.submit_time)
+       << ",\"desired_start\":" << JsonNumber(j.desired_start)
+       << ",\"completion_goal\":" << JsonNumber(j.completion_goal)
+       << ",\"work_done\":" << JsonNumber(j.work_done)
+       << ",\"status\":" << j.status << ",\"node\":" << j.current_node
+       << ",\"overhead_until\":" << JsonNumber(j.overhead_until)
+       << ",\"place_overhead\":" << JsonNumber(j.place_overhead)
+       << ",\"migrate_overhead\":" << JsonNumber(j.migrate_overhead)
+       << ",\"memory\":" << JsonNumber(j.memory)
+       << ",\"max_speed\":" << JsonNumber(j.max_speed)
+       << ",\"min_speed\":" << JsonNumber(j.min_speed) << ",\"stages\":[";
+    for (std::size_t s = 0; s < j.stages.size(); ++s) {
+      const TraceStageInput& st = j.stages[s];
+      if (s > 0) os << ',';
+      os << "{\"work\":" << JsonNumber(st.work)
+         << ",\"max_speed\":" << JsonNumber(st.max_speed)
+         << ",\"min_speed\":" << JsonNumber(st.min_speed)
+         << ",\"memory\":" << JsonNumber(st.memory) << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"tx\":[";
+  for (std::size_t i = 0; i < in.tx_apps.size(); ++i) {
+    const TraceTxInput& t = in.tx_apps[i];
+    if (i > 0) os << ',';
+    os << "{\"id\":" << t.id << ",\"name\":" << JsonString(t.name)
+       << ",\"memory\":" << JsonNumber(t.memory)
+       << ",\"response_time_goal\":" << JsonNumber(t.response_time_goal)
+       << ",\"demand_per_request\":" << JsonNumber(t.demand_per_request)
+       << ",\"min_response_time\":" << JsonNumber(t.min_response_time)
+       << ",\"saturation\":" << JsonNumber(t.saturation)
+       << ",\"max_instances\":" << t.max_instances
+       << ",\"arrival_rate\":" << JsonNumber(t.arrival_rate)
+       << ",\"nodes\":" << JsonArray(t.current_nodes) << "}";
+  }
+  const TraceSolverOptions& o = in.options;
+  os << "],\"options\":{\"max_sweeps\":" << o.max_sweeps
+     << ",\"max_changes_per_node\":" << o.max_changes_per_node
+     << ",\"max_wishes_tried\":" << o.max_wishes_tried
+     << ",\"max_migrations_tried\":" << o.max_migrations_tried
+     << ",\"max_evaluations\":" << o.max_evaluations
+     << ",\"tie_tolerance\":" << JsonNumber(o.tie_tolerance)
+     << ",\"grid\":" << JsonArray(o.grid)
+     << ",\"level_tolerance\":" << JsonNumber(o.level_tolerance)
+     << ",\"probe_delta\":" << JsonNumber(o.probe_delta)
+     << ",\"bisection_iters\":" << o.bisection_iters
+     << ",\"batch_aggregate\":" << (o.batch_aggregate ? "true" : "false")
+     << "},\"pins\":[";
+  for (std::size_t i = 0; i < in.pins.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"app\":" << in.pins[i].app
+       << ",\"nodes\":" << JsonArray(in.pins[i].nodes) << "}";
+  }
+  os << "],\"separations\":[";
+  for (std::size_t i = 0; i < in.separations.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << in.separations[i].first << ',' << in.separations[i].second
+       << ']';
+  }
+  os << "]}";
+}
+
+/// Serializes the committed decision (schema v2 "decision" key): non-zero
+/// placement cells in row-major order plus per-entity allocation totals.
+void WriteDecisionObject(std::ostream& os, const CycleDecisionRecord& d) {
+  os << "{\"placement\":[";
+  for (std::size_t i = 0; i < d.placement.size(); ++i) {
+    const TracePlacementCell& c = d.placement[i];
+    if (i > 0) os << ',';
+    os << '[' << c.entity << ',' << c.node << ',' << c.count << ']';
+  }
+  os << "],\"allocations\":" << JsonArray(d.allocations) << "}";
+}
+
 void WriteCycleRecord(std::ostream& os, const CycleTrace& t) {
   os << "{\"record\":\"cycle\""
+     << ",\"run_id\":" << JsonString(t.run_id)
      << ",\"cycle\":" << t.cycle
      << ",\"time\":" << JsonNumber(t.time)
      << ",\"avg_job_rp\":" << JsonNumber(t.avg_job_rp)
@@ -108,11 +201,19 @@ void WriteCycleRecord(std::ostream& os, const CycleTrace& t) {
      << ",\"rp_before\":" << JsonArray(t.rp_before)
      << ",\"rp_after\":" << JsonArray(t.rp_after)
      << ",\"tx_utilities\":" << JsonArray(t.tx_utilities)
-     << ",\"tx_allocations\":" << JsonArray(t.tx_allocations) << "}\n";
+     << ",\"tx_allocations\":" << JsonArray(t.tx_allocations);
+  MWP_CHECK(t.input.has_value() == t.decision.has_value());
+  if (t.input.has_value()) {
+    os << ",\"input\":";
+    WriteInputObject(os, *t.input);
+    os << ",\"decision\":";
+    WriteDecisionObject(os, *t.decision);
+  }
+  os << "}\n";
 }
 
 constexpr const char* kCsvColumns =
-    "cycle,time,avg_job_rp,min_job_rp,num_jobs,running_jobs,queued_jobs,"
+    "run_id,cycle,time,avg_job_rp,min_job_rp,num_jobs,running_jobs,queued_jobs,"
     "suspended_jobs,batch_allocation,tx_allocation,cluster_utilization,"
     "starts,stops,suspends,resumes,migrations,failed_operations,evaluations,"
     "shortcut,solver_seconds,cache_hits,cache_misses,distribute_calls,"
@@ -131,13 +232,14 @@ std::string FormatDouble(double value) {
 }
 
 TraceContext MakeTraceContext(std::string experiment, std::uint64_t seed,
-                              Seconds control_cycle) {
+                              Seconds control_cycle, std::string run_id) {
   TraceContext context;
   context.experiment = std::move(experiment);
   context.seed = seed;
   context.control_cycle = control_cycle;
   context.build_type = BuildInfo::BuildType();
   context.git_sha = BuildInfo::GitSha();
+  context.run_id = std::move(run_id);
   return context;
 }
 
@@ -150,13 +252,14 @@ void WriteTraceJsonl(std::ostream& os, const TraceContext& context,
 void WriteTraceCsv(std::ostream& os, const TraceContext& context,
                    std::span<const CycleTrace> traces) {
   os << "# mwp-cycle-trace schema_version=" << kTraceSchemaVersion
+     << " run_id=" << context.run_id
      << " experiment=" << context.experiment << " seed=" << context.seed
      << " control_cycle=" << FormatDouble(context.control_cycle)
      << " build_type=" << context.build_type
      << " git_sha=" << context.git_sha << "\n"
      << kCsvColumns << "\n";
   for (const CycleTrace& t : traces) {
-    os << t.cycle << ',' << FormatDouble(t.time) << ','
+    os << t.run_id << ',' << t.cycle << ',' << FormatDouble(t.time) << ','
        << FormatDouble(t.avg_job_rp) << ',' << FormatDouble(t.min_job_rp)
        << ',' << t.num_jobs << ',' << t.running_jobs << ',' << t.queued_jobs
        << ',' << t.suspended_jobs << ',' << FormatDouble(t.batch_allocation)
@@ -209,6 +312,9 @@ void WriteMetricsJsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
   for (const auto& h : snapshot.histograms) {
     os << "{\"record\":\"histogram\",\"name\":" << JsonString(h.name)
        << ",\"count\":" << h.count << ",\"sum\":" << JsonNumber(h.sum)
+       << ",\"p50\":" << JsonNumber(HistogramQuantile(h, 0.50))
+       << ",\"p95\":" << JsonNumber(HistogramQuantile(h, 0.95))
+       << ",\"p99\":" << JsonNumber(HistogramQuantile(h, 0.99))
        << ",\"bounds\":" << JsonArray(h.bounds)
        << ",\"buckets\":" << JsonArray(h.buckets) << "}\n";
   }

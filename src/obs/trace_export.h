@@ -1,16 +1,25 @@
 // Versioned exporters for CycleTrace runs: JSON-lines and CSV.
 //
-// Schema v1 (kTraceSchemaVersion):
+// Schema v2 (kTraceSchemaVersion):
 //   - JSONL: line 1 is a header record
-//       {"record":"header","schema_version":1,"experiment":...,"seed":...,
-//        "control_cycle":...,"build_type":...,"git_sha":...,"num_cycles":...}
-//     followed by one {"record":"cycle",...} object per control cycle with a
-//     fixed key order (see trace_export.cc). NaN (e.g. avg_job_rp with no
-//     jobs) is emitted as JSON null.
+//       {"record":"header","schema_version":2,"run_id":...,"experiment":...,
+//        "seed":...,"control_cycle":...,"build_type":...,"git_sha":...,
+//        "num_cycles":...}
+//     followed by one {"record":"cycle","run_id":...,...} object per control
+//     cycle with a fixed key order (see trace_export.cc). NaN (e.g.
+//     avg_job_rp with no jobs) is emitted as JSON null. Cycles recorded
+//     under full tracing additionally carry "input" (the complete optimizer
+//     input: nodes, jobs, tx apps, solver options, constraints) and
+//     "decision" (the committed placement + allocations) objects — the
+//     payload the replay harness (src/replay) re-runs the solver on.
 //   - CSV: line 1 is a '#'-prefixed header carrying the same context,
 //     line 2 the column names, then one row per cycle; vector-valued fields
 //     (rp_before, rp_after, tx_*) are ';'-joined within their cell and NaN
-//     is spelled "nan".
+//     is spelled "nan". CSV never carries input/decision — replay requires
+//     the JSONL form.
+//
+// v1 differs only in lacking run_id and input/decision; readers
+// (src/replay/trace_reader and tools/trace/validate_trace.py) accept both.
 //
 // Doubles are serialized with std::to_chars shortest round-trip formatting,
 // so re-parsing an export reproduces the recorded values bit-for-bit and
@@ -31,7 +40,7 @@
 
 namespace mwp::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Run-level provenance written into every export's header. Fill
 /// `experiment`, `seed` and `control_cycle` per run; MakeTraceContext stamps
@@ -42,11 +51,15 @@ struct TraceContext {
   Seconds control_cycle = 0.0; ///< controller period
   std::string build_type;      ///< BuildInfo::BuildType() of the producer
   std::string git_sha;         ///< BuildInfo::GitSha() of the producer
+  /// Header-level run identifier. Single-run exports stamp it here; sweep
+  /// exports leave it "" and rely on the per-cycle run_id instead.
+  std::string run_id;
 };
 
 /// TraceContext with build_type / git_sha filled from BuildInfo.
 TraceContext MakeTraceContext(std::string experiment, std::uint64_t seed,
-                              Seconds control_cycle);
+                              Seconds control_cycle,
+                              std::string run_id = "");
 
 void WriteTraceJsonl(std::ostream& os, const TraceContext& context,
                      std::span<const CycleTrace> traces);

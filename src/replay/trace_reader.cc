@@ -1,0 +1,628 @@
+#include "replay/trace_reader.h"
+
+#include <charconv>
+#include <cstddef>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace mwp::replay {
+namespace {
+
+/// One parsed JSON value. Number tokens are kept raw and converted lazily
+/// with std::from_chars, so the exporter's shortest round-trip decimals map
+/// back to the exact recorded doubles.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  std::string number;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser over the exporter's JSON subset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.string_value);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        default:
+          return Fail("unsupported string escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("invalid value");
+    out.number.assign(text_.substr(start, pos_ - start));
+    double probe = 0.0;
+    const char* begin = out.number.data();
+    const char* end = begin + out.number.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, probe);
+    if (ec != std::errc() || ptr != end) return Fail("malformed number");
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// First-error accumulator for the semantic (JSON -> CycleTrace) mapping.
+struct Ctx {
+  bool ok = true;
+  std::string error;
+
+  void Fail(std::string message) {
+    if (ok) {
+      ok = false;
+      error = std::move(message);
+    }
+  }
+};
+
+const JsonValue* Get(Ctx& ctx, const JsonValue& obj, const char* key) {
+  if (!ctx.ok) return nullptr;
+  if (obj.kind != JsonValue::Kind::kObject) {
+    ctx.Fail("expected an object");
+    return nullptr;
+  }
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) ctx.Fail(std::string("missing key '") + key + "'");
+  return value;
+}
+
+double GetDouble(Ctx& ctx, const JsonValue& obj, const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  if (value == nullptr) return 0.0;
+  if (value->kind == JsonValue::Kind::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (value->kind != JsonValue::Kind::kNumber) {
+    ctx.Fail(std::string("key '") + key + "' is not a number");
+    return 0.0;
+  }
+  double out = 0.0;
+  const char* begin = value->number.data();
+  std::from_chars(begin, begin + value->number.size(), out);
+  return out;
+}
+
+template <typename Int>
+Int GetInt(Ctx& ctx, const JsonValue& obj, const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  if (value == nullptr) return Int{0};
+  if (value->kind != JsonValue::Kind::kNumber) {
+    ctx.Fail(std::string("key '") + key + "' is not a number");
+    return Int{0};
+  }
+  Int out{0};
+  const char* begin = value->number.data();
+  const char* end = begin + value->number.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) {
+    ctx.Fail(std::string("key '") + key + "' is not an integer");
+    return Int{0};
+  }
+  return out;
+}
+
+bool GetBool(Ctx& ctx, const JsonValue& obj, const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  if (value == nullptr) return false;
+  if (value->kind != JsonValue::Kind::kBool) {
+    ctx.Fail(std::string("key '") + key + "' is not a boolean");
+    return false;
+  }
+  return value->bool_value;
+}
+
+std::string GetString(Ctx& ctx, const JsonValue& obj, const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  if (value == nullptr) return {};
+  if (value->kind != JsonValue::Kind::kString) {
+    ctx.Fail(std::string("key '") + key + "' is not a string");
+    return {};
+  }
+  return value->string_value;
+}
+
+double ElementAsDouble(Ctx& ctx, const JsonValue& element, const char* key) {
+  if (element.kind == JsonValue::Kind::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (element.kind != JsonValue::Kind::kNumber) {
+    ctx.Fail(std::string("array '") + key + "' holds a non-number");
+    return 0.0;
+  }
+  double out = 0.0;
+  const char* begin = element.number.data();
+  std::from_chars(begin, begin + element.number.size(), out);
+  return out;
+}
+
+std::vector<double> GetDoubleArray(Ctx& ctx, const JsonValue& obj,
+                                   const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  std::vector<double> out;
+  if (value == nullptr) return out;
+  if (value->kind != JsonValue::Kind::kArray) {
+    ctx.Fail(std::string("key '") + key + "' is not an array");
+    return out;
+  }
+  out.reserve(value->array.size());
+  for (const JsonValue& element : value->array) {
+    out.push_back(ElementAsDouble(ctx, element, key));
+  }
+  return out;
+}
+
+std::vector<NodeId> GetNodeArray(Ctx& ctx, const JsonValue& obj,
+                                 const char* key) {
+  const JsonValue* value = Get(ctx, obj, key);
+  std::vector<NodeId> out;
+  if (value == nullptr) return out;
+  if (value->kind != JsonValue::Kind::kArray) {
+    ctx.Fail(std::string("key '") + key + "' is not an array");
+    return out;
+  }
+  out.reserve(value->array.size());
+  for (const JsonValue& element : value->array) {
+    out.push_back(
+        static_cast<NodeId>(ElementAsDouble(ctx, element, key)));
+  }
+  return out;
+}
+
+obs::CycleInputRecord ReadInput(Ctx& ctx, const JsonValue& obj) {
+  obs::CycleInputRecord in;
+  in.now = GetDouble(ctx, obj, "now");
+  in.control_cycle = GetDouble(ctx, obj, "control_cycle");
+
+  if (const JsonValue* nodes = Get(ctx, obj, "nodes");
+      nodes != nullptr && nodes->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& n : nodes->array) {
+      obs::TraceNodeInput node;
+      node.num_cpus = GetInt<int>(ctx, n, "cpus");
+      node.cpu_speed = GetDouble(ctx, n, "speed");
+      node.memory = GetDouble(ctx, n, "memory");
+      node.state = GetInt<int>(ctx, n, "state");
+      node.speed_factor = GetDouble(ctx, n, "speed_factor");
+      in.nodes.push_back(node);
+    }
+  }
+
+  if (const JsonValue* jobs = Get(ctx, obj, "jobs");
+      jobs != nullptr && jobs->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& j : jobs->array) {
+      obs::TraceJobInput job;
+      job.id = GetInt<AppId>(ctx, j, "id");
+      job.submit_time = GetDouble(ctx, j, "submit_time");
+      job.desired_start = GetDouble(ctx, j, "desired_start");
+      job.completion_goal = GetDouble(ctx, j, "completion_goal");
+      job.work_done = GetDouble(ctx, j, "work_done");
+      job.status = GetInt<int>(ctx, j, "status");
+      job.current_node = GetInt<NodeId>(ctx, j, "node");
+      job.overhead_until = GetDouble(ctx, j, "overhead_until");
+      job.place_overhead = GetDouble(ctx, j, "place_overhead");
+      job.migrate_overhead = GetDouble(ctx, j, "migrate_overhead");
+      job.memory = GetDouble(ctx, j, "memory");
+      job.max_speed = GetDouble(ctx, j, "max_speed");
+      job.min_speed = GetDouble(ctx, j, "min_speed");
+      if (const JsonValue* stages = Get(ctx, j, "stages");
+          stages != nullptr && stages->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& s : stages->array) {
+          obs::TraceStageInput stage;
+          stage.work = GetDouble(ctx, s, "work");
+          stage.max_speed = GetDouble(ctx, s, "max_speed");
+          stage.min_speed = GetDouble(ctx, s, "min_speed");
+          stage.memory = GetDouble(ctx, s, "memory");
+          job.stages.push_back(stage);
+        }
+      }
+      in.jobs.push_back(std::move(job));
+    }
+  }
+
+  if (const JsonValue* txs = Get(ctx, obj, "tx");
+      txs != nullptr && txs->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& t : txs->array) {
+      obs::TraceTxInput tx;
+      tx.id = GetInt<AppId>(ctx, t, "id");
+      tx.name = GetString(ctx, t, "name");
+      tx.memory = GetDouble(ctx, t, "memory");
+      tx.response_time_goal = GetDouble(ctx, t, "response_time_goal");
+      tx.demand_per_request = GetDouble(ctx, t, "demand_per_request");
+      tx.min_response_time = GetDouble(ctx, t, "min_response_time");
+      tx.saturation = GetDouble(ctx, t, "saturation");
+      tx.max_instances = GetInt<int>(ctx, t, "max_instances");
+      tx.arrival_rate = GetDouble(ctx, t, "arrival_rate");
+      tx.current_nodes = GetNodeArray(ctx, t, "nodes");
+      in.tx_apps.push_back(std::move(tx));
+    }
+  }
+
+  if (const JsonValue* opts = Get(ctx, obj, "options"); opts != nullptr) {
+    in.options.max_sweeps = GetInt<int>(ctx, *opts, "max_sweeps");
+    in.options.max_changes_per_node =
+        GetInt<int>(ctx, *opts, "max_changes_per_node");
+    in.options.max_wishes_tried = GetInt<int>(ctx, *opts, "max_wishes_tried");
+    in.options.max_migrations_tried =
+        GetInt<int>(ctx, *opts, "max_migrations_tried");
+    in.options.max_evaluations = GetInt<int>(ctx, *opts, "max_evaluations");
+    in.options.tie_tolerance = GetDouble(ctx, *opts, "tie_tolerance");
+    in.options.grid = GetDoubleArray(ctx, *opts, "grid");
+    in.options.level_tolerance = GetDouble(ctx, *opts, "level_tolerance");
+    in.options.probe_delta = GetDouble(ctx, *opts, "probe_delta");
+    in.options.bisection_iters = GetInt<int>(ctx, *opts, "bisection_iters");
+    in.options.batch_aggregate = GetBool(ctx, *opts, "batch_aggregate");
+  }
+
+  if (const JsonValue* pins = Get(ctx, obj, "pins");
+      pins != nullptr && pins->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& p : pins->array) {
+      obs::TracePin pin;
+      pin.app = GetInt<AppId>(ctx, p, "app");
+      pin.nodes = GetNodeArray(ctx, p, "nodes");
+      in.pins.push_back(std::move(pin));
+    }
+  }
+
+  if (const JsonValue* seps = Get(ctx, obj, "separations");
+      seps != nullptr && seps->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& s : seps->array) {
+      if (s.kind != JsonValue::Kind::kArray || s.array.size() != 2) {
+        ctx.Fail("separation must be an [a,b] pair");
+        break;
+      }
+      in.separations.emplace_back(
+          static_cast<AppId>(ElementAsDouble(ctx, s.array[0], "separations")),
+          static_cast<AppId>(ElementAsDouble(ctx, s.array[1], "separations")));
+    }
+  }
+  return in;
+}
+
+obs::CycleDecisionRecord ReadDecision(Ctx& ctx, const JsonValue& obj) {
+  obs::CycleDecisionRecord decision;
+  if (const JsonValue* cells = Get(ctx, obj, "placement");
+      cells != nullptr && cells->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& c : cells->array) {
+      if (c.kind != JsonValue::Kind::kArray || c.array.size() != 3) {
+        ctx.Fail("placement cell must be [entity,node,count]");
+        break;
+      }
+      obs::TracePlacementCell cell;
+      cell.entity = static_cast<int>(ElementAsDouble(ctx, c.array[0], "placement"));
+      cell.node = static_cast<int>(ElementAsDouble(ctx, c.array[1], "placement"));
+      cell.count = static_cast<int>(ElementAsDouble(ctx, c.array[2], "placement"));
+      decision.placement.push_back(cell);
+    }
+  }
+  decision.allocations = GetDoubleArray(ctx, obj, "allocations");
+  return decision;
+}
+
+obs::CycleTrace ReadCycle(Ctx& ctx, const JsonValue& obj, int version) {
+  obs::CycleTrace t;
+  if (version >= 2) t.run_id = GetString(ctx, obj, "run_id");
+  t.cycle = GetInt<int>(ctx, obj, "cycle");
+  t.time = GetDouble(ctx, obj, "time");
+  t.avg_job_rp = GetDouble(ctx, obj, "avg_job_rp");
+  t.min_job_rp = GetDouble(ctx, obj, "min_job_rp");
+  t.num_jobs = GetInt<int>(ctx, obj, "num_jobs");
+  t.running_jobs = GetInt<int>(ctx, obj, "running_jobs");
+  t.queued_jobs = GetInt<int>(ctx, obj, "queued_jobs");
+  t.suspended_jobs = GetInt<int>(ctx, obj, "suspended_jobs");
+  t.batch_allocation = GetDouble(ctx, obj, "batch_allocation");
+  t.tx_allocation = GetDouble(ctx, obj, "tx_allocation");
+  t.cluster_utilization = GetDouble(ctx, obj, "cluster_utilization");
+  t.starts = GetInt<int>(ctx, obj, "starts");
+  t.stops = GetInt<int>(ctx, obj, "stops");
+  t.suspends = GetInt<int>(ctx, obj, "suspends");
+  t.resumes = GetInt<int>(ctx, obj, "resumes");
+  t.migrations = GetInt<int>(ctx, obj, "migrations");
+  t.failed_operations = GetInt<int>(ctx, obj, "failed_operations");
+  t.evaluations = GetInt<int>(ctx, obj, "evaluations");
+  t.shortcut = GetBool(ctx, obj, "shortcut");
+  t.solver_seconds = GetDouble(ctx, obj, "solver_seconds");
+  t.cache_hits = GetInt<std::uint64_t>(ctx, obj, "cache_hits");
+  t.cache_misses = GetInt<std::uint64_t>(ctx, obj, "cache_misses");
+  t.distribute_calls = GetInt<std::uint64_t>(ctx, obj, "distribute_calls");
+  t.node_health.online = GetInt<int>(ctx, obj, "nodes_online");
+  t.node_health.degraded = GetInt<int>(ctx, obj, "nodes_degraded");
+  t.node_health.offline = GetInt<int>(ctx, obj, "nodes_offline");
+  t.node_health.available_cpu = GetDouble(ctx, obj, "available_cpu");
+  t.node_health.nominal_cpu = GetDouble(ctx, obj, "nominal_cpu");
+  t.rp_before = GetDoubleArray(ctx, obj, "rp_before");
+  t.rp_after = GetDoubleArray(ctx, obj, "rp_after");
+  t.tx_utilities = GetDoubleArray(ctx, obj, "tx_utilities");
+  t.tx_allocations = GetDoubleArray(ctx, obj, "tx_allocations");
+  if (version >= 2) {
+    const bool has_input = obj.Find("input") != nullptr;
+    const bool has_decision = obj.Find("decision") != nullptr;
+    if (has_input != has_decision) {
+      ctx.Fail("cycle must carry both input and decision or neither");
+    } else if (has_input) {
+      t.input = ReadInput(ctx, *obj.Find("input"));
+      t.decision = ReadDecision(ctx, *obj.Find("decision"));
+    }
+  }
+  return t;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::optional<ParsedTrace> ParseTraceJsonl(std::string_view text,
+                                           std::string* error) {
+  ParsedTrace trace;
+  std::size_t line_no = 0;
+  std::size_t declared = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    if (line.empty()) {
+      if (nl == std::string_view::npos) break;
+      continue;
+    }
+    ++line_no;
+
+    JsonValue value;
+    Parser parser(line);
+    if (!parser.Parse(value)) {
+      SetError(error,
+               "line " + std::to_string(line_no) + ": " + parser.error());
+      return std::nullopt;
+    }
+    Ctx ctx;
+    if (!saw_header) {
+      saw_header = true;
+      if (GetString(ctx, value, "record") != "header") {
+        SetError(error, "line 1: first record must be a header");
+        return std::nullopt;
+      }
+      trace.schema_version = GetInt<int>(ctx, value, "schema_version");
+      if (ctx.ok && trace.schema_version != 1 && trace.schema_version != 2) {
+        SetError(error, "line 1: unsupported schema_version " +
+                            std::to_string(trace.schema_version));
+        return std::nullopt;
+      }
+      trace.context.experiment = GetString(ctx, value, "experiment");
+      trace.context.seed = GetInt<std::uint64_t>(ctx, value, "seed");
+      trace.context.control_cycle = GetDouble(ctx, value, "control_cycle");
+      trace.context.build_type = GetString(ctx, value, "build_type");
+      trace.context.git_sha = GetString(ctx, value, "git_sha");
+      if (trace.schema_version >= 2) {
+        trace.context.run_id = GetString(ctx, value, "run_id");
+      }
+      declared = GetInt<std::size_t>(ctx, value, "num_cycles");
+    } else {
+      if (GetString(ctx, value, "record") != "cycle") {
+        ctx.Fail("expected a cycle record");
+      } else {
+        trace.cycles.push_back(ReadCycle(ctx, value, trace.schema_version));
+      }
+    }
+    if (!ctx.ok) {
+      SetError(error, "line " + std::to_string(line_no) + ": " + ctx.error);
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) {
+    SetError(error, "empty trace file");
+    return std::nullopt;
+  }
+  if (trace.cycles.size() != declared) {
+    SetError(error, "header declares " + std::to_string(declared) +
+                        " cycles but file has " +
+                        std::to_string(trace.cycles.size()));
+    return std::nullopt;
+  }
+  return trace;
+}
+
+std::optional<ParsedTrace> ParseTraceFile(const std::string& path,
+                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open trace file '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    SetError(error, "error while reading trace file '" + path + "'");
+    return std::nullopt;
+  }
+  return ParseTraceJsonl(buffer.str(), error);
+}
+
+}  // namespace mwp::replay

@@ -1,0 +1,44 @@
+// Reader for CycleTrace JSONL exports (trace schema v1 and v2).
+//
+// The exporter (obs/trace_export.h) serializes doubles with std::to_chars
+// shortest round-trip formatting; this reader parses numbers back with
+// std::from_chars, so a parsed trace holds the recorded values bit-for-bit
+// and serialize→parse→serialize is byte-stable (property-tested). The JSON
+// subset understood is exactly what the exporter emits — objects, arrays,
+// strings with the exporter's escape set, numbers, booleans, null — parsed
+// by a small dependency-free recursive-descent parser.
+//
+// Malformed input is reported as an error string, never a crash: the replay
+// CLI must diagnose truncated or hand-edited traces gracefully.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
+
+namespace mwp::replay {
+
+/// A parsed trace file: the header's provenance plus every cycle record, in
+/// file order. v1 files parse with empty run_ids and no input/decision.
+struct ParsedTrace {
+  int schema_version = 0;
+  obs::TraceContext context;
+  std::vector<obs::CycleTrace> cycles;
+};
+
+/// Parses a JSONL export. Returns std::nullopt and sets *error (if non-null)
+/// on malformed input — bad JSON, wrong record shape, unsupported schema
+/// version, or a header/cycle-count mismatch.
+std::optional<ParsedTrace> ParseTraceJsonl(std::string_view text,
+                                           std::string* error);
+
+/// Reads and parses `path`. Errors include I/O failures.
+std::optional<ParsedTrace> ParseTraceFile(const std::string& path,
+                                          std::string* error);
+
+}  // namespace mwp::replay

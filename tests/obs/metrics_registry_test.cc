@@ -64,6 +64,80 @@ TEST(MetricsRegistryTest, HistogramBucketsAreLogScale) {
   EXPECT_EQ(h.BucketCount(4), 1u);
 }
 
+TEST(MetricsRegistryTest, HistogramQuantileExactBucketBoundaries) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;  // bounds 1, 2, 4, 8 + overflow
+  Histogram& h = registry.histogram("q", options);
+  h.Observe(0.5);    // bucket 0: (0, 1]
+  h.Observe(1.5);    // bucket 1: (1, 2]
+  h.Observe(8.0);    // bucket 3: (4, 8]
+  h.Observe(100.0);  // overflow: (8, inf)
+
+  // Ranks that exhaust a bucket exactly land on its upper bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  // q = 0 is the lower edge of the first populated bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  // A quantile in the overflow bucket is only a lower-bound estimate: the
+  // last finite bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;
+  Histogram& h = registry.histogram("q", options);
+  // All mass in bucket (2, 4]: the estimator interpolates linearly inside it.
+  for (int i = 0; i < 10; ++i) h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 3.9);
+
+  // Mixed occupancy: target rank 1.5 of 4 sits halfway through bucket (1, 2].
+  Histogram& m = registry.histogram("m", options);
+  m.Observe(0.5);
+  m.Observe(1.5);
+  m.Observe(1.5);
+  m.Observe(3.0);
+  EXPECT_DOUBLE_EQ(m.Quantile(0.375), 1.25);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantileEmptyIsNaN) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("empty");
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.Quantile(1.0)));
+}
+
+TEST(MetricsRegistryTest, SnapshotQuantileMatchesLiveInstrument) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;
+  Histogram& h = registry.histogram("q", options);
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(100.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(HistogramQuantile(snap.histograms[0], q), h.Quantile(q))
+        << "q=" << q;
+  }
+}
+
 TEST(MetricsRegistryTest, InvalidHistogramOptionsThrow) {
   MetricsRegistry registry;
   HistogramOptions bad;

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Validate a CycleTrace JSONL export against trace schema v1.
+"""Validate a CycleTrace JSONL export against trace schema v1 or v2.
 
 Usage: validate_trace.py TRACE.jsonl [--min-cycles N]
 
 Checks, in order:
-  * line 1 is a header record with schema_version == 1 and the full
-    provenance key set (experiment, seed, control_cycle, build_type,
-    git_sha, num_cycles);
-  * every further line is a cycle record carrying exactly the schema v1
+  * line 1 is a header record with a supported schema_version (1 or 2) and
+    the full provenance key set for that version (experiment, seed,
+    control_cycle, build_type, git_sha, num_cycles; v2 adds run_id);
+  * every further line is a cycle record carrying exactly that version's
     key set, with the right JSON types (null allowed where the producer
-    emits NaN: avg_job_rp, min_job_rp and other double fields);
+    emits NaN: avg_job_rp, min_job_rp and other double fields). v2 cycle
+    records carry run_id and, when recorded under --trace-full, paired
+    "input"/"decision" objects whose inner shape is validated too;
   * cycle numbers and counts are internally consistent (monotone cycle
-    sequence per run segment, num_cycles == number of cycle records).
+    sequence per run segment, num_cycles == number of cycle records). In
+    v2 files a run_id change must coincide with a cycle reset to 0.
 
 Exit status 0 when the file validates, 1 otherwise (with a line-numbered
 diagnostic on stderr). CI runs this on a scaled-down Experiment 1 export;
@@ -23,7 +26,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SUPPORTED_VERSIONS = (1, 2)
 
 HEADER_KEYS = {
     "record": str,
@@ -75,6 +78,75 @@ CYCLE_KEYS = {
     "tx_allocations": (list, False),
 }
 
+# schema v2 "input" object: field -> (type(s), nullable).
+INPUT_KEYS = {
+    "now": (NUMBER, True),
+    "control_cycle": (NUMBER, True),
+    "nodes": (list, False),
+    "jobs": (list, False),
+    "tx": (list, False),
+    "options": (dict, False),
+    "pins": (list, False),
+    "separations": (list, False),
+}
+
+INPUT_NODE_KEYS = {
+    "cpus": (int, False),
+    "speed": (NUMBER, True),
+    "memory": (NUMBER, True),
+    "state": (int, False),
+    "speed_factor": (NUMBER, True),
+}
+
+INPUT_JOB_KEYS = {
+    "id": (int, False),
+    "submit_time": (NUMBER, True),
+    "desired_start": (NUMBER, True),
+    "completion_goal": (NUMBER, True),
+    "work_done": (NUMBER, True),
+    "status": (int, False),
+    "node": (int, False),
+    "overhead_until": (NUMBER, True),
+    "place_overhead": (NUMBER, True),
+    "migrate_overhead": (NUMBER, True),
+    "memory": (NUMBER, True),
+    "max_speed": (NUMBER, True),
+    "min_speed": (NUMBER, True),
+    "stages": (list, False),
+}
+
+INPUT_TX_KEYS = {
+    "id": (int, False),
+    "name": (str, False),
+    "memory": (NUMBER, True),
+    "response_time_goal": (NUMBER, True),
+    "demand_per_request": (NUMBER, True),
+    "min_response_time": (NUMBER, True),
+    "saturation": (NUMBER, True),
+    "max_instances": (int, False),
+    "arrival_rate": (NUMBER, True),
+    "nodes": (list, False),
+}
+
+INPUT_OPTIONS_KEYS = {
+    "max_sweeps": (int, False),
+    "max_changes_per_node": (int, False),
+    "max_wishes_tried": (int, False),
+    "max_migrations_tried": (int, False),
+    "max_evaluations": (int, False),
+    "tie_tolerance": (NUMBER, True),
+    "grid": (list, False),
+    "level_tolerance": (NUMBER, True),
+    "probe_delta": (NUMBER, True),
+    "bisection_iters": (int, False),
+    "batch_aggregate": (bool, False),
+}
+
+DECISION_KEYS = {
+    "placement": (list, False),
+    "allocations": (list, False),
+}
+
 
 class ValidationError(Exception):
     pass
@@ -84,33 +156,107 @@ def fail(line_no, message):
     raise ValidationError(f"line {line_no}: {message}")
 
 
+def check_keyed_object(obj, keys, line_no, what):
+    """Exact key set + per-field type check for a nested schema object."""
+    if not isinstance(obj, dict):
+        fail(line_no, f"{what} must be an object")
+    if set(obj) != set(keys):
+        extra = set(obj) - set(keys)
+        missing = set(keys) - set(obj)
+        fail(line_no, f"{what} key mismatch: extra={sorted(extra)} "
+                      f"missing={sorted(missing)}")
+    for key, (expected, nullable) in keys.items():
+        value = obj[key]
+        if value is None:
+            if not nullable:
+                fail(line_no, f"{what} field {key!r} must not be null")
+            continue
+        # bool is an int subclass in Python; don't let true pass as an int.
+        if isinstance(value, bool) and expected is not bool:
+            fail(line_no, f"{what} field {key!r} has type bool")
+        if not isinstance(value, expected):
+            fail(line_no, f"{what} field {key!r} has type "
+                          f"{type(value).__name__}")
+
+
 def check_header(obj, line_no):
     if obj.get("record") != "header":
         fail(line_no, f"first record must be a header, got {obj.get('record')!r}")
-    if set(obj) != set(HEADER_KEYS):
-        extra = set(obj) - set(HEADER_KEYS)
-        missing = set(HEADER_KEYS) - set(obj)
+    version = obj.get("schema_version")
+    if version not in SUPPORTED_VERSIONS:
+        fail(line_no, f"schema_version {version!r} not in "
+                      f"{SUPPORTED_VERSIONS}")
+    keys = dict(HEADER_KEYS)
+    if version >= 2:
+        keys["run_id"] = str
+    if set(obj) != set(keys):
+        extra = set(obj) - set(keys)
+        missing = set(keys) - set(obj)
         fail(line_no, f"header key mismatch: extra={sorted(extra)} "
                       f"missing={sorted(missing)}")
-    for key, expected in HEADER_KEYS.items():
+    for key, expected in keys.items():
         if not isinstance(obj[key], expected):
             fail(line_no, f"header field {key!r} has type "
                           f"{type(obj[key]).__name__}")
-    if obj["schema_version"] != SCHEMA_VERSION:
-        fail(line_no, f"schema_version {obj['schema_version']} != "
-                      f"{SCHEMA_VERSION}")
-    return obj["num_cycles"]
+    return version, obj["num_cycles"]
 
 
-def check_cycle(obj, line_no):
+def check_input(obj, line_no):
+    check_keyed_object(obj, INPUT_KEYS, line_no, "input")
+    for node in obj["nodes"]:
+        check_keyed_object(node, INPUT_NODE_KEYS, line_no, "input node")
+    for job in obj["jobs"]:
+        check_keyed_object(job, INPUT_JOB_KEYS, line_no, "input job")
+        for stage in job["stages"]:
+            if not isinstance(stage, dict) or set(stage) != {
+                    "work", "max_speed", "min_speed", "memory"}:
+                fail(line_no, "input job stage key mismatch")
+    for tx in obj["tx"]:
+        check_keyed_object(tx, INPUT_TX_KEYS, line_no, "input tx")
+    check_keyed_object(obj["options"], INPUT_OPTIONS_KEYS, line_no,
+                       "input options")
+    for pin in obj["pins"]:
+        if not isinstance(pin, dict) or set(pin) != {"app", "nodes"}:
+            fail(line_no, "input pin key mismatch")
+    for sep in obj["separations"]:
+        if not isinstance(sep, list) or len(sep) != 2:
+            fail(line_no, "input separation must be an [a,b] pair")
+
+
+def check_decision(obj, line_no):
+    check_keyed_object(obj, DECISION_KEYS, line_no, "decision")
+    for cell in obj["placement"]:
+        if (not isinstance(cell, list) or len(cell) != 3
+                or not all(isinstance(v, int) for v in cell)):
+            fail(line_no, "decision placement cell must be [entity,node,count]")
+    for value in obj["allocations"]:
+        if value is not None and not isinstance(value, NUMBER):
+            fail(line_no, "decision allocations holds a "
+                          f"{type(value).__name__}")
+
+
+def check_cycle(obj, line_no, version):
     if obj.get("record") != "cycle":
         fail(line_no, f"expected a cycle record, got {obj.get('record')!r}")
-    if set(obj) != set(CYCLE_KEYS):
-        extra = set(obj) - set(CYCLE_KEYS)
-        missing = set(CYCLE_KEYS) - set(obj)
+    keys = dict(CYCLE_KEYS)
+    if version >= 2:
+        keys["run_id"] = (str, False)
+        # input/decision are optional but paired (only --trace-full runs
+        # record them); validated below when present.
+        has_input = "input" in obj
+        has_decision = "decision" in obj
+        if has_input != has_decision:
+            fail(line_no, "cycle must carry both input and decision or "
+                          "neither")
+        if has_input:
+            keys["input"] = (dict, False)
+            keys["decision"] = (dict, False)
+    if set(obj) != set(keys):
+        extra = set(obj) - set(keys)
+        missing = set(keys) - set(obj)
         fail(line_no, f"cycle key mismatch: extra={sorted(extra)} "
                       f"missing={sorted(missing)}")
-    for key, (expected, nullable) in CYCLE_KEYS.items():
+    for key, (expected, nullable) in keys.items():
         value = obj[key]
         if value is None:
             if not nullable:
@@ -128,6 +274,13 @@ def check_cycle(obj, line_no):
                               f"{type(element).__name__}")
     if len(obj["rp_after"]) != obj["num_jobs"] + len(obj["tx_utilities"]):
         fail(line_no, "rp_after length != num_jobs + tx entities")
+    if "input" in obj:
+        check_input(obj["input"], line_no)
+        check_decision(obj["decision"], line_no)
+        if len(obj["input"]["jobs"]) != obj["num_jobs"]:
+            fail(line_no, "input jobs length != num_jobs")
+        if len(obj["input"]["tx"]) != len(obj["tx_utilities"]):
+            fail(line_no, "input tx length != tx_utilities length")
 
 
 def validate(path, min_cycles):
@@ -139,20 +292,28 @@ def validate(path, min_cycles):
         header = json.loads(lines[0])
     except json.JSONDecodeError as err:
         fail(1, f"invalid JSON: {err}")
-    declared = check_header(header, 1)
+    version, declared = check_header(header, 1)
 
     previous_cycle = None
+    previous_run = None
     for line_no, line in enumerate(lines[1:], start=2):
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as err:
             fail(line_no, f"invalid JSON: {err}")
-        check_cycle(obj, line_no)
+        check_cycle(obj, line_no, version)
         # Sweep exports concatenate runs; within a run cycles advance by 1.
         if previous_cycle is not None and obj["cycle"] not in (
                 previous_cycle + 1, 0):
             fail(line_no, f"cycle jumped from {previous_cycle} to "
                           f"{obj['cycle']}")
+        if version >= 2:
+            run = obj["run_id"]
+            if (previous_run is not None and run != previous_run
+                    and obj["cycle"] != 0):
+                fail(line_no, f"run_id changed to {run!r} without a cycle "
+                              f"reset to 0")
+            previous_run = run
         previous_cycle = obj["cycle"]
 
     count = len(lines) - 1
@@ -162,7 +323,7 @@ def validate(path, min_cycles):
     if count < min_cycles:
         raise ValidationError(
             f"expected at least {min_cycles} cycles, found {count}")
-    return count
+    return version, count
 
 
 def main():
@@ -172,11 +333,11 @@ def main():
                         help="minimum number of cycle records (default 1)")
     args = parser.parse_args()
     try:
-        count = validate(args.trace, args.min_cycles)
+        version, count = validate(args.trace, args.min_cycles)
     except ValidationError as err:
         print(f"{args.trace}: INVALID — {err}", file=sys.stderr)
         return 1
-    print(f"{args.trace}: OK ({count} cycle records, schema v{SCHEMA_VERSION})")
+    print(f"{args.trace}: OK ({count} cycle records, schema v{version})")
     return 0
 
 
