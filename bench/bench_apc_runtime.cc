@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "core/apc_controller.h"
 #include "core/placement_optimizer.h"
+#include "core/sharded_optimizer.h"
 #include "exp/experiment1.h"
 #include "obs/build_info.h"
 #include "sim/simulation.h"
@@ -90,6 +91,103 @@ BENCHMARK(BM_OptimizeLoaded)
     ->Args({10, 10})
     ->Args({25, 10})     // Experiment One at typical queueing
     ->Args({25, 50})     // deep queue
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeSharded(benchmark::State& state) {
+  // The cell-decomposed solver (§ docs/ALGORITHMS.md §13) on the same
+  // workload shape: nodes are partitioned into cells of range(2) nodes,
+  // each cell solved independently, then the bounded cross-cell rebalancer
+  // runs. Compare against BM_OptimizeLoaded at equal {nodes, queued}.
+  const int nodes = static_cast<int>(state.range(0));
+  const int running = nodes * 3;
+  const int queued = static_cast<int>(state.range(1));
+  const int cell_size = static_cast<int>(state.range(2));
+  BenchState bench(nodes, running, queued);
+  const PlacementSnapshot snap = bench.Snapshot();
+  ShardedPlacementOptimizer::Options options;
+  options.cell_size = cell_size;
+  int evaluations = 0;
+  int cells = 0;
+  int transfers = 0;
+  for (auto _ : state) {
+    const ShardedPlacementOptimizer optimizer(&snap, options);
+    auto result = optimizer.Optimize();
+    evaluations = result.global.evaluations;
+    cells = result.num_cells;
+    transfers = result.cross_cell_transfers;
+    benchmark::DoNotOptimize(result.global.placement);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["jobs"] = running + queued;
+  state.counters["cells"] = cells;
+  state.counters["evaluations"] = evaluations;
+  state.counters["cross_cell_transfers"] = transfers;
+}
+BENCHMARK(BM_OptimizeSharded)
+    ->Args({25, 10, 25})    // one cell: bit-exact with BM_OptimizeLoaded/25/10
+    ->Args({100, 50, 25})   // 4 cells
+    ->Unit(benchmark::kMillisecond);
+
+// --- scale study (excluded from the CI smoke run via -Scale filter) -------
+//
+// The numbers behind the near-linear-scaling claim in BENCH_apc_runtime.json:
+// the monolithic solver at 100/500 nodes against the sharded solver at
+// 100/500/1000. Monolithic runs are pinned to one iteration because a single
+// 500-node solve already takes long enough to time stably — and long enough
+// that letting the benchmark library pick an iteration count would make
+// recording painful.
+
+void BM_OptimizeMonolithicScale(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int running = nodes * 3;
+  const int queued = static_cast<int>(state.range(1));
+  BenchState bench(nodes, running, queued);
+  const PlacementSnapshot snap = bench.Snapshot();
+  int evaluations = 0;
+  for (auto _ : state) {
+    PlacementOptimizer optimizer(&snap);
+    auto result = optimizer.Optimize();
+    evaluations = result.evaluations;
+    benchmark::DoNotOptimize(result.placement);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["jobs"] = running + queued;
+  state.counters["evaluations"] = evaluations;
+}
+BENCHMARK(BM_OptimizeMonolithicScale)
+    ->Args({100, 50})
+    ->Args({500, 200})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeShardedScale(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int running = nodes * 3;
+  const int queued = static_cast<int>(state.range(1));
+  const int cell_size = static_cast<int>(state.range(2));
+  BenchState bench(nodes, running, queued);
+  const PlacementSnapshot snap = bench.Snapshot();
+  ShardedPlacementOptimizer::Options options;
+  options.cell_size = cell_size;
+  int evaluations = 0;
+  int cells = 0;
+  for (auto _ : state) {
+    const ShardedPlacementOptimizer optimizer(&snap, options);
+    auto result = optimizer.Optimize();
+    evaluations = result.global.evaluations;
+    cells = result.num_cells;
+    benchmark::DoNotOptimize(result.global.placement);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["jobs"] = running + queued;
+  state.counters["cells"] = cells;
+  state.counters["evaluations"] = evaluations;
+}
+BENCHMARK(BM_OptimizeShardedScale)
+    ->Args({100, 50, 25})
+    ->Args({500, 200, 25})
+    ->Args({1000, 400, 32})
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_OptimizeLoadedReference(benchmark::State& state) {

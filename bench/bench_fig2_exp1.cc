@@ -8,7 +8,11 @@
 //
 //   ./bench_fig2_exp1 [--jobs 800] [--nodes 25] [--interarrival 260]
 //                     [--trace-out exp1.jsonl] [--trace-full]
-//                     [--run-id exp1-s42]
+//                     [--run-id exp1-s42] [--shard-cell-size 0]
+//
+// --shard-cell-size N > 0 runs the control loop on the sharded cell-based
+// optimizer (docs/ALGORITHMS.md §13) — the scale-test path for hundreds of
+// nodes, e.g. --nodes 100 --shard-cell-size 25.
 #include <iostream>
 #include <string>
 
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
   cfg.mean_interarrival = cli.GetDouble("interarrival", 260.0);
   cfg.control_cycle = cli.GetDouble("cycle", 600.0);
   cfg.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 42));
+  cfg.shard_cell_size = static_cast<int>(cli.GetInt("shard-cell-size", 0));
   const bool csv = cli.GetBool("csv", false);
   const Seconds bucket = cli.GetDouble("bucket", 10'000.0);
   const std::string trace_out = cli.GetString("trace-out", "");

@@ -69,9 +69,28 @@ void ApcController::RunCycle(Simulation& sim) {
       tx_inputs);
   snapshot.set_constraints(config_.constraints);
 
-  PlacementOptimizer optimizer(&snapshot, config_.optimizer);
+  PlacementOptimizer::Result result;
+  int num_cells = 0;
+  int cross_cell_migrations = 0;
+  std::vector<Seconds> cell_solver_seconds;
   const auto wall_start = std::chrono::steady_clock::now();
-  PlacementOptimizer::Result result = optimizer.Optimize();
+  if (config_.shard_cell_size > 0) {
+    ShardedPlacementOptimizer::Options shard_options;
+    shard_options.cell_size = config_.shard_cell_size;
+    shard_options.partition_seed = config_.shard_partition_seed;
+    shard_options.cell_threads = config_.shard_cell_threads;
+    shard_options.max_cross_cell_moves = config_.shard_max_cross_cell_moves;
+    shard_options.cell = config_.optimizer;
+    const ShardedPlacementOptimizer sharded(&snapshot, shard_options);
+    ShardedPlacementOptimizer::Result sharded_result = sharded.Optimize();
+    result = std::move(sharded_result.global);
+    num_cells = sharded_result.num_cells;
+    cross_cell_migrations = sharded_result.cross_cell_migrations;
+    cell_solver_seconds = std::move(sharded_result.cell_solve_seconds);
+  } else {
+    const PlacementOptimizer optimizer(&snapshot, config_.optimizer);
+    result = optimizer.Optimize();
+  }
   const double solver_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -210,6 +229,9 @@ void ApcController::RunCycle(Simulation& sim) {
   stats.evaluations = result.evaluations;
   stats.shortcut = result.used_shortcut;
   stats.solver_seconds = solver_seconds;
+  stats.num_cells = num_cells;
+  stats.cross_cell_migrations = cross_cell_migrations;
+  stats.cell_solver_seconds = std::move(cell_solver_seconds);
 
   for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
     const int entity = snapshot.EntityOfTx(static_cast<int>(w));
@@ -326,9 +348,9 @@ namespace {
 /// Everything the optimizer reads is copied out of the snapshot it actually
 /// saw; node health comes from the live cluster, which cannot have changed
 /// since Capture (the event queue serializes faults against cycles).
-obs::CycleInputRecord BuildInputRecord(
-    const PlacementSnapshot& snapshot,
-    const PlacementOptimizer::Options& options) {
+obs::CycleInputRecord BuildInputRecord(const PlacementSnapshot& snapshot,
+                                       const ApcController::Config& config) {
+  const PlacementOptimizer::Options& options = config.optimizer;
   obs::CycleInputRecord in;
   in.now = snapshot.now();
   in.control_cycle = snapshot.control_cycle();
@@ -397,6 +419,9 @@ obs::CycleInputRecord BuildInputRecord(
   in.options.probe_delta = options.evaluator.distributor.probe_delta;
   in.options.bisection_iters = options.evaluator.distributor.bisection_iters;
   in.options.batch_aggregate = options.evaluator.distributor.batch_aggregate;
+  in.options.cell_size = config.shard_cell_size;
+  in.options.partition_seed = config.shard_partition_seed;
+  in.options.max_cross_cell_moves = config.shard_max_cross_cell_moves;
 
   for (const auto& [app, nodes] : snapshot.constraints().pins()) {
     in.pins.push_back({app, nodes});
@@ -459,8 +484,11 @@ void ApcController::RecordObservability(
     trace.node_health = HealthSummary();
     trace.tx_utilities = stats.tx_utilities;
     trace.tx_allocations = stats.tx_allocations;
+    trace.num_cells = stats.num_cells;
+    trace.cross_cell_migrations = stats.cross_cell_migrations;
+    trace.cell_solver_seconds = stats.cell_solver_seconds;
     if (config_.trace_full) {
-      trace.input = BuildInputRecord(snapshot, config_.optimizer);
+      trace.input = BuildInputRecord(snapshot, config_);
       trace.decision = BuildDecisionRecord(snapshot, result);
     }
     config_.trace->Record(std::move(trace));
@@ -484,6 +512,32 @@ void ApcController::RecordObservability(
     m.gauge("apc.cluster_utilization").Set(stats.cluster_utilization);
     if (stats.num_jobs > 0) m.gauge("apc.avg_job_rp").Set(stats.avg_job_rp);
     m.histogram("apc.solver_seconds").Observe(stats.solver_seconds);
+    if (stats.num_cells > 0) {
+      m.gauge("apc.cells").Set(stats.num_cells);
+      m.counter("apc.cross_cell_migrations")
+          .Increment(static_cast<std::uint64_t>(stats.cross_cell_migrations));
+      obs::Histogram& cell_hist = m.histogram("apc.cell_solver_seconds");
+      for (Seconds s : stats.cell_solver_seconds) cell_hist.Observe(s);
+    }
+
+    // Snapshot ring + derived rates: push this cycle's registry state, then
+    // read counter deltas/rates over the ring's window back into rate
+    // gauges. Rates lag the push by design (they describe completed
+    // cycles), so a ring snapshot carries the previous cycle's rates.
+    if (config_.metrics_ring != nullptr) {
+      obs::MetricsRing& ring = *config_.metrics_ring;
+      ring.Push(stats.time, m.Snapshot());
+      const auto set_rate = [&m](const char* name,
+                                 const std::optional<double>& value) {
+        if (value) m.gauge(name).Set(*value);
+      };
+      set_rate("apc.rate.evaluations_per_sec",
+               ring.CounterRate("apc.evaluations"));
+      set_rate("apc.rate.placement_changes_per_cycle",
+               ring.CounterDelta("apc.placement_changes"));
+      set_rate("apc.rate.migrations_per_cycle",
+               ring.CounterDelta("apc.cross_cell_migrations"));
+    }
   }
 }
 

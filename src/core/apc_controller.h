@@ -28,8 +28,10 @@
 #include "cluster/vm_cost_model.h"
 #include "common/stats.h"
 #include "core/placement_optimizer.h"
+#include "core/sharded_optimizer.h"
 #include "obs/cycle_trace.h"
 #include "obs/metrics.h"
+#include "obs/metrics_ring.h"
 #include "sim/simulation.h"
 #include "web/request_router.h"
 #include "web/transactional_app.h"
@@ -77,6 +79,12 @@ struct CycleStats {
   int failed_operations = 0;
   bool shortcut = false;
   Seconds solver_seconds = 0.0;  ///< wall-clock time of the optimizer
+  /// Sharded solve (Config::shard_cell_size > 0): cells solved this cycle
+  /// (0 = monolithic), accepted cross-cell job migrations, and wall-clock
+  /// solve time per cell (re-solves included).
+  int num_cells = 0;
+  int cross_cell_migrations = 0;
+  std::vector<Seconds> cell_solver_seconds;
   /// Per transactional app (same order as registration).
   std::vector<Utility> tx_utilities;
   std::vector<Seconds> tx_response_times;
@@ -107,6 +115,18 @@ class ApcController {
     Seconds control_cycle = 600.0;
     VmCostModel costs = VmCostModel::PaperMeasured();
     PlacementOptimizer::Options optimizer;
+    /// Sharded optimizer: 0 solves the whole cluster monolithically; > 0
+    /// partitions it into cells of this many nodes and runs
+    /// ShardedPlacementOptimizer (per-cell solves in parallel plus the
+    /// bounded cross-cell rebalance), with `optimizer` above as the
+    /// per-cell search options.
+    int shard_cell_size = 0;
+    std::uint64_t shard_partition_seed = 0;
+    /// Concurrent cell solves (0 = hardware concurrency). Decisions are
+    /// identical for every value.
+    int shard_cell_threads = 0;
+    /// Cross-cell churn bound: accepted job transfers per cycle.
+    int shard_max_cross_cell_moves = 8;
     /// Policy constraints (pinning, anti-collocation) enforced by every
     /// placement decision, including mid-cycle dispatch.
     PlacementConstraints constraints;
@@ -136,6 +156,12 @@ class ApcController {
     /// apc.* counters, gauges and the solver-time histogram.
     obs::TraceRecorder* trace = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional snapshot ring fed once per cycle (requires `metrics`): the
+    /// controller pushes the registry's snapshot stamped with the cycle's
+    /// simulation time, then derives rate gauges (apc.rate.*) from the
+    /// ring's window back into the registry. Non-owning; must outlive the
+    /// controller.
+    obs::MetricsRing* metrics_ring = nullptr;
     /// Stamped into every CycleTrace (schema v2): identifies this run when
     /// several runs' records end up in one export (sweeps).
     std::string trace_run_id;

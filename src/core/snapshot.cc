@@ -102,6 +102,16 @@ PlacementSnapshot PlacementSnapshot::Capture(
                            std::move(txs));
 }
 
+void PlacementSnapshot::OverrideNodeAvailability(std::vector<bool> online,
+                                                 std::vector<MHz> cpu,
+                                                 std::vector<Megabytes> memory) {
+  const auto n = static_cast<std::size_t>(num_nodes());
+  MWP_CHECK(online.size() == n && cpu.size() == n && memory.size() == n);
+  node_online_ = std::move(online);
+  node_available_cpu_ = std::move(cpu);
+  node_available_memory_ = std::move(memory);
+}
+
 int PlacementSnapshot::JobOfEntity(int entity) const {
   MWP_CHECK(IsJobEntity(entity));
   return entity;

@@ -132,6 +132,16 @@ class PlacementSnapshot {
   /// Application id of a snapshot entity.
   AppId EntityAppId(int entity) const;
 
+  /// Replace the node-availability vectors frozen at construction. Used by
+  /// SnapshotSlice: a per-cell snapshot is built over a freshly constructed
+  /// cell ClusterSpec (whose health is all-online by default), then inherits
+  /// the *frozen* health of the global snapshot it was sliced from — the
+  /// optimizer must see one consistent capture, never a re-read of the live
+  /// cluster. All three vectors must have num_nodes() entries.
+  void OverrideNodeAvailability(std::vector<bool> online,
+                                std::vector<MHz> cpu,
+                                std::vector<Megabytes> memory);
+
   /// True when `p` respects every node's memory capacity, places nothing on
   /// a node that was offline at capture time, and satisfies the per-entity
   /// instance rules (jobs: at most one instance; tx: at most one per node

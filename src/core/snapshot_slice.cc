@@ -1,0 +1,267 @@
+#include "core/snapshot_slice.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mwp {
+
+CellPartition CellPartition::Build(int num_nodes, int cell_size,
+                                   std::uint64_t seed) {
+  MWP_CHECK(num_nodes > 0 && cell_size > 0);
+  std::vector<NodeId> order(static_cast<std::size_t>(num_nodes));
+  std::iota(order.begin(), order.end(), 0);
+  if (seed != 0) {
+    // Fisher–Yates with the shared deterministic generator: the same seed
+    // always produces the same partition.
+    Rng rng(seed);
+    for (int i = num_nodes - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.UniformInt(0, i));
+      std::swap(order[static_cast<std::size_t>(i)], order[j]);
+    }
+  }
+  CellPartition part;
+  part.node_cell.assign(static_cast<std::size_t>(num_nodes), -1);
+  for (int start = 0; start < num_nodes; start += cell_size) {
+    const int end = std::min(num_nodes, start + cell_size);
+    std::vector<NodeId> cell(order.begin() + start, order.begin() + end);
+    std::sort(cell.begin(), cell.end());
+    const int index = part.num_cells();
+    for (NodeId n : cell) part.node_cell[static_cast<std::size_t>(n)] = index;
+    part.cells.push_back(std::move(cell));
+  }
+  return part;
+}
+
+namespace {
+
+/// True when `cell` holds at least one online node the app may occupy.
+bool CellHasAllowedOnlineNode(const PlacementSnapshot& snap,
+                              const CellPartition& part, int cell, AppId app) {
+  for (NodeId n : part.cells[static_cast<std::size_t>(cell)]) {
+    if (snap.NodeOnline(n) && snap.constraints().AllowsNode(app, n)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CellAssignment CellAssignment::Build(const PlacementSnapshot& snapshot,
+                                     const CellPartition& partition) {
+  const int num_cells = partition.num_cells();
+  MWP_CHECK(num_cells > 0 &&
+            static_cast<int>(partition.node_cell.size()) ==
+                snapshot.num_nodes());
+  CellAssignment assign;
+  assign.job_cell.assign(static_cast<std::size_t>(snapshot.num_jobs()), -1);
+  assign.tx_home.assign(static_cast<std::size_t>(snapshot.num_tx()), -1);
+
+  std::vector<int> online(static_cast<std::size_t>(num_cells), 0);
+  for (int c = 0; c < num_cells; ++c) {
+    for (NodeId n : partition.cells[static_cast<std::size_t>(c)]) {
+      if (snapshot.NodeOnline(n)) ++online[static_cast<std::size_t>(c)];
+    }
+  }
+
+  // Jobs with a host keep their host's cell (placed instances never change
+  // cells during assignment; only the rebalancer transplants them). The
+  // rest are spread lowest-occupancy-first over the cells that could
+  // legally host them, visiting jobs in snapshot order so the assignment is
+  // a pure function of the snapshot and partition.
+  std::vector<int> load(static_cast<std::size_t>(num_cells), 0);
+  for (int j = 0; j < snapshot.num_jobs(); ++j) {
+    const JobView& jv = snapshot.job(j);
+    if (jv.current_node != kInvalidNode) {
+      const int c = partition.node_cell[static_cast<std::size_t>(jv.current_node)];
+      assign.job_cell[static_cast<std::size_t>(j)] = c;
+      ++load[static_cast<std::size_t>(c)];
+    }
+  }
+  for (int j = 0; j < snapshot.num_jobs(); ++j) {
+    if (assign.job_cell[static_cast<std::size_t>(j)] != -1) continue;
+    const JobView& jv = snapshot.job(j);
+    int best = -1;
+    double best_ratio = 0.0;
+    for (int c = 0; c < num_cells; ++c) {
+      if (online[static_cast<std::size_t>(c)] == 0) continue;
+      if (!CellHasAllowedOnlineNode(snapshot, partition, c, jv.id)) continue;
+      const double ratio = static_cast<double>(load[static_cast<std::size_t>(c)]) /
+                           online[static_cast<std::size_t>(c)];
+      if (best == -1 || ratio < best_ratio) {
+        best = c;
+        best_ratio = ratio;
+      }
+    }
+    assign.job_cell[static_cast<std::size_t>(j)] = best;
+    if (best != -1) ++load[static_cast<std::size_t>(best)];
+  }
+
+  // A transactional app's home cell: the cell of its lowest-id current
+  // instance, else the first cell that could host it, else cell 0 (the app
+  // then simply cannot grow anywhere, matching the monolithic outcome).
+  for (int w = 0; w < snapshot.num_tx(); ++w) {
+    const TxView& tv = snapshot.tx(w);
+    int home = -1;
+    if (!tv.current_nodes.empty()) {
+      const NodeId lowest =
+          *std::min_element(tv.current_nodes.begin(), tv.current_nodes.end());
+      home = partition.node_cell[static_cast<std::size_t>(lowest)];
+    } else {
+      for (int c = 0; c < num_cells; ++c) {
+        if (online[static_cast<std::size_t>(c)] > 0 &&
+            CellHasAllowedOnlineNode(snapshot, partition, c, tv.id)) {
+          home = c;
+          break;
+        }
+      }
+      if (home == -1) home = 0;
+    }
+    assign.tx_home[static_cast<std::size_t>(w)] = home;
+  }
+  return assign;
+}
+
+SnapshotSlice::SnapshotSlice(const PlacementSnapshot& global,
+                             const CellPartition& partition,
+                             const CellAssignment& assignment, int cell)
+    : cell_(cell),
+      global_nodes_(partition.cells.at(static_cast<std::size_t>(cell))) {
+  std::vector<int> local_node(static_cast<std::size_t>(global.num_nodes()), -1);
+  for (std::size_t i = 0; i < global_nodes_.size(); ++i) {
+    local_node[static_cast<std::size_t>(global_nodes_[i])] =
+        static_cast<int>(i);
+  }
+
+  std::vector<NodeSpec> specs;
+  specs.reserve(global_nodes_.size());
+  for (NodeId g : global_nodes_) specs.push_back(global.cluster().node(g));
+  cluster_ = std::make_unique<ClusterSpec>(std::move(specs));
+
+  const bool multi_cell = partition.num_cells() > 1;
+
+  std::vector<JobView> jobs;
+  local_job_.assign(static_cast<std::size_t>(global.num_jobs()), -1);
+  for (int j = 0; j < global.num_jobs(); ++j) {
+    if (assignment.job_cell.at(static_cast<std::size_t>(j)) != cell) continue;
+    JobView v = global.job(j);
+    if (v.current_node != kInvalidNode) {
+      const int local = local_node[static_cast<std::size_t>(v.current_node)];
+      if (local >= 0) {
+        v.current_node = local;
+      } else {
+        // Transplant from another cell: the job enters as a newcomer whose
+        // placement overhead prices the cross-cell move the way the
+        // monolithic evaluator would price the migrate (any in-flight VM
+        // operation still finishes first) or the resume.
+        if (v.placed()) {
+          const Seconds pending = std::max(0.0, v.overhead_until - global.now());
+          v.status = JobStatus::kNotStarted;
+          v.place_overhead = pending + v.migrate_overhead;
+          v.overhead_until = 0.0;
+        }
+        v.current_node = kInvalidNode;
+      }
+    }
+    local_job_[static_cast<std::size_t>(j)] = static_cast<int>(jobs.size());
+    global_entities_.push_back(global.EntityOfJob(j));
+    jobs.push_back(std::move(v));
+  }
+
+  std::vector<TxView> txs;
+  for (int w = 0; w < global.num_tx(); ++w) {
+    TxView t = global.tx(w);
+    std::vector<NodeId> in_cell_nodes;
+    for (NodeId n : t.current_nodes) {
+      const int local = local_node[static_cast<std::size_t>(n)];
+      if (local >= 0) in_cell_nodes.push_back(local);
+    }
+    const int total = static_cast<int>(t.current_nodes.size());
+    const int in_cell = static_cast<int>(in_cell_nodes.size());
+    const bool is_home = assignment.tx_home.at(static_cast<std::size_t>(w)) == cell;
+    if (!is_home && in_cell == 0) continue;
+    if (multi_cell) {
+      // The home cell may grow the app by whatever headroom the global cap
+      // leaves after the instances held elsewhere; any other cell may keep
+      // (or shrink) what it already hosts but not add. A cap of 0 stays 0:
+      // "one per node" composes across cells because cells partition nodes.
+      if (is_home) {
+        if (t.max_instances > 0) {
+          t.max_instances = std::max(in_cell, t.max_instances - (total - in_cell));
+        }
+      } else {
+        t.max_instances = in_cell;
+      }
+      // Workload splits proportionally to the instances serving it; an app
+      // entirely inside one cell keeps its exact arrival rate (no rounding),
+      // which 1-cell bit-exactness relies on.
+      if (total > 0 && in_cell != total) {
+        t.arrival_rate = t.arrival_rate * in_cell / total;
+      }
+    }
+    t.current_nodes = std::move(in_cell_nodes);
+    global_entities_.push_back(global.EntityOfTx(w));
+    txs.push_back(std::move(t));
+  }
+
+  // Remap the policy constraints: pins intersect with the cell's nodes,
+  // separations survive when both sides live in this slice (a pair split
+  // across cells can never share a node, so dropping it loses nothing).
+  PlacementConstraints slice_constraints;
+  if (!global.constraints().empty()) {
+    std::vector<AppId> present;
+    for (int e : global_entities_) present.push_back(global.EntityAppId(e));
+    for (const auto& [app, nodes] : global.constraints().pins()) {
+      if (std::find(present.begin(), present.end(), app) == present.end()) {
+        continue;
+      }
+      std::vector<NodeId> local_pin;
+      for (NodeId n : nodes) {
+        const int local = local_node[static_cast<std::size_t>(n)];
+        if (local >= 0) local_pin.push_back(local);
+      }
+      // Assignment only routes a pinned entity into a cell with an allowed
+      // node, and current hosts are always allowed, so the intersection is
+      // never empty for a present app.
+      MWP_CHECK(!local_pin.empty());
+      std::sort(local_pin.begin(), local_pin.end());
+      slice_constraints.PinTo(app, std::move(local_pin));
+    }
+    for (const auto& [a, b] : global.constraints().separations()) {
+      const bool has_a =
+          std::find(present.begin(), present.end(), a) != present.end();
+      const bool has_b =
+          std::find(present.begin(), present.end(), b) != present.end();
+      if (has_a && has_b) slice_constraints.Separate(a, b);
+    }
+  }
+
+  std::vector<bool> online;
+  std::vector<MHz> cpu;
+  std::vector<Megabytes> memory;
+  online.reserve(global_nodes_.size());
+  cpu.reserve(global_nodes_.size());
+  memory.reserve(global_nodes_.size());
+  for (NodeId g : global_nodes_) {
+    online.push_back(global.NodeOnline(g));
+    cpu.push_back(global.NodeAvailableCpu(g));
+    memory.push_back(global.NodeAvailableMemory(g));
+  }
+
+  snapshot_ = std::make_unique<PlacementSnapshot>(
+      cluster_.get(), global.now(), global.control_cycle(), std::move(jobs),
+      std::move(txs));
+  snapshot_->OverrideNodeAvailability(std::move(online), std::move(cpu),
+                                      std::move(memory));
+  snapshot_->set_constraints(std::move(slice_constraints));
+}
+
+int SnapshotSlice::LocalJobOf(int global_job) const {
+  return local_job_.at(static_cast<std::size_t>(global_job));
+}
+
+}  // namespace mwp

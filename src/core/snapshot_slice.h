@@ -1,0 +1,113 @@
+// Cell partitioning and per-cell snapshot slices for the sharded optimizer.
+//
+// The monolithic optimizer's cycle cost grows super-linearly with cluster
+// size (every candidate evaluation touches every node and entity), which
+// caps the control loop at a few dozen nodes. To scale to hundreds, the
+// cluster is partitioned into fixed-size *cells* solved independently:
+//
+//   - CellPartition assigns nodes to cells of `cell_size` nodes each,
+//     either contiguously (seed 0) or by a seeded deterministic shuffle —
+//     the same seed always yields the same partition, so sharded decisions
+//     stay reproducible run to run.
+//   - CellAssignment maps every snapshot entity to the cells it may occupy:
+//     a placed job belongs to the cell hosting it, unplaced jobs are spread
+//     deterministically across eligible cells (pin-aware, least-loaded
+//     first), and a transactional app appears in every cell where it holds
+//     instances plus a designated *home* cell allowed to grow it.
+//   - SnapshotSlice materializes one cell's view as a self-contained
+//     PlacementSnapshot over a cell-local ClusterSpec, inheriting the
+//     global snapshot's *frozen* node health (never re-reading the live
+//     cluster), with entity indices, pinned node sets, per-cell instance
+//     caps and per-cell arrival-rate shares all remapped to the cell.
+//
+// With a single cell the slice reproduces the global snapshot exactly —
+// identity node map, full arrival rates, original caps and constraints —
+// which is what makes the 1-cell sharded solve bit-exact with the
+// monolithic optimizer (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "core/snapshot.h"
+
+namespace mwp {
+
+/// A deterministic node-to-cell partition.
+struct CellPartition {
+  /// cell -> global node ids, ascending within each cell.
+  std::vector<std::vector<NodeId>> cells;
+  /// global node id -> owning cell index.
+  std::vector<int> node_cell;
+
+  int num_cells() const { return static_cast<int>(cells.size()); }
+
+  /// Partition `num_nodes` nodes into cells of at most `cell_size` nodes.
+  /// seed 0 keeps nodes in contiguous index chunks; any other seed shuffles
+  /// node ids deterministically (Fisher–Yates via common/rng.h) before
+  /// chunking, so cells mix hardware across the id space. Every cell has
+  /// between 1 and cell_size nodes; the last cell absorbs the remainder.
+  static CellPartition Build(int num_nodes, int cell_size, std::uint64_t seed);
+};
+
+/// Entity-to-cell assignment over one snapshot (see file comment).
+struct CellAssignment {
+  /// global job index -> cell, or -1 when no cell can legally host the job
+  /// (its pin intersects no cell usefully); such jobs stay unplaced and are
+  /// still scored by the final global evaluation.
+  std::vector<int> job_cell;
+  /// global tx index -> home cell (the one cell allowed to add instances
+  /// beyond the app's current footprint).
+  std::vector<int> tx_home;
+
+  static CellAssignment Build(const PlacementSnapshot& snapshot,
+                              const CellPartition& partition);
+};
+
+/// One cell's self-contained view of a global snapshot. The slice owns the
+/// cell-local ClusterSpec and PlacementSnapshot it exposes; the global
+/// snapshot, partition and assignment must outlive it.
+///
+/// Jobs assigned to this cell whose snapshot-time host lies in a *different*
+/// cell (a cross-cell transplant decided by the rebalancer) enter the slice
+/// as newcomers: a placed job becomes kNotStarted with its migration cost
+/// (plus any in-flight overhead still to be paid) charged as the placement
+/// overhead, and a suspended job keeps its resume cost but forgets its old
+/// host — so the cell optimizer prices the move exactly as the monolithic
+/// evaluator would price the equivalent migrate/resume.
+class SnapshotSlice {
+ public:
+  SnapshotSlice(const PlacementSnapshot& global, const CellPartition& partition,
+                const CellAssignment& assignment, int cell);
+
+  /// The cell-local snapshot the per-cell optimizer consumes.
+  const PlacementSnapshot& snapshot() const { return *snapshot_; }
+
+  int cell() const { return cell_; }
+
+  /// local node id -> global node id (ascending).
+  const std::vector<NodeId>& global_nodes() const { return global_nodes_; }
+
+  /// local entity index -> global entity index.
+  const std::vector<int>& global_entities() const { return global_entities_; }
+
+  /// Local job index of a global job, or -1 when the job is not in this
+  /// slice.
+  int LocalJobOf(int global_job) const;
+
+ private:
+  int cell_;
+  std::vector<NodeId> global_nodes_;
+  std::vector<int> global_entities_;
+  /// global job index -> local job index (-1 when absent).
+  std::vector<int> local_job_;
+  /// Heap-allocated so their addresses stay stable when the slice is moved
+  /// (the snapshot points at the cluster, the optimizer at the snapshot).
+  std::unique_ptr<ClusterSpec> cluster_;
+  std::unique_ptr<PlacementSnapshot> snapshot_;
+};
+
+}  // namespace mwp

@@ -29,6 +29,7 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
   cfg.trace = config.trace;
   cfg.trace_run_id = config.trace_run_id;
   cfg.trace_full = config.trace_full;
+  cfg.shard_cell_size = config.shard_cell_size;
   ApcController controller(&cluster, &queue, cfg);
 
   // Submit all arrivals as events up-front (the schedule is independent of

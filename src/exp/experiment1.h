@@ -38,6 +38,10 @@ struct Experiment1Config {
   std::string trace_run_id;
   /// Record full optimizer inputs + decisions for replay (src/replay).
   bool trace_full = false;
+  /// Nodes per optimizer cell; 0 (default) solves monolithically. Forwarded
+  /// to ApcController::Config::shard_cell_size — the scale-test walkthrough
+  /// in the README drives the sharded solver through this knob.
+  int shard_cell_size = 0;
 };
 
 struct Experiment1Result {

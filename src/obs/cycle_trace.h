@@ -115,6 +115,12 @@ struct TraceSolverOptions {
   double probe_delta = 1e-3;
   int bisection_iters = 48;
   bool batch_aggregate = true;
+  /// Sharded-optimizer configuration (0 cell_size = monolithic solve; the
+  /// three fields are then omitted from exports, keeping pre-sharding
+  /// traces byte-identical).
+  int cell_size = 0;
+  std::uint64_t partition_seed = 0;
+  int max_cross_cell_moves = 8;
 
   bool operator==(const TraceSolverOptions&) const = default;
 };
@@ -205,6 +211,13 @@ struct CycleTrace {
   std::uint64_t cache_misses = 0;
   /// LoadDistributor::Distribute calls during this cycle's solve.
   std::uint64_t distribute_calls = 0;
+
+  /// Sharded solve (0 = monolithic; the three fields are then omitted from
+  /// exports): cells solved, accepted cross-cell job migrations, and the
+  /// per-cell solve wall time (same stopwatch as solver_seconds).
+  int num_cells = 0;
+  int cross_cell_migrations = 0;
+  std::vector<Seconds> cell_solver_seconds;
 
   NodeHealthSummary node_health;
 

@@ -1,0 +1,83 @@
+#include "obs/metrics_ring.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mwp::obs {
+namespace {
+
+/// Value of counter `name` in `snapshot`; counters are sorted by name.
+std::optional<std::uint64_t> FindCounter(const MetricsSnapshot& snapshot,
+                                         const std::string& name) {
+  const auto it = std::lower_bound(
+      snapshot.counters.begin(), snapshot.counters.end(), name,
+      [](const MetricsSnapshot::CounterValue& c, const std::string& n) {
+        return c.name < n;
+      });
+  if (it == snapshot.counters.end() || it->name != name) return std::nullopt;
+  return it->value;
+}
+
+}  // namespace
+
+MetricsRing::MetricsRing(std::size_t capacity) : capacity_(capacity) {
+  MWP_CHECK(capacity_ >= 2);
+  entries_.reserve(capacity_);
+}
+
+void MetricsRing::Push(Seconds at, MetricsSnapshot snapshot) {
+  if (!entries_.empty()) MWP_CHECK(at >= EntryBack(0).at);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{at, std::move(snapshot)});
+    next_ = (entries_.size() == capacity_) ? 0 : entries_.size();
+    return;
+  }
+  entries_[next_] = Entry{at, std::move(snapshot)};
+  next_ = (next_ + 1) % capacity_;
+}
+
+const MetricsRing::Entry& MetricsRing::EntryBack(std::size_t age) const {
+  MWP_CHECK(age < entries_.size());
+  // While filling, the newest entry is the vector's back; once full, the
+  // newest is the slot just before next_.
+  const std::size_t newest = (entries_.size() < capacity_)
+                                 ? entries_.size() - 1
+                                 : (next_ + capacity_ - 1) % capacity_;
+  const std::size_t index =
+      (newest + entries_.size() - age) % entries_.size();
+  return entries_[index];
+}
+
+const MetricsSnapshot& MetricsRing::Back(std::size_t age) const {
+  return EntryBack(age).snapshot;
+}
+
+Seconds MetricsRing::BackTime(std::size_t age) const {
+  return EntryBack(age).at;
+}
+
+std::optional<double> MetricsRing::CounterDelta(const std::string& name) const {
+  if (entries_.size() < 2) return std::nullopt;
+  const auto newest = FindCounter(Back(0), name);
+  if (!newest) return std::nullopt;
+  const auto older = FindCounter(Back(1), name);
+  return static_cast<double>(*newest) -
+         static_cast<double>(older.value_or(0));
+}
+
+std::optional<double> MetricsRing::CounterRate(const std::string& name) const {
+  if (entries_.size() < 2) return std::nullopt;
+  const std::size_t oldest_age = entries_.size() - 1;
+  const Seconds elapsed = BackTime(0) - BackTime(oldest_age);
+  if (elapsed <= 0.0) return std::nullopt;
+  const auto newest = FindCounter(Back(0), name);
+  if (!newest) return std::nullopt;
+  const auto oldest = FindCounter(Back(oldest_age), name);
+  const double delta = static_cast<double>(*newest) -
+                       static_cast<double>(oldest.value_or(0));
+  return delta / elapsed;
+}
+
+}  // namespace mwp::obs

@@ -1,0 +1,70 @@
+// Fixed-size ring of recent MetricsRegistry snapshots, for rate derivation.
+//
+// Counters are monotone totals; what an operator actually watches is their
+// *rate* — evaluations per second, migrations per cycle. Deriving a rate
+// needs two timestamped snapshots, so the controller pushes one snapshot per
+// control cycle into this ring (stamped with the simulation clock — no wall
+// time enters) and reads deltas/rates back out. The ring is fixed-capacity
+// and allocation-stable after construction; pushing the N+1st snapshot
+// overwrites the oldest.
+//
+// Not thread-safe: the ring lives on the control loop's thread next to the
+// registry snapshots it stores. Exporters run between cycles.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace mwp::obs {
+
+class MetricsRing {
+ public:
+  /// A ring holding the `capacity` most recent snapshots (at least 2, or
+  /// no delta is ever derivable).
+  explicit MetricsRing(std::size_t capacity);
+
+  /// Record `snapshot` as the state of the registry at simulation time
+  /// `at`. Times must be non-decreasing push to push.
+  void Push(Seconds at, MetricsSnapshot snapshot);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// The most recent snapshot, newest == Back(0), Back(1) the one before,
+  /// ... Back(size()-1) the oldest retained.
+  const MetricsSnapshot& Back(std::size_t age = 0) const;
+  /// Push time of Back(age).
+  Seconds BackTime(std::size_t age = 0) const;
+
+  /// Increase of counter `name` between the two most recent snapshots —
+  /// "per cycle" when the controller pushes once per cycle. Empty when
+  /// fewer than two snapshots are held or the counter is absent from the
+  /// newest one (a counter absent from the older snapshot counts as 0, so
+  /// a freshly registered counter's first delta is its full value).
+  std::optional<double> CounterDelta(const std::string& name) const;
+
+  /// Average rate of counter `name` per simulated second over the whole
+  /// retained window (oldest to newest snapshot). Empty when fewer than two
+  /// snapshots are held, the counter is absent from the newest, or no
+  /// simulated time elapsed across the window.
+  std::optional<double> CounterRate(const std::string& name) const;
+
+ private:
+  struct Entry {
+    Seconds at = 0.0;
+    MetricsSnapshot snapshot;
+  };
+
+  const Entry& EntryBack(std::size_t age) const;
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  ///< ring storage, entries_[next_] is oldest
+  std::size_t next_ = 0;        ///< slot the next Push overwrites
+};
+
+}  // namespace mwp::obs

@@ -139,8 +139,15 @@ void WriteInputObject(std::ostream& os, const CycleInputRecord& in) {
      << ",\"level_tolerance\":" << JsonNumber(o.level_tolerance)
      << ",\"probe_delta\":" << JsonNumber(o.probe_delta)
      << ",\"bisection_iters\":" << o.bisection_iters
-     << ",\"batch_aggregate\":" << (o.batch_aggregate ? "true" : "false")
-     << "},\"pins\":[";
+     << ",\"batch_aggregate\":" << (o.batch_aggregate ? "true" : "false");
+  if (o.cell_size > 0) {
+    // Sharded-run options; omitted for monolithic runs so pre-sharding
+    // traces re-export byte-identically.
+    os << ",\"cell_size\":" << o.cell_size
+       << ",\"partition_seed\":" << o.partition_seed
+       << ",\"max_cross_cell_moves\":" << o.max_cross_cell_moves;
+  }
+  os << "},\"pins\":[";
   for (std::size_t i = 0; i < in.pins.size(); ++i) {
     if (i > 0) os << ',';
     os << "{\"app\":" << in.pins[i].app
@@ -202,6 +209,13 @@ void WriteCycleRecord(std::ostream& os, const CycleTrace& t) {
      << ",\"rp_after\":" << JsonArray(t.rp_after)
      << ",\"tx_utilities\":" << JsonArray(t.tx_utilities)
      << ",\"tx_allocations\":" << JsonArray(t.tx_allocations);
+  if (t.num_cells > 0) {
+    // Sharded-cycle fields; omitted for monolithic cycles so pre-sharding
+    // traces re-export byte-identically.
+    os << ",\"num_cells\":" << t.num_cells
+       << ",\"cross_cell_migrations\":" << t.cross_cell_migrations
+       << ",\"cell_solver_seconds\":" << JsonArray(t.cell_solver_seconds);
+  }
   MWP_CHECK(t.input.has_value() == t.decision.has_value());
   if (t.input.has_value()) {
     os << ",\"input\":";

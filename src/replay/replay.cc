@@ -4,10 +4,12 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "batch/job.h"
 #include "common/check.h"
 #include "core/constraints.h"
+#include "core/sharded_optimizer.h"
 
 namespace mwp::replay {
 namespace {
@@ -207,8 +209,11 @@ PlacementOptimizer::Options ReconstructedCycle::OptimizerOptions(
 
 bool CycleReplayDiff::Regressed(const ReplayOptions& options) const {
   if (!replayed) return false;
-  return shape_mismatch || placement_cell_diffs > 0 ||
-         rp_drift > options.rp_tolerance ||
+  if (shape_mismatch) return true;
+  // An overridden re-run is expected to diverge from the recording; the diff
+  // is the experiment's result, not a regression.
+  if (options.has_overrides()) return false;
+  return placement_cell_diffs > 0 || rp_drift > options.rp_tolerance ||
          allocation_drift > options.rp_tolerance;
 }
 
@@ -229,9 +234,33 @@ CycleReplayDiff ReplayCycle(const obs::CycleTrace& trace,
 
   ReconstructedCycle cycle(*trace.input);
   const PlacementSnapshot& snapshot = cycle.snapshot();
-  PlacementOptimizer optimizer(&snapshot,
-                               cycle.OptimizerOptions(options.search_threads));
-  const PlacementOptimizer::Result result = optimizer.Optimize();
+  PlacementOptimizer::Options solver_options =
+      cycle.OptimizerOptions(options.search_threads);
+  if (options.override_tie_tolerance.has_value()) {
+    solver_options.evaluator.tie_tolerance = *options.override_tie_tolerance;
+  }
+  if (options.override_sweeps.has_value()) {
+    solver_options.max_sweeps = *options.override_sweeps;
+  }
+  // Re-solve the way the recording did (sharded when cell_size > 0) unless
+  // an override picks a different decomposition.
+  const int cell_size = options.override_cell_size.value_or(
+      cycle.solver_options().cell_size);
+  PlacementOptimizer::Result result;
+  if (cell_size > 0) {
+    ShardedPlacementOptimizer::Options sharded_options;
+    sharded_options.cell_size = cell_size;
+    sharded_options.partition_seed = cycle.solver_options().partition_seed;
+    sharded_options.max_cross_cell_moves =
+        cycle.solver_options().max_cross_cell_moves;
+    sharded_options.cell_threads = options.search_threads;
+    sharded_options.cell = solver_options;
+    const ShardedPlacementOptimizer sharded(&snapshot, sharded_options);
+    result = std::move(sharded.Optimize().global);
+  } else {
+    const PlacementOptimizer optimizer(&snapshot, solver_options);
+    result = optimizer.Optimize();
+  }
 
   // Recorded decision as a matrix over the reconstructed snapshot.
   PlacementMatrix recorded(snapshot.num_entities(), snapshot.num_nodes());
@@ -367,10 +396,29 @@ void WriteReport(std::ostream& os, const ReplayReport& report,
      << (report.ok() ? "OK" : std::to_string(report.regressed_cycles) +
                                   " regressed cycle(s)")
      << "\n";
+  if (options.has_overrides()) {
+    os << "  overrides (diffs reported, not failed):";
+    if (options.override_tie_tolerance.has_value()) {
+      os << " tie_tolerance=" << *options.override_tie_tolerance;
+    }
+    if (options.override_sweeps.has_value()) {
+      os << " sweeps=" << *options.override_sweeps;
+    }
+    if (options.override_cell_size.has_value()) {
+      os << " cell_size=" << *options.override_cell_size;
+    }
+    os << "\n";
+  }
   for (const CycleReplayDiff& diff : report.cycles) {
     if (!diff.replayed) continue;
     const bool regressed = diff.Regressed(options);
-    if (!regressed && !verbose) continue;
+    // Under overrides divergence is the experiment's output: show any cycle
+    // whose decision moved, even without --verbose.
+    const bool interesting =
+        regressed || (options.has_overrides() &&
+                      (diff.placement_cell_diffs > 0 ||
+                       diff.verdict != Verdict::kEqual));
+    if (!interesting && !verbose) continue;
     os << "cycle " << diff.cycle;
     if (!diff.run_id.empty()) os << " [" << diff.run_id << "]";
     os << ": " << (regressed ? "REGRESSED" : "ok") << " cells="

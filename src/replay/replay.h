@@ -43,6 +43,21 @@ struct ReplayOptions {
   double rp_tolerance = 1e-9;
   /// Optimizer lanes for the re-run; decisions are identical for any value.
   int search_threads = 1;
+
+  /// Offline-tuning overrides (replay_apc --override-*). When set, the
+  /// re-run deliberately diverges from the recording configuration — the
+  /// replay becomes a what-if experiment, so diffs against the recorded
+  /// decision are reported but never counted as regressions.
+  std::optional<double> override_tie_tolerance;
+  std::optional<int> override_sweeps;
+  /// Cell size for a sharded re-solve; 0 forces a monolithic re-solve of a
+  /// sharded recording.
+  std::optional<int> override_cell_size;
+
+  bool has_overrides() const {
+    return override_tie_tolerance.has_value() || override_sweeps.has_value() ||
+           override_cell_size.has_value();
+  }
 };
 
 /// Lexicographic-objective comparison of the replayed decision against the
@@ -64,6 +79,10 @@ class ReconstructedCycle {
 
   /// The recording run's solver configuration, with the given lane count.
   PlacementOptimizer::Options OptimizerOptions(int search_threads = 1) const;
+
+  /// Raw recorded solver options (includes the sharded-optimizer fields:
+  /// cell_size 0 means the recording solved monolithically).
+  const obs::TraceSolverOptions& solver_options() const { return options_; }
 
  private:
   ClusterSpec cluster_;

@@ -3,6 +3,8 @@
 // Usage:
 //   replay_apc --trace TRACE.jsonl [--diff] [--tolerance 1e-9]
 //              [--threads N] [--report FILE] [--verbose] [--quiet]
+//              [--override-tie-tolerance EPS] [--override-sweeps N]
+//              [--override-cell-size N]
 //
 // Reads a CycleTrace JSONL export (schema v2 recorded with --trace-full),
 // reconstructs every cycle's optimizer input, re-runs the placement solver
@@ -17,6 +19,12 @@
 //   2  usage error
 //
 // --report writes the same diff report to a file (for CI artifacts).
+//
+// The --override-* flags re-run the recorded cycles under a different solver
+// configuration (tie tolerance, sweep budget, sharding cell size) for
+// offline tuning on production traces. Overridden replays are what-if
+// experiments: divergence from the recorded decisions is reported per cycle
+// but never fails the exit status.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,7 +39,9 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --trace TRACE.jsonl [--diff] [--tolerance EPS]"
-               " [--threads N] [--report FILE] [--verbose] [--quiet]\n";
+               " [--threads N] [--report FILE] [--verbose] [--quiet]"
+               " [--override-tie-tolerance EPS] [--override-sweeps N]"
+               " [--override-cell-size N]\n";
   return 2;
 }
 
@@ -69,6 +79,18 @@ int main(int argc, char** argv) {
       const char* v = next("--threads");
       if (v == nullptr) return Usage(argv[0]);
       options.search_threads = std::atoi(v);
+    } else if (arg == "--override-tie-tolerance") {
+      const char* v = next("--override-tie-tolerance");
+      if (v == nullptr) return Usage(argv[0]);
+      options.override_tie_tolerance = std::strtod(v, nullptr);
+    } else if (arg == "--override-sweeps") {
+      const char* v = next("--override-sweeps");
+      if (v == nullptr) return Usage(argv[0]);
+      options.override_sweeps = std::atoi(v);
+    } else if (arg == "--override-cell-size") {
+      const char* v = next("--override-cell-size");
+      if (v == nullptr) return Usage(argv[0]);
+      options.override_cell_size = std::atoi(v);
     } else if (arg == "--diff") {
       // Diffing is the tool's only mode; accepted for CLI-contract clarity.
     } else if (arg == "--verbose") {

@@ -296,6 +296,18 @@ bool GetBool(Ctx& ctx, const JsonValue& obj, const char* key) {
   return value->bool_value;
 }
 
+// Optional-key variants. Sharded-optimizer fields are emitted only when
+// sharding was active (keeping pre-sharding traces byte-identical), so a
+// missing key means "monolithic recording", not a malformed trace.
+template <typename Int>
+Int GetIntOr(Ctx& ctx, const JsonValue& obj, const char* key, Int fallback) {
+  if (ctx.ok && obj.kind == JsonValue::Kind::kObject &&
+      obj.Find(key) == nullptr) {
+    return fallback;
+  }
+  return GetInt<Int>(ctx, obj, key);
+}
+
 std::string GetString(Ctx& ctx, const JsonValue& obj, const char* key) {
   const JsonValue* value = Get(ctx, obj, key);
   if (value == nullptr) return {};
@@ -334,6 +346,16 @@ std::vector<double> GetDoubleArray(Ctx& ctx, const JsonValue& obj,
     out.push_back(ElementAsDouble(ctx, element, key));
   }
   return out;
+}
+
+/// GetDoubleArray for a key that may legitimately be absent (see GetIntOr).
+std::vector<double> GetDoubleArrayOr(Ctx& ctx, const JsonValue& obj,
+                                     const char* key) {
+  if (ctx.ok && obj.kind == JsonValue::Kind::kObject &&
+      obj.Find(key) == nullptr) {
+    return {};
+  }
+  return GetDoubleArray(ctx, obj, key);
 }
 
 std::vector<NodeId> GetNodeArray(Ctx& ctx, const JsonValue& obj,
@@ -435,6 +457,11 @@ obs::CycleInputRecord ReadInput(Ctx& ctx, const JsonValue& obj) {
     in.options.probe_delta = GetDouble(ctx, *opts, "probe_delta");
     in.options.bisection_iters = GetInt<int>(ctx, *opts, "bisection_iters");
     in.options.batch_aggregate = GetBool(ctx, *opts, "batch_aggregate");
+    in.options.cell_size = GetIntOr<int>(ctx, *opts, "cell_size", 0);
+    in.options.partition_seed =
+        GetIntOr<std::uint64_t>(ctx, *opts, "partition_seed", 0);
+    in.options.max_cross_cell_moves =
+        GetIntOr<int>(ctx, *opts, "max_cross_cell_moves", 8);
   }
 
   if (const JsonValue* pins = Get(ctx, obj, "pins");
@@ -508,6 +535,9 @@ obs::CycleTrace ReadCycle(Ctx& ctx, const JsonValue& obj, int version) {
   t.cache_hits = GetInt<std::uint64_t>(ctx, obj, "cache_hits");
   t.cache_misses = GetInt<std::uint64_t>(ctx, obj, "cache_misses");
   t.distribute_calls = GetInt<std::uint64_t>(ctx, obj, "distribute_calls");
+  t.num_cells = GetIntOr<int>(ctx, obj, "num_cells", 0);
+  t.cross_cell_migrations = GetIntOr<int>(ctx, obj, "cross_cell_migrations", 0);
+  t.cell_solver_seconds = GetDoubleArrayOr(ctx, obj, "cell_solver_seconds");
   t.node_health.online = GetInt<int>(ctx, obj, "nodes_online");
   t.node_health.degraded = GetInt<int>(ctx, obj, "nodes_degraded");
   t.node_health.offline = GetInt<int>(ctx, obj, "nodes_offline");

@@ -22,6 +22,7 @@
 #include "common/log.h"
 #include "core/evaluation_cache.h"
 #include "core/placement_optimizer.h"
+#include "core/sharded_optimizer.h"
 #include "core/thread_pool.h"
 #include "exp/experiment4.h"
 
@@ -99,6 +100,37 @@ TEST(ConcurrencyStress, ParallelCandidateSearchThreadCounts) {
     EXPECT_EQ(got.placement, want.placement);
     EXPECT_EQ(got.evaluations, want.evaluations);
     EXPECT_EQ(Fingerprint(got), Fingerprint(want));
+  }
+}
+
+// Concurrent per-cell solves of the sharded optimizer: each pool index
+// builds its own SnapshotSlice and PlacementOptimizer over the shared
+// global snapshot, so TSan watches the read-only snapshot fan-out plus the
+// per-cell result slots. The decisions must be identical for every cell
+// lane count — the sharded analogue of the candidate-search claim above.
+TEST(ConcurrencyStress, ConcurrentCellSolvesThreadCounts) {
+  const LoadedSystem sys(12, 12);
+  const PlacementSnapshot snap = sys.Snapshot();
+
+  ShardedPlacementOptimizer::Options sequential;
+  sequential.cell_size = 3;  // 4 cells
+  sequential.cell_threads = 1;
+  const ShardedPlacementOptimizer::Result want =
+      ShardedPlacementOptimizer(&snap, sequential).Optimize();
+  ASSERT_EQ(want.num_cells, 4);
+  ASSERT_TRUE(snap.IsFeasible(want.global.placement));
+
+  for (int threads : {2, 4, 16}) {
+    SCOPED_TRACE("cell_threads=" + std::to_string(threads));
+    ShardedPlacementOptimizer::Options options = sequential;
+    options.cell_threads = threads;
+    const ShardedPlacementOptimizer optimizer(&snap, options);
+    const ShardedPlacementOptimizer::Result got = optimizer.Optimize();
+    EXPECT_EQ(got.global.placement, want.global.placement);
+    EXPECT_EQ(got.global.evaluation.sorted_utilities,
+              want.global.evaluation.sorted_utilities);
+    EXPECT_EQ(got.cross_cell_transfers, want.cross_cell_transfers);
+    EXPECT_EQ(Fingerprint(got.global), Fingerprint(want.global));
   }
 }
 

@@ -1,0 +1,221 @@
+#include "core/snapshot_slice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tests/core/test_fixtures.h"
+
+namespace mwp {
+namespace {
+
+using testing_fixtures::SnapshotBuilder;
+using testing_fixtures::TinyCluster;
+
+TransactionalAppSpec TxSpec(AppId id, int max_instances = 0) {
+  TransactionalAppSpec spec;
+  spec.id = id;
+  spec.name = "tx-" + std::to_string(id);
+  spec.memory_per_instance = 300.0;
+  spec.response_time_goal = 1.0;
+  spec.demand_per_request = 1.0;
+  spec.min_response_time = 0.1;
+  spec.saturation_allocation = 4'000.0;
+  spec.max_instances = max_instances;
+  return spec;
+}
+
+TEST(CellPartitionTest, ContiguousChunksWithSeedZero) {
+  const CellPartition p = CellPartition::Build(10, 4, 0);
+  ASSERT_EQ(p.num_cells(), 3);
+  EXPECT_EQ(p.cells[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(p.cells[1], (std::vector<NodeId>{4, 5, 6, 7}));
+  EXPECT_EQ(p.cells[2], (std::vector<NodeId>{8, 9}));
+  for (int c = 0; c < p.num_cells(); ++c) {
+    for (const NodeId n : p.cells[c]) {
+      EXPECT_EQ(p.node_cell[static_cast<std::size_t>(n)], c);
+    }
+  }
+}
+
+TEST(CellPartitionTest, SeededShuffleIsDeterministicAndComplete) {
+  const CellPartition a = CellPartition::Build(20, 8, 42);
+  const CellPartition b = CellPartition::Build(20, 8, 42);
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.node_cell, b.node_cell);
+  // Every node appears in exactly one cell, ascending within its cell.
+  std::vector<NodeId> seen;
+  for (const auto& cell : a.cells) {
+    EXPECT_FALSE(cell.empty());
+    EXPECT_LE(cell.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(cell.begin(), cell.end()));
+    seen.insert(seen.end(), cell.begin(), cell.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 20u);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(seen[static_cast<std::size_t>(n)], n);
+}
+
+TEST(SnapshotSliceTest, SingleCellSliceIsIdentity) {
+  SnapshotBuilder b(TinyCluster(3));
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 0);
+  b.AddJob(2, 2'000.0, 500.0, 750.0, 0.0, 4.0);
+  b.AddTx(TxSpec(9), 400.0, {1, 2});
+  const PlacementSnapshot snap = b.Build();
+
+  const CellPartition partition = CellPartition::Build(3, 32, 0);
+  ASSERT_EQ(partition.num_cells(), 1);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+  const SnapshotSlice slice(snap, partition, assignment, 0);
+  const PlacementSnapshot& local = slice.snapshot();
+
+  ASSERT_EQ(local.num_nodes(), snap.num_nodes());
+  ASSERT_EQ(local.num_entities(), snap.num_entities());
+  EXPECT_EQ(local.current_placement(), snap.current_placement());
+  for (int j = 0; j < snap.num_jobs(); ++j) {
+    EXPECT_EQ(local.job(j).status, snap.job(j).status);
+    EXPECT_EQ(local.job(j).current_node, snap.job(j).current_node);
+    EXPECT_EQ(local.job(j).place_overhead, snap.job(j).place_overhead);
+  }
+  EXPECT_EQ(local.tx(0).arrival_rate, snap.tx(0).arrival_rate);
+  EXPECT_EQ(local.tx(0).max_instances, snap.tx(0).max_instances);
+  EXPECT_EQ(local.tx(0).current_nodes, snap.tx(0).current_nodes);
+  for (int n = 0; n < snap.num_nodes(); ++n) {
+    EXPECT_EQ(local.NodeOnline(n), snap.NodeOnline(n));
+    EXPECT_EQ(local.NodeAvailableCpu(n), snap.NodeAvailableCpu(n));
+    EXPECT_EQ(local.NodeAvailableMemory(n), snap.NodeAvailableMemory(n));
+  }
+}
+
+TEST(SnapshotSliceTest, InheritsFrozenHealthNotLiveCluster) {
+  ClusterSpec cluster = TinyCluster(4);
+  cluster.SetNodeDegraded(1, 0.5);
+  cluster.SetNodeOffline(3);
+  SnapshotBuilder b(std::move(cluster));
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0);
+  const PlacementSnapshot snap = b.Build();
+
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+  const SnapshotSlice left(snap, partition, assignment, 0);
+  const SnapshotSlice right(snap, partition, assignment, 1);
+
+  EXPECT_EQ(left.snapshot().NodeAvailableCpu(1), snap.NodeAvailableCpu(1));
+  EXPECT_LT(left.snapshot().NodeAvailableCpu(1),
+            left.snapshot().NodeAvailableCpu(0));
+  EXPECT_FALSE(right.snapshot().NodeOnline(1));  // global node 3, offline
+  EXPECT_TRUE(right.snapshot().NodeOnline(0));   // global node 2
+}
+
+TEST(SnapshotSliceTest, PlacedJobFollowsItsHostCell) {
+  SnapshotBuilder b(TinyCluster(4));
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 3);
+  b.AddJob(2, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 0);
+  const PlacementSnapshot snap = b.Build();
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+  EXPECT_EQ(assignment.job_cell[0], 1);
+  EXPECT_EQ(assignment.job_cell[1], 0);
+
+  const SnapshotSlice slice(snap, partition, assignment, 1);
+  ASSERT_EQ(slice.snapshot().num_jobs(), 1);
+  EXPECT_EQ(slice.LocalJobOf(0), 0);
+  EXPECT_EQ(slice.LocalJobOf(1), -1);
+  // Host keeps its placement, remapped to the local node id (3 -> 1).
+  EXPECT_EQ(slice.snapshot().job(0).current_node, 1);
+  EXPECT_EQ(slice.snapshot().job(0).status, JobStatus::kRunning);
+}
+
+TEST(SnapshotSliceTest, TransplantPricesMoveAsMigration) {
+  SnapshotBuilder b(TinyCluster(4));
+  b.now = 100.0;
+  JobView& v = b.AddJob(1, 40'000.0, 1'000.0, 750.0, 0.0, 5.0,
+                        JobStatus::kRunning, 0);
+  v.overhead_until = 102.0;  // 2 s of an in-flight operation still to pay
+  v.migrate_overhead = 5.0;
+  const PlacementSnapshot snap = b.Build();
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  // Force the job into the foreign cell, as the rebalancer's probe does.
+  CellAssignment assignment = CellAssignment::Build(snap, partition);
+  assignment.job_cell[0] = 1;
+
+  const SnapshotSlice slice(snap, partition, assignment, 1);
+  ASSERT_EQ(slice.snapshot().num_jobs(), 1);
+  const JobView& moved = slice.snapshot().job(0);
+  // Newcomer: unplaced, with the migration (plus pending overhead) charged
+  // as placement latency — JobExecStart prices it like a monolithic migrate.
+  EXPECT_EQ(moved.status, JobStatus::kNotStarted);
+  EXPECT_EQ(moved.current_node, kInvalidNode);
+  EXPECT_DOUBLE_EQ(moved.place_overhead, 7.0);
+  EXPECT_DOUBLE_EQ(moved.overhead_until, 0.0);
+}
+
+TEST(SnapshotSliceTest, ArrivalRateSplitsByInstanceShare) {
+  SnapshotBuilder b(TinyCluster(4));
+  b.AddTx(TxSpec(7), 900.0, {0, 1, 2});  // 2 instances in cell 0, 1 in cell 1
+  const PlacementSnapshot snap = b.Build();
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+
+  const SnapshotSlice left(snap, partition, assignment, 0);
+  const SnapshotSlice right(snap, partition, assignment, 1);
+  ASSERT_EQ(left.snapshot().num_tx(), 1);
+  ASSERT_EQ(right.snapshot().num_tx(), 1);
+  EXPECT_DOUBLE_EQ(left.snapshot().tx(0).arrival_rate, 900.0 * 2 / 3);
+  EXPECT_DOUBLE_EQ(right.snapshot().tx(0).arrival_rate, 900.0 / 3);
+  EXPECT_DOUBLE_EQ(left.snapshot().tx(0).arrival_rate +
+                       right.snapshot().tx(0).arrival_rate,
+                   900.0);
+}
+
+TEST(SnapshotSliceTest, PerCellInstanceCapsComposeToGlobalCap) {
+  SnapshotBuilder b(TinyCluster(4));
+  // Cap 3, instances on nodes 0 and 2: one per cell, home may grow.
+  b.AddTx(TxSpec(7, /*max_instances=*/3), 600.0, {0, 2});
+  const PlacementSnapshot snap = b.Build();
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+
+  const SnapshotSlice home(snap, partition, assignment,
+                           assignment.tx_home[0]);
+  const int other_cell = 1 - assignment.tx_home[0];
+  const SnapshotSlice other(snap, partition, assignment, other_cell);
+  // Non-home cells are frozen at their current footprint; the home cell may
+  // use whatever the global cap leaves after the other cells' instances.
+  EXPECT_EQ(other.snapshot().tx(0).max_instances, 1);
+  EXPECT_EQ(home.snapshot().tx(0).max_instances, 2);
+  EXPECT_LE(home.snapshot().tx(0).max_instances +
+                other.snapshot().tx(0).max_instances,
+            3);
+}
+
+TEST(SnapshotSliceTest, PinsIntersectedSeparationsWhenBothPresent) {
+  SnapshotBuilder b(TinyCluster(4));
+  b.AddJob(1, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 0);
+  b.AddJob(2, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 1);
+  b.AddJob(3, 4'000.0, 1'000.0, 750.0, 0.0, 5.0, JobStatus::kRunning, 2);
+  PlacementConstraints constraints;
+  constraints.PinTo(1, {0, 1, 3});  // spans both cells
+  constraints.Separate(1, 2);       // both in cell 0
+  constraints.Separate(1, 3);       // app 3 lives in cell 1
+  PlacementSnapshot snap = b.Build();
+  snap.set_constraints(constraints);
+
+  const CellPartition partition = CellPartition::Build(4, 2, 0);
+  const CellAssignment assignment = CellAssignment::Build(snap, partition);
+  const SnapshotSlice left(snap, partition, assignment, 0);
+  const PlacementConstraints& local = left.snapshot().constraints();
+
+  // App 1's pin is intersected with cell 0's nodes {0,1}.
+  const auto pin_it = local.pins().find(1);
+  ASSERT_NE(pin_it, local.pins().end());
+  EXPECT_EQ(pin_it->second, (std::vector<NodeId>{0, 1}));
+  // Separation 1<->2 survives (both local); 1<->3 is dropped (3 is not in
+  // this cell, and cross-cell separation is satisfied by construction).
+  EXPECT_FALSE(local.AllowsCollocation(1, 2));
+  EXPECT_TRUE(local.AllowsCollocation(1, 3));
+}
+
+}  // namespace
+}  // namespace mwp

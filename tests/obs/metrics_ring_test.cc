@@ -1,0 +1,94 @@
+#include "obs/metrics_ring.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mwp::obs {
+namespace {
+
+/// Snapshot with a single counter, built by hand — the ring stores copies,
+/// so tests need no live registry.
+MetricsSnapshot CounterSnapshot(const std::string& name, std::uint64_t value) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({name, value});
+  return snap;
+}
+
+TEST(MetricsRingTest, DeltaNeedsTwoSnapshots) {
+  MetricsRing ring(4);
+  EXPECT_FALSE(ring.CounterDelta("evals").has_value());
+  ring.Push(0.0, CounterSnapshot("evals", 10));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_FALSE(ring.CounterDelta("evals").has_value());
+  ring.Push(600.0, CounterSnapshot("evals", 25));
+  ASSERT_TRUE(ring.CounterDelta("evals").has_value());
+  EXPECT_DOUBLE_EQ(*ring.CounterDelta("evals"), 15.0);
+}
+
+TEST(MetricsRingTest, DeltaUsesTwoNewestOnly) {
+  MetricsRing ring(8);
+  ring.Push(0.0, CounterSnapshot("evals", 10));
+  ring.Push(1.0, CounterSnapshot("evals", 40));
+  ring.Push(2.0, CounterSnapshot("evals", 100));
+  EXPECT_DOUBLE_EQ(*ring.CounterDelta("evals"), 60.0);
+}
+
+TEST(MetricsRingTest, RateSpansWholeWindow) {
+  MetricsRing ring(4);
+  ring.Push(0.0, CounterSnapshot("evals", 0));
+  ring.Push(600.0, CounterSnapshot("evals", 600));
+  ring.Push(1'200.0, CounterSnapshot("evals", 2'400));
+  // (2400 - 0) / (1200 - 0) simulated seconds.
+  ASSERT_TRUE(ring.CounterRate("evals").has_value());
+  EXPECT_DOUBLE_EQ(*ring.CounterRate("evals"), 2.0);
+}
+
+TEST(MetricsRingTest, OverwritesOldestAtCapacity) {
+  MetricsRing ring(2);
+  ring.Push(0.0, CounterSnapshot("evals", 0));
+  ring.Push(1.0, CounterSnapshot("evals", 100));
+  ring.Push(2.0, CounterSnapshot("evals", 250));  // evicts t=0
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_DOUBLE_EQ(ring.BackTime(0), 2.0);
+  EXPECT_DOUBLE_EQ(ring.BackTime(1), 1.0);
+  // Rate window is now [1, 2], not [0, 2].
+  EXPECT_DOUBLE_EQ(*ring.CounterRate("evals"), 150.0);
+  EXPECT_DOUBLE_EQ(*ring.CounterDelta("evals"), 150.0);
+}
+
+TEST(MetricsRingTest, AbsentCounterHandling) {
+  MetricsRing ring(4);
+  ring.Push(0.0, CounterSnapshot("other", 5));
+  ring.Push(1.0, CounterSnapshot("evals", 30));
+  // Absent from the newest snapshot: no delta. Absent from the older one:
+  // treated as 0, so a freshly registered counter reports its full value.
+  EXPECT_FALSE(ring.CounterDelta("other").has_value());
+  ASSERT_TRUE(ring.CounterDelta("evals").has_value());
+  EXPECT_DOUBLE_EQ(*ring.CounterDelta("evals"), 30.0);
+}
+
+TEST(MetricsRingTest, NoRateWithoutElapsedTime) {
+  MetricsRing ring(4);
+  ring.Push(5.0, CounterSnapshot("evals", 1));
+  ring.Push(5.0, CounterSnapshot("evals", 2));  // same instant
+  EXPECT_FALSE(ring.CounterRate("evals").has_value());
+  EXPECT_TRUE(ring.CounterDelta("evals").has_value());
+}
+
+TEST(MetricsRingTest, WorksWithRegistrySnapshots) {
+  MetricsRegistry registry;
+  MetricsRing ring(3);
+  registry.counter("apc.evaluations").Increment(40);
+  ring.Push(0.0, registry.Snapshot());
+  registry.counter("apc.evaluations").Increment(80);
+  registry.gauge("apc.cells").Set(4.0);
+  ring.Push(600.0, registry.Snapshot());
+  ASSERT_TRUE(ring.CounterDelta("apc.evaluations").has_value());
+  EXPECT_DOUBLE_EQ(*ring.CounterDelta("apc.evaluations"), 80.0);
+  // Rate spans oldest -> newest: (120 - 40) counted over 600 s.
+  EXPECT_DOUBLE_EQ(*ring.CounterRate("apc.evaluations"), 80.0 / 600.0);
+}
+
+}  // namespace
+}  // namespace mwp::obs

@@ -179,6 +179,98 @@ TEST(ReplayTest, ReportNamesRegressedCycles) {
   EXPECT_NE(os.str().find("regressed cycle"), std::string::npos) << os.str();
 }
 
+TEST(ReplayTest, OverridesNeverRegressOnlyReport) {
+  // An overridden re-run (offline tuning: different sweep budget and tie
+  // tolerance) may legitimately pick different placements; the diff must be
+  // reported but never fail the replay.
+  ReplayOptions options;
+  options.override_sweeps = 1;
+  options.override_tie_tolerance = 0.5;
+  ASSERT_TRUE(options.has_overrides());
+  const ReplayReport report = ReplayTrace(FullTrace(), options);
+  EXPECT_EQ(report.replayed_cycles, report.total_cycles);
+  EXPECT_TRUE(report.ok()) << "override diffs must not count as regressions";
+  EXPECT_EQ(report.regressed_cycles, 0);
+
+  std::ostringstream os;
+  WriteReport(os, report, options);
+  EXPECT_NE(os.str().find("overrides"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("sweeps=1"), std::string::npos) << os.str();
+}
+
+TEST(ReplayTest, CellSizeOverrideResolvesSharded) {
+  // Forcing a sharded re-solve of a monolithic recording: decisions may
+  // move (cells solve locally), drift is report-only, and the replay still
+  // completes every cycle feasibly.
+  ReplayOptions options;
+  options.override_cell_size = 2;
+  const ReplayReport report = ReplayTrace(FullTrace(), options);
+  EXPECT_EQ(report.replayed_cycles, report.total_cycles);
+  EXPECT_TRUE(report.ok());
+
+  // Whole-cluster cell: bit-exact with the recorded monolithic decisions,
+  // even though the override makes the run report-only.
+  ReplayOptions identity;
+  identity.override_cell_size = 64;  // >= any recorded cluster: one cell
+  const ReplayReport exact = ReplayTrace(FullTrace(), identity);
+  EXPECT_TRUE(exact.ok());
+  EXPECT_EQ(exact.cycles_with_placement_diff, 0);
+  EXPECT_EQ(exact.max_rp_drift, 0.0);
+}
+
+TEST(ReplayTest, ShapeMismatchStillRegressesUnderOverrides) {
+  // Overrides relax decision diffs, not trace integrity.
+  obs::CycleTrace cycle = FullTrace().cycles[BusyCycleIndex(FullTrace())];
+  cycle.decision->allocations.pop_back();
+  ReplayOptions options;
+  options.override_sweeps = 1;
+  const CycleReplayDiff diff = ReplayCycle(cycle, options);
+  EXPECT_TRUE(diff.shape_mismatch);
+  EXPECT_TRUE(diff.Regressed(options));
+}
+
+TEST(ReplayTest, ShardedRecordingRoundTripsThroughReader) {
+  // A trace recorded with sharding on carries the optional schema fields;
+  // the reader must surface them and a plain replay must re-solve sharded
+  // (bit-exact in the same build).
+  obs::TraceRecorder recorder;
+  Experiment1Config config;
+  config.num_jobs = 12;
+  config.num_nodes = 4;
+  config.trace = &recorder;
+  config.trace_run_id = "sharded";
+  config.trace_full = true;
+  config.shard_cell_size = 2;
+  const Experiment1Result result = RunExperiment1(config);
+  EXPECT_EQ(result.completed, 12u);
+
+  std::ostringstream os;
+  obs::WriteTraceJsonl(
+      os,
+      obs::MakeTraceContext("experiment1", config.seed, config.control_cycle,
+                            "sharded"),
+      recorder.Traces());
+  std::string error;
+  const auto parsed = ParseTraceJsonl(os.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  bool saw_sharded_cycle = false;
+  for (const obs::CycleTrace& t : parsed->cycles) {
+    if (t.num_cells > 0) saw_sharded_cycle = true;
+    if (t.input.has_value()) {
+      EXPECT_EQ(t.input->options.cell_size, 2);
+    }
+  }
+  EXPECT_TRUE(saw_sharded_cycle);
+
+  const ReplayOptions options;
+  const ReplayReport report = ReplayTrace(*parsed, options);
+  EXPECT_EQ(report.replayed_cycles, report.total_cycles);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cycles_with_placement_diff, 0);
+  EXPECT_EQ(report.max_rp_drift, 0.0);
+}
+
 TEST(GoldenTraceTest, CheckedInTracesReplayWithoutPlacementDrift) {
   // Cross-commit gate: the golden traces were recorded at a known-good
   // commit; any placement difference on replay is a solver behaviour

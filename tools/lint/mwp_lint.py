@@ -82,6 +82,9 @@ WALL_CLOCK_ALLOWLIST = {
     # wall-clock cost (CycleStats::solver_seconds) — host-dependent by
     # intent, and excluded from all determinism oracles.
     "src/core/apc_controller.cc",
+    # Per-cell solver stopwatches (Result::cell_solve_seconds) follow the
+    # same contract: observability only, never fed back into decisions.
+    "src/core/sharded_optimizer.cc",
 }
 HOT_PATH_MODULES = ("src/core/", "src/rpf/")
 
@@ -137,7 +140,8 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
             findings.append(Finding(
                 path, lineno, "MWP002",
                 "wall-clock read in library code; simulated time only "
-                "(allowlisted: the solver stopwatch in apc_controller.cc)"))
+                "(allowlisted: the solver stopwatches in apc_controller.cc "
+                "and sharded_optimizer.cc)"))
         if ASSERT_PATTERN.search(line) and "static_assert" not in line:
             findings.append(Finding(
                 path, lineno, "MWP003",

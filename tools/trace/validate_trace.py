@@ -11,7 +11,11 @@ Checks, in order:
     key set, with the right JSON types (null allowed where the producer
     emits NaN: avg_job_rp, min_job_rp and other double fields). v2 cycle
     records carry run_id and, when recorded under --trace-full, paired
-    "input"/"decision" objects whose inner shape is validated too;
+    "input"/"decision" objects whose inner shape is validated too. Sharded
+    recordings additionally carry cell_size/partition_seed/
+    max_cross_cell_moves in the options object and num_cells/
+    cross_cell_migrations/cell_solver_seconds per cycle — each group is
+    optional but must appear whole;
   * cycle numbers and counts are internally consistent (monotone cycle
     sequence per run segment, num_cycles == number of cycle records). In
     v2 files a run_id change must coincide with a cycle reset to 0.
@@ -142,6 +146,23 @@ INPUT_OPTIONS_KEYS = {
     "batch_aggregate": (bool, False),
 }
 
+# Emitted together, and only when the recording ran the sharded cell-based
+# optimizer (options.cell_size > 0); monolithic recordings omit all three so
+# pre-sharding traces stay byte-identical.
+INPUT_OPTIONS_SHARDED_KEYS = {
+    "cell_size": (int, False),
+    "partition_seed": (int, False),
+    "max_cross_cell_moves": (int, False),
+}
+
+# Per-cycle sharded-solve stats; same conditional-emission contract as the
+# sharded options keys (present only when the cycle solved num_cells > 0).
+CYCLE_SHARDED_KEYS = {
+    "num_cells": (int, False),
+    "cross_cell_migrations": (int, False),
+    "cell_solver_seconds": (list, False),
+}
+
 DECISION_KEYS = {
     "placement": (list, False),
     "allocations": (list, False),
@@ -213,7 +234,12 @@ def check_input(obj, line_no):
                 fail(line_no, "input job stage key mismatch")
     for tx in obj["tx"]:
         check_keyed_object(tx, INPUT_TX_KEYS, line_no, "input tx")
-    check_keyed_object(obj["options"], INPUT_OPTIONS_KEYS, line_no,
+    options_keys = dict(INPUT_OPTIONS_KEYS)
+    if isinstance(obj["options"], dict) and "cell_size" in obj["options"]:
+        # Sharded keys appear all together; check_keyed_object flags a
+        # partial set as missing keys.
+        options_keys.update(INPUT_OPTIONS_SHARDED_KEYS)
+    check_keyed_object(obj["options"], options_keys, line_no,
                        "input options")
     for pin in obj["pins"]:
         if not isinstance(pin, dict) or set(pin) != {"app", "nodes"}:
@@ -251,6 +277,10 @@ def check_cycle(obj, line_no, version):
         if has_input:
             keys["input"] = (dict, False)
             keys["decision"] = (dict, False)
+        # Sharded-solve stats are recorded only for cycles that actually ran
+        # the cell-based optimizer; the three keys travel together.
+        if "num_cells" in obj:
+            keys.update(CYCLE_SHARDED_KEYS)
     if set(obj) != set(keys):
         extra = set(obj) - set(keys)
         missing = set(keys) - set(obj)
@@ -267,11 +297,16 @@ def check_cycle(obj, line_no, version):
             fail(line_no, f"field {key!r} has type bool")
         if not isinstance(value, expected):
             fail(line_no, f"field {key!r} has type {type(value).__name__}")
-    for key in ("rp_before", "rp_after", "tx_utilities", "tx_allocations"):
+    array_keys = ["rp_before", "rp_after", "tx_utilities", "tx_allocations"]
+    if "cell_solver_seconds" in obj:
+        array_keys.append("cell_solver_seconds")
+    for key in array_keys:
         for element in obj[key]:
             if element is not None and not isinstance(element, NUMBER):
                 fail(line_no, f"array {key!r} holds a "
                               f"{type(element).__name__}")
+    if "num_cells" in obj and len(obj["cell_solver_seconds"]) != obj["num_cells"]:
+        fail(line_no, "cell_solver_seconds length != num_cells")
     if len(obj["rp_after"]) != obj["num_jobs"] + len(obj["tx_utilities"]):
         fail(line_no, "rp_after length != num_jobs + tx entities")
     if "input" in obj:
