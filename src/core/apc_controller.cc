@@ -43,6 +43,18 @@ void ApcController::AdvanceJobsTo(Seconds to) {
 
 void ApcController::RunCycle(Simulation& sim) {
   const Seconds now = sim.now();
+  CycleCapture capture = CaptureCycle(now);
+  CycleSolution solution = SolveCycle(capture.snapshot);
+  CommitCycle(capture, std::move(solution), now, &sim);
+}
+
+void ApcController::RunCycleAt(Seconds now) {
+  CycleCapture capture = CaptureCycle(now);
+  CycleSolution solution = SolveCycle(capture.snapshot);
+  CommitCycle(capture, std::move(solution), now, nullptr);
+}
+
+CycleCapture ApcController::CaptureCycle(Seconds now) {
   AdvanceJobsTo(now);
 
   // Defence in depth against node faults nobody repaired mid-cycle: jobs
@@ -63,16 +75,17 @@ void ApcController::RunCycle(Simulation& sim) {
   }
 
   // Snapshot order: jobs in submission order, then tx apps in registration
-  // order — the same order used below to apply decisions.
+  // order — the same order CommitCycle uses to apply decisions.
   PlacementSnapshot snapshot = PlacementSnapshot::Capture(
       *cluster_, now, config_.control_cycle, *queue_, config_.costs,
       tx_inputs);
   snapshot.set_constraints(config_.constraints);
+  return CycleCapture{now, std::move(snapshot), std::move(tx_inputs)};
+}
 
-  PlacementOptimizer::Result result;
-  int num_cells = 0;
-  int cross_cell_migrations = 0;
-  std::vector<Seconds> cell_solver_seconds;
+CycleSolution ApcController::SolveCycle(
+    const PlacementSnapshot& snapshot) const {
+  CycleSolution solution;
   const auto wall_start = std::chrono::steady_clock::now();
   if (config_.shard_cell_size > 0) {
     ShardedPlacementOptimizer::Options shard_options;
@@ -83,25 +96,52 @@ void ApcController::RunCycle(Simulation& sim) {
     shard_options.cell = config_.optimizer;
     const ShardedPlacementOptimizer sharded(&snapshot, shard_options);
     ShardedPlacementOptimizer::Result sharded_result = sharded.Optimize();
-    result = std::move(sharded_result.global);
-    num_cells = sharded_result.num_cells;
-    cross_cell_migrations = sharded_result.cross_cell_migrations;
-    cell_solver_seconds = std::move(sharded_result.cell_solve_seconds);
+    solution.result = std::move(sharded_result.global);
+    solution.num_cells = sharded_result.num_cells;
+    solution.cross_cell_migrations = sharded_result.cross_cell_migrations;
+    solution.cell_solver_seconds = std::move(sharded_result.cell_solve_seconds);
   } else {
     const PlacementOptimizer optimizer(&snapshot, config_.optimizer);
-    result = optimizer.Optimize();
+    solution.result = optimizer.Optimize();
   }
-  const double solver_seconds =
+  solution.solver_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  return solution;
+}
 
-  // Apply job decisions. queue_->Incomplete() enumerates jobs in the same
-  // order Capture used, so job j <-> entity j.
-  std::vector<Job*> jobs = queue_->Incomplete();
-  MWP_CHECK(static_cast<int>(jobs.size()) == snapshot.num_jobs());
+void ApcController::CommitCycle(const CycleCapture& capture,
+                                CycleSolution solution, Seconds commit_now,
+                                Simulation* sim) {
+  MWP_CHECK(commit_now >= capture.now);
+  const PlacementSnapshot& snapshot = capture.snapshot;
+  const PlacementOptimizer::Result& result = solution.result;
+  // When the solve ran asynchronously, jobs kept executing under their old
+  // allocations; settle that execution before the new decision takes
+  // effect. Synchronous commits advance to the instant they are already at
+  // (a no-op).
+  AdvanceJobsTo(commit_now);
+
+  // Resolve the captured jobs against the live queue by id. A capture that
+  // went stale mid-solve may reference jobs that completed; those entries
+  // resolve to null and their decisions are dropped. In the synchronous
+  // path the resolved set is exactly queue_->Incomplete() at capture time,
+  // in capture order, so decisions apply as job j <-> entity j.
+  std::vector<Job*> jobs;
+  jobs.reserve(static_cast<std::size_t>(snapshot.num_jobs()));
+  for (int j = 0; j < snapshot.num_jobs(); ++j) {
+    Job* job = queue_->Find(snapshot.job(j).id);
+    if (job != nullptr && job->status() == JobStatus::kCompleted) {
+      job = nullptr;
+    }
+    jobs.push_back(job);
+  }
+
+  const Seconds now = commit_now;
   for (int j = 0; j < snapshot.num_jobs(); ++j) {
     Job* job = jobs[static_cast<std::size_t>(j)];
+    if (job == nullptr) continue;
     const int entity = snapshot.EntityOfJob(j);
     const std::vector<int> nodes = result.placement.NodesOf(entity);
     const NodeId target = nodes.empty() ? kInvalidNode : nodes.front();
@@ -160,9 +200,10 @@ void ApcController::RunCycle(Simulation& sim) {
     tx_apps_[w].instances = std::move(instances);
   }
 
-  // Bookkeeping.
+  // Bookkeeping. Stats are anchored at the capture instant so a cycle's
+  // stats.time always matches its snapshot (and replay input) time.
   CycleStats stats;
-  stats.time = now;
+  stats.time = capture.now;
   stats.num_jobs = snapshot.num_jobs();
   double rp_sum = 0.0;
   double rp_min = std::numeric_limits<double>::infinity();
@@ -179,6 +220,7 @@ void ApcController::RunCycle(Simulation& sim) {
                          ? rp_min
                          : std::numeric_limits<double>::quiet_NaN();
   for (Job* job : jobs) {
+    if (job == nullptr) continue;
     switch (job->status()) {
       case JobStatus::kRunning:
         ++stats.running_jobs;
@@ -228,14 +270,14 @@ void ApcController::RunCycle(Simulation& sim) {
   total_changes_ += static_cast<int>(result.evaluation.changes.size());
   stats.evaluations = result.evaluations;
   stats.shortcut = result.used_shortcut;
-  stats.solver_seconds = solver_seconds;
-  stats.num_cells = num_cells;
-  stats.cross_cell_migrations = cross_cell_migrations;
-  stats.cell_solver_seconds = std::move(cell_solver_seconds);
+  stats.solver_seconds = solution.solver_seconds;
+  stats.num_cells = solution.num_cells;
+  stats.cross_cell_migrations = solution.cross_cell_migrations;
+  stats.cell_solver_seconds = std::move(solution.cell_solver_seconds);
 
   for (std::size_t w = 0; w < tx_apps_.size(); ++w) {
     const int entity = snapshot.EntityOfTx(static_cast<int>(w));
-    const double rate = tx_inputs[w].arrival_rate;
+    const double rate = capture.tx_inputs[w].arrival_rate;
     const MHz alloc =
         result.evaluation.distribution.totals[static_cast<std::size_t>(entity)];
     stats.tx_allocations.push_back(alloc);
@@ -303,11 +345,12 @@ void ApcController::RunCycle(Simulation& sim) {
 
   RecordObservability(stats, result, snapshot);
   ++cycle_index_;
+  next_cycle_trigger_.clear();
 
   if (config_.record_cycles) cycles_.push_back(std::move(stats));
   MWP_LOG_DEBUG << "cycle t=" << now << " jobs=" << snapshot.num_jobs()
                 << " evals=" << result.evaluations
-                << " solver=" << solver_seconds << "s";
+                << " solver=" << solution.solver_seconds << "s";
 
   // Remember the transactional per-node loads so that mid-cycle dispatch
   // knows what is genuinely free, and watch for mid-cycle completions.
@@ -319,7 +362,7 @@ void ApcController::RunCycle(Simulation& sim) {
           result.evaluation.distribution.loads.at(entity, n);
     }
   }
-  ArmCompletionWatch(sim);
+  if (sim != nullptr) ArmCompletionWatch(*sim);
 }
 
 obs::NodeHealthSummary ApcController::HealthSummary() const {
@@ -487,6 +530,7 @@ void ApcController::RecordObservability(
     trace.num_cells = stats.num_cells;
     trace.cross_cell_migrations = stats.cross_cell_migrations;
     trace.cell_solver_seconds = stats.cell_solver_seconds;
+    trace.trigger = next_cycle_trigger_;
     if (config_.trace_full) {
       trace.input = BuildInputRecord(snapshot, config_);
       trace.decision = BuildDecisionRecord(snapshot, result);
@@ -595,7 +639,12 @@ int ApcController::CrashJobsOnOfflineNodes(Seconds now) {
 }
 
 int ApcController::QuickDispatch(Simulation& sim, int max_placements) {
-  const Seconds now = sim.now();
+  const int placed = QuickDispatchAt(sim.now(), max_placements);
+  if (placed > 0) ArmCompletionWatch(sim);
+  return placed;
+}
+
+int ApcController::QuickDispatchAt(Seconds now, int max_placements) {
   AdvanceJobsTo(now);
 
   std::vector<Job*> waiting = queue_->AwaitingPlacement();
@@ -681,12 +730,14 @@ int ApcController::QuickDispatch(Simulation& sim, int max_placements) {
     }
     ++placed_count;
   }
-  if (placed_count > 0) ArmCompletionWatch(sim);
   return placed_count;
 }
 
-void ApcController::OnNodeFault(Simulation& sim) {
-  const Seconds now = sim.now();
+void ApcController::OnNodeFault(Simulation& sim) { RepairNow(sim.now(), &sim); }
+
+void ApcController::OnNodeFaultAt(Seconds now) { RepairNow(now, nullptr); }
+
+void ApcController::RepairNow(Seconds now, Simulation* sim) {
   AdvanceJobsTo(now);
 
   RepairStats repair;
@@ -770,14 +821,15 @@ void ApcController::OnNodeFault(Simulation& sim) {
 
   // Refill whatever capacity the fault freed (and the budget still allows)
   // with queued work — including the jobs this fault just re-queued.
-  repair.job_placements = QuickDispatch(sim, budget);
+  repair.job_placements = sim != nullptr ? QuickDispatch(*sim, budget)
+                                         : QuickDispatchAt(now, budget);
   repair.failed_operations = pending_failed_ops_;
 
   MWP_LOG_DEBUG << "repair t=" << now << " requeued=" << repair.jobs_requeued
                 << " tx=" << repair.tx_replaced << "/" << repair.tx_displaced
                 << " jobs=" << repair.job_placements;
   repairs_.push_back(repair);
-  ArmCompletionWatch(sim);
+  if (sim != nullptr) ArmCompletionWatch(*sim);
 }
 
 void ApcController::ArmCompletionWatch(Simulation& sim) {

@@ -97,6 +97,27 @@ struct CycleStats {
   std::vector<JobCycleDetail> job_details;
 };
 
+/// Product of the capture phase of one control cycle: the frozen optimizer
+/// input plus the per-app arrival rates the commit bookkeeping needs. A
+/// capture is self-describing for the solver — SolveCycle reads only the
+/// snapshot — so it can be staged in a core::DoubleBuffer and solved on a
+/// different thread while the producing controller keeps ingesting events
+/// (the src/svc service's async-solve path).
+struct CycleCapture {
+  Seconds now = 0.0;
+  PlacementSnapshot snapshot;
+  std::vector<PlacementSnapshot::TxInput> tx_inputs;
+};
+
+/// Product of the solve phase of one control cycle.
+struct CycleSolution {
+  PlacementOptimizer::Result result;
+  int num_cells = 0;
+  int cross_cell_migrations = 0;
+  std::vector<Seconds> cell_solver_seconds;
+  Seconds solver_seconds = 0.0;  ///< wall-clock time of the optimizer
+};
+
 /// Outcome of one out-of-band repair cycle (OnNodeFault).
 struct RepairStats {
   Seconds time = 0.0;
@@ -184,6 +205,40 @@ class ApcController {
   /// Execute one control cycle at the simulation's current time.
   void RunCycle(Simulation& sim);
 
+  /// Execute one control cycle at `now` without a simulation: no completion
+  /// watch is armed, so the caller is responsible for feeding completions
+  /// back (the event-driven service does this through its inbox). Decisions
+  /// are identical to RunCycle at the same instant and state.
+  void RunCycleAt(Seconds now);
+
+  // --- phase API -----------------------------------------------------------
+  //
+  // RunCycle = CaptureCycle + SolveCycle + CommitCycle, exposed separately so
+  // the event-driven controller service (src/svc) can stage the capture in a
+  // double buffer and run the solve off-thread while state ingestion
+  // continues. Running the three phases back-to-back at one instant is
+  // bit-identical to RunCycle.
+
+  /// Phase 1 — freeze the system: advance jobs to `now`, reconcile offline
+  /// nodes, and snapshot cluster/jobs/transactional demand.
+  CycleCapture CaptureCycle(Seconds now);
+
+  /// Phase 2 — run the placement optimizer (monolithic or sharded, per
+  /// Config) on a captured snapshot. Const and self-contained: reads only
+  /// the snapshot and the controller's immutable configuration, so it may
+  /// run on another thread while the controller ingests state, as long as
+  /// at most one solve is in flight per controller.
+  CycleSolution SolveCycle(const PlacementSnapshot& snapshot) const;
+
+  /// Phase 3 — put the decision into effect at `commit_now` (>= capture
+  /// time; later when the solve ran asynchronously) and record stats,
+  /// traces and metrics. Jobs are matched by id, so a capture that went
+  /// stale (jobs arrived or completed mid-solve) commits what still
+  /// applies; newly arrived jobs wait for the next decision. `sim` may be
+  /// null (service mode); when set, the completion watch is re-armed.
+  void CommitCycle(const CycleCapture& capture, CycleSolution solution,
+                   Seconds commit_now, Simulation* sim);
+
   /// Notify the controller of a job submission. The paper's job scheduler
   /// acts between control cycles with the APC as advisor (§3.1): a light
   /// event-driven dispatch starts queued jobs on capacity that is free
@@ -202,6 +257,20 @@ class ApcController {
   /// capacity with queued jobs — all under Config::repair_max_changes.
   /// Fault-injection experiments call this from a FaultListener.
   void OnNodeFault(Simulation& sim);
+
+  /// Simulation-free variants of the event-driven entry points, for the
+  /// src/svc service's threaded mode: same decisions as the Simulation&
+  /// overloads at the same instant, but no completion watch is armed.
+  void OnNodeFaultAt(Seconds now);
+  int QuickDispatchAt(Seconds now, int max_placements = kUnbounded);
+
+  /// Tags the next committed cycle's trace record ("event", "repair", ...).
+  /// Empty (the default) marks a periodic cycle and keeps exports
+  /// byte-identical to pre-service traces; the tag is consumed by the next
+  /// CommitCycle.
+  void set_next_cycle_trigger(std::string trigger) {
+    next_cycle_trigger_ = std::move(trigger);
+  }
 
   const std::vector<CycleStats>& cycles() const { return cycles_; }
   const std::vector<RepairStats>& repairs() const { return repairs_; }
@@ -232,6 +301,9 @@ class ApcController {
   /// Start queued/suspended jobs on currently unallocated capacity, at most
   /// `max_placements` of them. Returns the number of jobs placed.
   int QuickDispatch(Simulation& sim, int max_placements = kUnbounded);
+  /// Shared body of OnNodeFault/OnNodeFaultAt; `sim` is null in service
+  /// mode (no completion watch).
+  void RepairNow(Seconds now, Simulation* sim);
   /// Consult the operation oracle; counts and reports a vetoed operation.
   bool OperationFails(PlacementChange::Kind kind, AppId app);
   /// Re-queue placed jobs whose node has gone offline (defence in depth —
@@ -276,6 +348,9 @@ class ApcController {
   /// Control cycles run so far (CycleTrace sequence numbers; counted even
   /// when record_cycles is off).
   int cycle_index_ = 0;
+  /// Trigger tag for the next committed cycle's trace record; empty =
+  /// periodic (legacy exports unchanged). Consumed by CommitCycle.
+  std::string next_cycle_trigger_;
 };
 
 }  // namespace mwp

@@ -1,0 +1,105 @@
+// Double-buffered publication slot for the event-driven controller service.
+//
+// One writer (the service's control thread) publishes cycle captures; one
+// reader (a solver task on the thread pool) borrows the latest publication
+// for the duration of a solve. Two slots guarantee the writer always has
+// somewhere to stage the next capture while the reader holds the previous
+// one — state ingestion never waits for the solver. Publication is
+// latest-wins: staging a new capture before the previous one was acquired
+// simply replaces it (the solver should always work on the freshest state).
+//
+// Threading contract: at most one concurrent writer and one concurrent
+// reader. Slot bookkeeping is a handful of index transitions under an
+// internal mutex held for O(1) work — never while copying or solving — so
+// neither side can block the other for more than a few instructions. The
+// value move into a slot happens outside the lock, on the writer, in a slot
+// no reader can observe until it is re-marked as latest.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+
+namespace mwp {
+
+template <typename T>
+class DoubleBuffer {
+ public:
+  /// Writer: stage `value` as the newest publication. An unread previous
+  /// publication is overwritten (latest-wins). Never blocks on the reader.
+  void Publish(T value) {
+    int slot = -1;
+    {
+      MutexLock lock(mu_);
+      // Prefer a free slot; otherwise recycle the unread latest. The
+      // reader's slot is never touched.
+      for (int i = 0; i < 2; ++i) {
+        if (state_[i] == SlotState::kFree) slot = i;
+      }
+      if (slot < 0) {
+        for (int i = 0; i < 2; ++i) {
+          if (state_[i] == SlotState::kLatest) slot = i;
+        }
+      }
+      // Single-writer + single-reader on two slots: at most one slot can be
+      // kReading, so a kFree or kLatest slot always exists.
+      MWP_CHECK(slot >= 0);
+      state_[slot] = SlotState::kWriting;
+    }
+    slots_[slot] = std::move(value);
+    {
+      MutexLock lock(mu_);
+      for (int i = 0; i < 2; ++i) {
+        if (state_[i] == SlotState::kLatest) state_[i] = SlotState::kFree;
+      }
+      state_[slot] = SlotState::kLatest;
+    }
+  }
+
+  /// Reader: borrow the latest publication, or nullptr when nothing is
+  /// published (or the writer is mid-publish — the caller retries later).
+  /// The slot stays owned by the reader until Release().
+  const T* Acquire() {
+    MutexLock lock(mu_);
+    for (int i = 0; i < 2; ++i) {
+      if (state_[i] == SlotState::kLatest) {
+        state_[i] = SlotState::kReading;
+        reading_ = i;
+        return &*slots_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  /// Reader: return the slot borrowed by the last Acquire().
+  void Release() {
+    MutexLock lock(mu_);
+    MWP_CHECK(reading_ >= 0);
+    state_[reading_] = SlotState::kFree;
+    slots_[reading_].reset();
+    reading_ = -1;
+  }
+
+  /// True when a publication is waiting to be acquired.
+  bool has_latest() const {
+    MutexLock lock(mu_);
+    return state_[0] == SlotState::kLatest || state_[1] == SlotState::kLatest;
+  }
+
+ private:
+  enum class SlotState { kFree, kLatest, kWriting, kReading };
+
+  mutable Mutex mu_;
+  /// Slot values are protected by the ownership protocol, not the mutex:
+  /// a slot is written only while its state is kWriting (writer-owned) and
+  /// read only while kReading (reader-owned); the state transitions under
+  /// mu_ are what publish the value between threads.
+  std::optional<T> slots_[2];
+  SlotState state_[2] MWP_GUARDED_BY(mu_) = {SlotState::kFree,
+                                             SlotState::kFree};
+  int reading_ MWP_GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace mwp

@@ -1,10 +1,14 @@
 #include "exp/experiment1.h"
 
+#include <memory>
+
 #include "batch/arrival_process.h"
 #include "batch/job_factory.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "sim/simulation.h"
+#include "svc/controller_service.h"
+#include "svc/event_adapters.h"
 
 namespace mwp {
 
@@ -32,19 +36,37 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
   cfg.shard_cell_size = config.shard_cell_size;
   ApcController controller(&cluster, &queue, cfg);
 
+  // Event-driven drive path: arrivals and the periodic tick go through the
+  // service's inbox instead of calling the controller directly.
+  std::unique_ptr<ControllerService> service;
+  if (config.drive_with_service) {
+    ControllerService::Config svc_cfg;
+    svc_cfg.metrics = config.service_metrics;
+    service = std::make_unique<ControllerService>(&controller, svc_cfg);
+  }
+
   // Submit all arrivals as events up-front (the schedule is independent of
   // execution).
   auto factory = IdenticalJobFactory::PaperExperimentOne();
   PoissonArrivalProcess arrivals(Rng(config.seed), config.mean_interarrival);
   for (int i = 0; i < config.num_jobs; ++i) {
     const Seconds t = arrivals.NextArrival();
-    sim.ScheduleAt(t, [&queue, &factory, &controller](Simulation& s) {
-      queue.Submit(factory->Create(s.now()));
-      controller.OnJobSubmitted(s);
+    ControllerService* svc = service.get();
+    sim.ScheduleAt(t, [&queue, &factory, &controller, svc](Simulation& s) {
+      Job& job = queue.Submit(factory->Create(s.now()));
+      if (svc != nullptr) {
+        PublishJobArrival(*svc, s, job.id());
+      } else {
+        controller.OnJobSubmitted(s);
+      }
     });
   }
 
-  controller.Attach(sim, /*first_cycle=*/0.0);
+  if (service != nullptr) {
+    AttachServiceTimer(*service, sim, /*first=*/0.0, config.control_cycle);
+  } else {
+    controller.Attach(sim, /*first_cycle=*/0.0);
+  }
 
   // Ideal makespan: num_jobs * exec_time / 75 concurrent slots; the horizon
   // factor leaves room for queueing.

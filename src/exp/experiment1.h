@@ -42,6 +42,16 @@ struct Experiment1Config {
   /// to ApcController::Config::shard_cell_size — the scale-test walkthrough
   /// in the README drives the sharded solver through this knob.
   int shard_cell_size = 0;
+  /// Drive the run through the event-driven ControllerService (src/svc)
+  /// instead of calling the controller directly: arrivals publish
+  /// kJobArrival events and the periodic tick publishes kTimerTick, both
+  /// pumped through the service's inbox. Decisions — and recorded traces —
+  /// are bit-identical to the direct drive (the quiescent-equivalence test
+  /// pins this down); the knob exists to compare the two drive paths.
+  bool drive_with_service = false;
+  /// Optional metrics sink for the service's svc.* instruments (only read
+  /// when drive_with_service is set; non-owning).
+  obs::MetricsRegistry* service_metrics = nullptr;
 };
 
 struct Experiment1Result {

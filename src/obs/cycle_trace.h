@@ -219,6 +219,11 @@ struct CycleTrace {
   int cross_cell_migrations = 0;
   std::vector<Seconds> cell_solver_seconds;
 
+  /// What caused this cycle: "" = periodic tick (the field is then omitted
+  /// from exports, so pre-service traces re-export byte-identically);
+  /// event-driven cycles carry the src/svc trigger tag ("event", ...).
+  std::string trigger;
+
   NodeHealthSummary node_health;
 
   /// Per transactional app, registration order.

@@ -216,6 +216,11 @@ void WriteCycleRecord(std::ostream& os, const CycleTrace& t) {
        << ",\"cross_cell_migrations\":" << t.cross_cell_migrations
        << ",\"cell_solver_seconds\":" << JsonArray(t.cell_solver_seconds);
   }
+  if (!t.trigger.empty()) {
+    // Event-driven cycle tag; omitted for periodic cycles so pre-service
+    // traces re-export byte-identically.
+    os << ",\"trigger\":" << JsonString(t.trigger);
+  }
   MWP_CHECK(t.input.has_value() == t.decision.has_value());
   if (t.input.has_value()) {
     os << ",\"input\":";

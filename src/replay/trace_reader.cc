@@ -538,6 +538,10 @@ obs::CycleTrace ReadCycle(Ctx& ctx, const JsonValue& obj, int version) {
   t.num_cells = GetIntOr<int>(ctx, obj, "num_cells", 0);
   t.cross_cell_migrations = GetIntOr<int>(ctx, obj, "cross_cell_migrations", 0);
   t.cell_solver_seconds = GetDoubleArrayOr(ctx, obj, "cell_solver_seconds");
+  // Optional event-driven cycle tag (missing = periodic cycle).
+  if (obj.kind == JsonValue::Kind::kObject && obj.Find("trigger") != nullptr) {
+    t.trigger = GetString(ctx, obj, "trigger");
+  }
   t.node_health.online = GetInt<int>(ctx, obj, "nodes_online");
   t.node_health.degraded = GetInt<int>(ctx, obj, "nodes_degraded");
   t.node_health.offline = GetInt<int>(ctx, obj, "nodes_offline");

@@ -1,0 +1,23 @@
+#include "svc/control_event.h"
+
+namespace mwp {
+
+const char* ControlEventKindName(ControlEventKind kind) {
+  switch (kind) {
+    case ControlEventKind::kJobArrival:
+      return "job_arrival";
+    case ControlEventKind::kJobCompletion:
+      return "job_completion";
+    case ControlEventKind::kNodeFault:
+      return "node_fault";
+    case ControlEventKind::kNodeRestore:
+      return "node_restore";
+    case ControlEventKind::kTxLoadShift:
+      return "tx_load_shift";
+    case ControlEventKind::kTimerTick:
+      return "timer_tick";
+  }
+  return "unknown";
+}
+
+}  // namespace mwp

@@ -1,0 +1,74 @@
+#include "core/double_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwp {
+namespace {
+
+TEST(DoubleBufferTest, EmptyBufferHasNothingToAcquire) {
+  DoubleBuffer<int> buffer;
+  EXPECT_FALSE(buffer.has_latest());
+  EXPECT_EQ(buffer.Acquire(), nullptr);
+}
+
+TEST(DoubleBufferTest, PublishThenAcquireRoundTrips) {
+  DoubleBuffer<std::string> buffer;
+  buffer.Publish("capture-1");
+  EXPECT_TRUE(buffer.has_latest());
+
+  const std::string* got = buffer.Acquire();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "capture-1");
+  EXPECT_FALSE(buffer.has_latest());  // borrowed, not latest anymore
+  buffer.Release();
+}
+
+TEST(DoubleBufferTest, UnreadPublicationIsReplacedLatestWins) {
+  DoubleBuffer<int> buffer;
+  buffer.Publish(1);
+  buffer.Publish(2);
+  buffer.Publish(3);
+
+  const int* got = buffer.Acquire();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 3);
+  buffer.Release();
+  EXPECT_EQ(buffer.Acquire(), nullptr);  // stale captures are gone
+}
+
+TEST(DoubleBufferTest, WriterNeverBlocksOnReaderHoldingASlot) {
+  // The solver holds capture A for the whole solve; meanwhile the service
+  // stages B and C. The reader's slot must stay intact and the next
+  // acquire must see the freshest publication.
+  DoubleBuffer<int> buffer;
+  buffer.Publish(10);
+  const int* held = buffer.Acquire();
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 10);
+
+  buffer.Publish(20);
+  buffer.Publish(30);
+  EXPECT_EQ(*held, 10);  // the borrowed slot is never recycled
+  buffer.Release();
+
+  const int* next = buffer.Acquire();
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(*next, 30);
+  buffer.Release();
+}
+
+TEST(DoubleBufferTest, ReusableAcrossManyCycles) {
+  DoubleBuffer<int> buffer;
+  for (int i = 0; i < 1'000; ++i) {
+    buffer.Publish(i);
+    const int* got = buffer.Acquire();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, i);
+    buffer.Release();
+  }
+}
+
+}  // namespace
+}  // namespace mwp

@@ -1,0 +1,162 @@
+// Replay round trip for event-triggered cycle traces (PR 7): a run driven
+// through the event-driven controller service — faults, restores, load
+// shifts and all — records full cycle traces, exports them through the real
+// JSONL writer, parses them back and replays bit-exact. Event-triggered
+// cycles carry trigger="event"; the round trip must preserve the tag and
+// the replay must treat those cycles exactly like periodic ones (the
+// recorded input snapshot, not the trigger, is what replays).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "batch/job_factory.h"
+#include "core/apc_controller.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
+#include "replay/replay.h"
+#include "replay/trace_reader.h"
+#include "sim/simulation.h"
+#include "svc/controller_service.h"
+#include "svc/event_adapters.h"
+#include "web/workload_generator.h"
+
+namespace mwp::replay {
+namespace {
+
+// A miniature event storm in the shape of examples/event_storm.cc: Poisson
+// arrivals through the inbox, one fault/restore episode, a tx app watched
+// for load shifts, plus the periodic service timer — recorded with
+// --trace-full semantics.
+ParsedTrace RecordEventStormFullTrace() {
+  ClusterSpec cluster = ClusterSpec::Uniform(
+      4, NodeSpec{/*num_cpus=*/4, /*cpu_speed_mhz=*/3'000.0,
+                  /*memory_mb=*/8'192.0});
+  JobQueue queue;
+  Simulation sim;
+  obs::TraceRecorder recorder;
+
+  ApcController::Config cfg;
+  cfg.control_cycle = 300.0;
+  cfg.costs = VmCostModel::Free();
+  cfg.trace = &recorder;
+  cfg.trace_run_id = "storm-selftest";
+  cfg.trace_full = true;
+  ApcController controller(&cluster, &queue, cfg);
+
+  TransactionalAppSpec tx;
+  tx.id = 50'000;
+  tx.name = "web";
+  tx.memory_per_instance = 1'024.0;
+  tx.response_time_goal = 0.5;
+  tx.demand_per_request = 200.0;
+  tx.min_response_time = 0.05;
+  tx.saturation_allocation = 6'000.0;
+  tx.max_instances = 4;
+  auto rate = std::make_shared<StepRate>(std::vector<StepRate::Step>{
+      {0.0, 5.0}, {700.0, 12.0}});
+  controller.AddTransactionalApp(tx, rate);
+
+  ControllerService::Config svc_cfg;
+  ControllerService service(&controller, svc_cfg);
+
+  auto factory = std::make_unique<IdenticalJobFactory>(
+      JobProfile::SingleStage(/*work=*/150'000.0, /*max_speed=*/3'000.0,
+                              /*memory=*/2'048.0),
+      /*relative_goal_factor=*/2.7, /*first_id=*/100);
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(40.0 * i + 10.0,
+                   [&queue, &factory, &service](Simulation& s) {
+                     Job& job = queue.Submit(factory->Create(s.now()));
+                     PublishJobArrival(service, s, job.id());
+                   });
+  }
+  sim.ScheduleAt(400.0, [&cluster, &service](Simulation& s) {
+    cluster.SetNodeOffline(1);
+    PublishNodeFault(service, s, 1);
+  });
+  sim.ScheduleAt(550.0, [&cluster, &service](Simulation& s) {
+    cluster.SetNodeOnline(1);
+    PublishNodeRestore(service, s, 1);
+  });
+  AttachServiceTimer(service, sim, /*first=*/0.0, 300.0);
+  WatchTxLoadShift(service, sim, rate, /*tx_index=*/0,
+                   /*sample_period=*/100.0, /*shift_fraction=*/0.3);
+
+  sim.RunUntil(1'200.0);
+  EXPECT_GT(service.counters().full_cycles, 0u);
+
+  std::ostringstream os;
+  obs::WriteTraceJsonl(
+      os,
+      obs::MakeTraceContext("event_storm", /*seed=*/7, 300.0,
+                            "storm-selftest"),
+      recorder.Traces());
+  std::string error;
+  auto parsed = ParseTraceJsonl(os.str(), &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return std::move(*parsed);
+}
+
+const ParsedTrace& StormTrace() {
+  static const ParsedTrace trace = RecordEventStormFullTrace();
+  return trace;
+}
+
+TEST(EventReplayTest, TriggerTagSurvivesTheRoundTrip) {
+  const ParsedTrace& trace = StormTrace();
+  ASSERT_FALSE(trace.cycles.empty());
+  int event_cycles = 0;
+  int tick_cycles = 0;
+  for (const obs::CycleTrace& t : trace.cycles) {
+    if (t.trigger == "event") {
+      ++event_cycles;
+    } else {
+      EXPECT_EQ(t.trigger, "");
+      ++tick_cycles;
+    }
+  }
+  // The restore and the load shift each force an event-triggered cycle;
+  // the periodic timer keeps running underneath.
+  EXPECT_GE(event_cycles, 2);
+  EXPECT_GE(tick_cycles, 2);
+}
+
+TEST(EventReplayTest, EventTriggeredCyclesReplayBitExact) {
+  const ReplayOptions options;
+  const ReplayReport report = ReplayTrace(StormTrace(), options);
+  EXPECT_GT(report.total_cycles, 0);
+  EXPECT_EQ(report.replayed_cycles, report.total_cycles);
+  EXPECT_EQ(report.skipped_cycles, 0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.regressed_cycles, 0);
+  EXPECT_EQ(report.cycles_with_placement_diff, 0);
+  EXPECT_EQ(report.max_rp_drift, 0.0);
+  EXPECT_EQ(report.max_allocation_drift, 0.0);
+}
+
+TEST(EventReplayTest, ReexportIsByteIdenticalIncludingTriggers) {
+  // Writer → reader → writer fixpoint, the same guarantee the golden-trace
+  // gate relies on, now with trigger fields present.
+  const ParsedTrace& trace = StormTrace();
+  std::ostringstream os;
+  obs::WriteTraceJsonl(
+      os,
+      obs::MakeTraceContext("event_storm", /*seed=*/7, 300.0,
+                            "storm-selftest"),
+      trace.cycles);
+  std::string error;
+  auto reparsed = ParseTraceJsonl(os.str(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  ASSERT_EQ(reparsed->cycles.size(), trace.cycles.size());
+  for (std::size_t i = 0; i < trace.cycles.size(); ++i) {
+    EXPECT_EQ(reparsed->cycles[i].trigger, trace.cycles[i].trigger)
+        << "cycle " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mwp::replay

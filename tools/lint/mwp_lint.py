@@ -85,6 +85,10 @@ WALL_CLOCK_ALLOWLIST = {
     # Per-cell solver stopwatches (Result::cell_solve_seconds) follow the
     # same contract: observability only, never fed back into decisions.
     "src/core/sharded_optimizer.cc",
+    # The controller service's event-to-decision latency stopwatch
+    # (svc.event_to_decision_seconds) measures the service itself — a
+    # real-time histogram like the solver stopwatches, never simulated time.
+    "src/svc/controller_service.cc",
 }
 HOT_PATH_MODULES = ("src/core/", "src/rpf/")
 
@@ -141,7 +145,8 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
                 path, lineno, "MWP002",
                 "wall-clock read in library code; simulated time only "
                 "(allowlisted: the solver stopwatches in apc_controller.cc "
-                "and sharded_optimizer.cc)"))
+                "and sharded_optimizer.cc, and the service latency "
+                "stopwatch in svc/controller_service.cc)"))
         if ASSERT_PATTERN.search(line) and "static_assert" not in line:
             findings.append(Finding(
                 path, lineno, "MWP003",

@@ -15,7 +15,9 @@ Checks, in order:
     recordings additionally carry cell_size/partition_seed/
     max_cross_cell_moves in the options object and num_cells/
     cross_cell_migrations/cell_solver_seconds per cycle — each group is
-    optional but must appear whole;
+    optional but must appear whole. Event-triggered cycles (recorded by
+    the src/svc controller service) may carry a string "trigger" field;
+    periodic cycles omit it;
   * cycle numbers and counts are internally consistent (monotone cycle
     sequence per run segment, num_cycles == number of cycle records). In
     v2 files a run_id change must coincide with a cycle reset to 0.
@@ -281,6 +283,10 @@ def check_cycle(obj, line_no, version):
         # the cell-based optimizer; the three keys travel together.
         if "num_cells" in obj:
             keys.update(CYCLE_SHARDED_KEYS)
+        # Event-driven cycles (src/svc service) tag their cause; periodic
+        # cycles omit the key entirely.
+        if "trigger" in obj:
+            keys["trigger"] = (str, False)
     if set(obj) != set(keys):
         extra = set(obj) - set(keys)
         missing = set(keys) - set(obj)
