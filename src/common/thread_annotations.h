@@ -57,6 +57,14 @@
 /// Caller must NOT hold the listed capabilities (deadlock prevention).
 #define MWP_EXCLUDES(...) MWP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Declares a global acquisition order: this mutex must be acquired before
+/// the listed ones. Clang's analysis checks it at lock sites, and
+/// tools/analysis/determinism_audit.py folds the declared edges into its
+/// lock-order graph (rule AUD-L2) so a contradicting observed nesting
+/// anywhere in the tree fails the lint gate.
+#define MWP_ACQUIRED_BEFORE(...) \
+  MWP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
 /// Function returns a reference to the named capability.
 #define MWP_RETURN_CAPABILITY(x) MWP_THREAD_ANNOTATION(lock_returned(x))
 

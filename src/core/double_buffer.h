@@ -96,6 +96,7 @@ class DoubleBuffer {
   /// a slot is written only while its state is kWriting (writer-owned) and
   /// read only while kReading (reader-owned); the state transitions under
   /// mu_ are what publish the value between threads.
+  // audit: not-guarded(slot-state protocol hands exclusive ownership; see comment)
   std::optional<T> slots_[2];
   SlotState state_[2] MWP_GUARDED_BY(mu_) = {SlotState::kFree,
                                              SlotState::kFree};

@@ -63,8 +63,10 @@ class HypColumnCache {
     }
   };
 
-  Seconds t_eval_;
-  std::vector<double> grid_;
+  /// Fixed at construction; immutability is what lets Get() read them
+  /// without holding mu_.
+  const Seconds t_eval_;
+  const std::vector<double> grid_;
   Mutex mu_;
   /// One map per snapshot job; unique_ptr storage keeps column addresses
   /// stable across rehashes. The vector's shape is fixed at construction;

@@ -72,6 +72,7 @@ ShardedPlacementOptimizer::Result ShardedPlacementOptimizer::Optimize() const {
   std::uint64_t total_distribute_calls = 0;
 
   const auto solve_cell = [&](int c) {
+    // audit: wall-clock-ok(per-cell solve stopwatch; observability only)
     const auto start = Clock::now();
     CellState& state = cells[static_cast<std::size_t>(c)];
     state.slice =
@@ -79,8 +80,11 @@ ShardedPlacementOptimizer::Result ShardedPlacementOptimizer::Optimize() const {
     state.optimizer = std::make_unique<PlacementOptimizer>(
         &state.slice->snapshot(), cell_options);
     state.result = state.optimizer->Optimize();
+    // audit: wall-clock-ok(per-cell solve stopwatch; observability only)
+    const auto elapsed = Clock::now() - start;
+    // audit: order-fixed(slot c is written by exactly one pool index; timing only)
     out.cell_solve_seconds[static_cast<std::size_t>(c)] +=
-        std::chrono::duration<double>(Clock::now() - start).count();
+        std::chrono::duration<double>(elapsed).count();
   };
   const auto charge_cell = [&](const CellState& state) {
     total_evaluations += state.result.evaluations;

@@ -29,6 +29,7 @@ std::uint64_t ControllerService::NowNs() {
   // solver stopwatch measures the optimizer. Never feeds simulated time.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // audit: wall-clock-ok(latency stopwatch; never feeds simulated time)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

@@ -73,8 +73,13 @@ class EventInbox {
 
   static std::size_t RoundUpPow2(std::size_t n);
 
+  /// Cells are protected per-slot by their seq counters (Vyukov protocol):
+  /// a producer owns a cell between claiming it (CAS on enqueue_pos_) and
+  /// bumping seq; the consumer owns it between observing seq and bumping it
+  /// past the lap. The vector itself never reallocates after construction.
+  // audit: not-guarded(per-cell seq handoff owns each slot; ring never reallocates)
   std::vector<Cell> buffer_;
-  std::size_t mask_;
+  const std::size_t mask_;
   /// Producers claim ring positions from enqueue_pos_; the consumer owns
   /// dequeue_pos_ exclusively but it is atomic so size() can read it.
   alignas(64) std::atomic<std::size_t> enqueue_pos_{0};

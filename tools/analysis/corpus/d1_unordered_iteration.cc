@@ -1,0 +1,37 @@
+// AUD-D1 corpus: unordered-container traversal feeding decision state.
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "audit_stubs.h"
+
+namespace corpus {
+
+// Positive: hash-order traversal into a non-commutative accumulator — the
+// result depends on which bucket order the standard library happens to use.
+double SumDemand(const std::unordered_map<std::uint64_t, double>& demand) {
+  double total = 0.0;
+  for (const auto& entry : demand) {
+    total = total * 1.0000001 + entry.second;
+  }
+  return total;
+}
+
+// Positive: explicit iterator traversal of the same container kind.
+double FirstBucket(const std::unordered_map<std::uint64_t, double>& demand) {
+  auto it = demand.begin();
+  return it == demand.end() ? 0.0 : it->second;
+}
+
+// Negative: counting commutes, and the loop says so.
+std::size_t CountActive(const std::unordered_set<std::uint64_t>& active) {
+  std::size_t n = 0;
+  // audit: order-insensitive(count accumulation commutes)
+  for (const auto& id : active) {
+    n += id != 0 ? 1u : 0u;
+  }
+  return n;
+}
+
+}  // namespace corpus

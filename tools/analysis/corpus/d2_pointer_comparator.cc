@@ -1,0 +1,36 @@
+// AUD-D2 corpus: orderings keyed on pointer values.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "audit_stubs.h"
+
+namespace corpus {
+
+struct Job {
+  int id = 0;
+  double utility = 0.0;
+};
+
+// Positive: sorts by allocation address — a different run gives a
+// different order for identical inputs.
+void SortByAddress(std::vector<Job*>& jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job* a, const Job* b) { return a < b; });
+}
+
+// Clean: same shape, but the comparator keys on a stable field.
+void SortById(std::vector<Job*>& jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job* a, const Job* b) { return a->id < b->id; });
+}
+
+// Positive: the default std::set comparator over T* is std::less<T*>,
+// i.e. address order.
+using WaitSet = std::set<Job*>;
+
+// Negative: address-keyed identity registry, justified.
+// audit: address-stable(identity registry; iteration order never observed)
+using Registry = std::set<Job*>;
+
+}  // namespace corpus

@@ -1,0 +1,40 @@
+// AUD-D4 corpus: order-dependent accumulation inside parallel lanes.
+#include <cstddef>
+#include <vector>
+
+#include "audit_stubs.h"
+
+namespace corpus {
+
+// Positive: captured accumulator mutated from parallel lanes — the FP sum
+// order depends on lane timing, so the result is not replayable.
+double ParallelSum(ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.ParallelFor(xs.size(), [&](std::size_t i) { total += xs[i]; });
+  return total;
+}
+
+// Clean: per-index slots written once each, reduced sequentially in index
+// order afterwards — the canonical deterministic shape.
+double ParallelSumFixed(ThreadPool& pool, const std::vector<double>& xs) {
+  std::vector<double> slot(xs.size(), 0.0);
+  pool.ParallelFor(xs.size(), [&](std::size_t i) { slot[i] = xs[i] * 2.0; });
+  double total = 0.0;
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    total += slot[i];
+  }
+  return total;
+}
+
+// Negative: same shape, justified (e.g. the pool is pinned to one lane on
+// this path, so accumulation order equals index order).
+double ParallelSumJustified(ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.ParallelFor(xs.size(), [&](std::size_t i) {
+    // audit: order-fixed(single-lane pool on this path; order equals index order)
+    total += xs[i];
+  });
+  return total;
+}
+
+}  // namespace corpus

@@ -1,0 +1,34 @@
+// AUD-L1 corpus: mutable state co-located with a mutex must name a guard.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <vector>
+
+#include "audit_stubs.h"
+
+namespace corpus {
+
+class Cache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;
+  std::vector<double> grid_ MWP_GUARDED_BY(mu_);
+  double hit_rate_ = 0.0;  // positive: mutable, unguarded, no justification
+  std::atomic<std::uint64_t> hits_{0};  // exempt: atomic
+  const int capacity_ = 128;            // exempt: immutable by construction
+  std::condition_variable cv_;          // exempt: synchronizes, not state
+  // Negative: justified.
+  // audit: not-guarded(written only during single-threaded warmup)
+  double warmup_factor_ = 1.0;
+};
+
+// Clean: no mutex member, so no guard obligation at all.
+class PlainAggregate {
+ public:
+  double value = 0.0;
+  std::vector<double> history;
+};
+
+}  // namespace corpus

@@ -1,0 +1,61 @@
+// AUD-L2 corpus: lock-order cycles from observed nesting and declared
+// ACQUIRED_BEFORE edges.
+#include "audit_stubs.h"
+
+namespace corpus {
+
+// Positive: LockAB nests a_ then b_, LockBA nests b_ then a_ — the classic
+// ABBA deadlock shape the lock-order graph must reject.
+class AbbaPair {
+ public:
+  void LockAB() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);
+    Touch();
+  }
+  void LockBA() {
+    MutexLock lb(&b_);
+    MutexLock la(&a_);
+    Touch();
+  }
+
+ private:
+  void Touch() {}
+  Mutex a_;
+  Mutex b_;
+};
+
+// Positive: the declared order (x_ before y_) contradicts the observed
+// nesting — the declared edge and the observed edge close a cycle.
+class DeclaredOrder {
+ public:
+  void LockYX() {
+    MutexLock ly(&y_);
+    MutexLock lx(&x_);
+  }
+
+ private:
+  Mutex x_ MWP_ACQUIRED_BEFORE(y_);
+  Mutex y_;
+};
+
+// Negative: an intentionally reversed edge, justified on the inner
+// acquisition.
+class JustifiedPair {
+ public:
+  void LockPQ() {
+    MutexLock lp(&p_);
+    MutexLock lq(&q_);
+  }
+  void LockQP() {
+    MutexLock lq(&q_);
+    // audit: lock-order-ok(LockQP runs only at shutdown after LockPQ quiesces)
+    MutexLock lp(&p_);
+  }
+
+ private:
+  Mutex p_;
+  Mutex q_;
+};
+
+}  // namespace corpus

@@ -1,0 +1,19 @@
+// AUD900/AUD901 corpus: allowlist hygiene.
+#include "audit_stubs.h"
+
+namespace corpus {
+
+// AUD900 positive: the stopwatch this annotation excused was removed, so
+// the entry no longer suppresses anything and must be deleted.
+// audit: wall-clock-ok(left behind after the stopwatch was removed)
+double NoClockHere() { return 1.0; }
+
+// AUD901 positive: unknown tag.
+// audit: totally-fine(not a real tag)
+double UnknownTag() { return 2.0; }
+
+// AUD901 positive: empty reason.
+// audit: order-insensitive()
+double EmptyReason() { return 3.0; }
+
+}  // namespace corpus

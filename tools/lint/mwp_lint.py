@@ -25,6 +25,12 @@ MWP005  Units discipline at API boundaries — headers declare time-like
         quantities as `Seconds` (common/units.h), not raw `double`, so the
         paper's unit conventions stay visible where they are consumed.
         Dimensionless names (factors, ratios, rates) are exempt.
+MWP900  Stale allowlist — an entry in RNG_ALLOWLIST/WALL_CLOCK_ALLOWLIST
+        whose file is gone or no longer contains the pattern the entry
+        excuses. Allowlists must shrink with the code; a stale entry would
+        silently excuse the next regression in that file.
+        (tools/analysis/determinism_audit.py enforces the same hygiene for
+        its inline `// audit:` annotations as AUD900.)
 
 Usage:
     mwp_lint.py [--root DIR]   lint the tree (default: repo root)
@@ -182,6 +188,43 @@ def lint_tree(root: Path) -> list[Finding]:
     return findings
 
 
+def check_allowlists(root: Path, rng_allowlist=None,
+                     wall_clock_allowlist=None) -> list[Finding]:
+    """MWP900: every allowlist entry must still excuse a real pattern hit.
+    An entry whose file is gone, or whose file no longer contains the
+    pattern the entry suppresses, is dead weight that would silently excuse
+    the next regression — deleting it is the only fix."""
+    rng = RNG_ALLOWLIST if rng_allowlist is None else rng_allowlist
+    wall = (WALL_CLOCK_ALLOWLIST if wall_clock_allowlist is None
+            else wall_clock_allowlist)
+    checks = (
+        [(rel, [p for p, _ in RAW_RNG_PATTERNS], "RNG_ALLOWLIST (MWP001)")
+         for rel in sorted(rng)]
+        + [(rel, [WALL_CLOCK_PATTERN], "WALL_CLOCK_ALLOWLIST (MWP002)")
+           for rel in sorted(wall)])
+    findings: list[Finding] = []
+    for rel, patterns, which in checks:
+        path = root / rel
+        if not path.is_file():
+            findings.append(Finding(
+                path, 0, "MWP900",
+                f"stale allowlist entry '{rel}' in {which}: the file no "
+                "longer exists; delete the entry"))
+            continue
+        try:
+            lines = strip_comments(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError) as err:
+            findings.append(Finding(path, 0, "MWP000", f"unreadable: {err}"))
+            continue
+        if not any(p.search(line) for line in lines for p in patterns):
+            findings.append(Finding(
+                path, 0, "MWP900",
+                f"stale allowlist entry '{rel}' in {which}: the file no "
+                "longer contains the pattern the entry excuses; delete the "
+                "entry"))
+    return findings
+
+
 # --- self-test --------------------------------------------------------------
 
 # Each fixture seeds exactly the violations listed in `expect` (rule ids in
@@ -290,6 +333,20 @@ def run_self_test() -> int:
             failures += 1
             print(f"self-test FAILED for tree walk: expected {want_total}, "
                   f"got {sorted(total)}", file=sys.stderr)
+        # Allowlist hygiene: a fresh entry passes, a stale entry (file
+        # exists but the excused pattern is gone) and a missing-file entry
+        # must both fire MWP900.
+        stale = [f.rule for f in check_allowlists(
+            root,
+            rng_allowlist={"src/common/rng.h"},
+            wall_clock_allowlist={"src/sched/bad_clock.cc",   # fresh
+                                  "src/core/clean.cc",        # pattern gone
+                                  "src/core/removed_file.cc"  # file gone
+                                  })]
+        if stale != ["MWP900", "MWP900"]:
+            failures += 1
+            print("self-test FAILED for allowlist hygiene: expected two "
+                  f"MWP900 findings, got {stale}", file=sys.stderr)
     if failures:
         return 1
     print(f"mwp_lint self-test: all {len(SELF_TEST_FIXTURES)} fixtures "
@@ -314,7 +371,7 @@ def main(argv: list[str]) -> int:
               file=sys.stderr)
         return 2
 
-    findings = lint_tree(args.root)
+    findings = lint_tree(args.root) + check_allowlists(args.root)
     for finding in findings:
         print(finding)
     if findings:
