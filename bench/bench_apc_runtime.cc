@@ -96,6 +96,45 @@ BENCHMARK(BM_OptimizeLoaded)
     ->Args({25, 50})     // deep queue
     ->Unit(benchmark::kMillisecond);
 
+void BM_OptimizeLoadedObjective(benchmark::State& state) {
+  // BM_OptimizeLoaded under each pluggable fairness objective — range(2) is
+  // the wire id (0 maxmin, 1 karma, 2 pf). The karma run carries a spread
+  // credit ledger so the biased comparisons and the biased wish-list order
+  // are actually exercised; maxmin here must cost the same as
+  // BM_OptimizeLoaded at equal {nodes, queued} (the default path is the
+  // identical code).
+  const int nodes = static_cast<int>(state.range(0));
+  const int running = nodes * 3;
+  const int queued = static_cast<int>(state.range(1));
+  const int kind = static_cast<int>(state.range(2));
+  BenchState bench(nodes, running, queued);
+  PlacementSnapshot snap = bench.Snapshot();
+  PlacementOptimizer::Options options;
+  options.evaluator.objective.kind = static_cast<FairnessObjectiveKind>(kind);
+  if (options.evaluator.objective.kind == FairnessObjectiveKind::kKarma) {
+    Rng rng(99);
+    std::vector<double> credits(static_cast<std::size_t>(snap.num_entities()));
+    for (double& c : credits) c = rng.Uniform(0.0, 8.0);
+    snap.set_fairness_credits(std::move(credits));
+  }
+  int evaluations = 0;
+  for (auto _ : state) {
+    PlacementOptimizer optimizer(&snap, options);
+    auto result = optimizer.Optimize();
+    evaluations = result.evaluations;
+    benchmark::DoNotOptimize(result.placement);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["jobs"] = running + queued;
+  state.counters["objective"] = kind;
+  state.counters["evaluations"] = evaluations;
+}
+BENCHMARK(BM_OptimizeLoadedObjective)
+    ->Args({25, 10, 0})
+    ->Args({25, 10, 1})
+    ->Args({25, 10, 2})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_OptimizeSharded(benchmark::State& state) {
   // The cell-decomposed solver (§ docs/ALGORITHMS.md §13) on the same
   // workload shape: nodes are partitioned into cells of range(2) nodes,

@@ -9,15 +9,22 @@
 //   ./bench_fig2_exp1 [--jobs 800] [--nodes 25] [--interarrival 260]
 //                     [--trace-out exp1.jsonl] [--trace-full]
 //                     [--run-id exp1-s42] [--shard-cell-size 0]
+//                     [--objective maxmin|karma|pf]
 //
 // --shard-cell-size N > 0 runs the control loop on the sharded cell-based
 // optimizer (docs/ALGORITHMS.md §13) — the scale-test path for hundreds of
 // nodes, e.g. --nodes 100 --shard-cell-size 25.
+//
+// --objective selects the fairness objective the control loop optimizes
+// (docs/ALGORITHMS.md §16): the paper's lexicographic max-min (default),
+// Karma credits, or proportional fairness. The objective id travels in
+// --trace-full exports, so replays reproduce non-default runs faithfully.
 #include <iostream>
 #include <string>
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "core/fairness_objective.h"
 #include "exp/experiment1.h"
 #include "obs/cycle_trace.h"
 #include "obs/trace_export.h"
@@ -32,6 +39,14 @@ int main(int argc, char** argv) {
   cfg.control_cycle = cli.GetDouble("cycle", 600.0);
   cfg.seed = static_cast<std::uint64_t>(cli.GetInt("seed", 42));
   cfg.shard_cell_size = static_cast<int>(cli.GetInt("shard-cell-size", 0));
+  const std::string objective_name = cli.GetString("objective", "maxmin");
+  if (const auto kind = ParseFairnessObjective(objective_name)) {
+    cfg.objective.kind = *kind;
+  } else {
+    std::cerr << "unknown --objective '" << objective_name
+              << "' (expected maxmin, karma or pf)\n";
+    return 1;
+  }
   const bool csv = cli.GetBool("csv", false);
   const Seconds bucket = cli.GetDouble("bucket", 10'000.0);
   const std::string trace_out = cli.GetString("trace-out", "");
@@ -51,7 +66,8 @@ int main(int argc, char** argv) {
             << "(68,640,000 Mc @ 3,900 MHz, 4,320 MB, goal factor 2.7) on "
             << cfg.num_nodes << " nodes; mean inter-arrival "
             << cfg.mean_interarrival << " s; cycle " << cfg.control_cycle
-            << " s\n\n";
+            << " s; objective " << FairnessObjectiveName(cfg.objective.kind)
+            << "\n\n";
 
   const Experiment1Result r = RunExperiment1(cfg);
 

@@ -6,18 +6,27 @@ namespace mwp {
 
 PoissonArrivalProcess::PoissonArrivalProcess(Rng rng, Seconds mean_interarrival,
                                              Seconds start_time)
-    : rng_(rng), mean_(mean_interarrival), next_time_(start_time) {
+    : rng_(rng), mean_(mean_interarrival), last_time_(start_time) {
   MWP_CHECK(mean_ > 0.0);
   MWP_CHECK(start_time >= 0.0);
+  pending_gap_ = rng_.Exponential(mean_);
 }
 
 Seconds PoissonArrivalProcess::NextArrival() {
-  next_time_ += rng_.Exponential(mean_);
-  return next_time_;
+  last_time_ += pending_gap_;
+  pending_gap_ = rng_.Exponential(mean_);
+  return last_time_;
 }
 
 void PoissonArrivalProcess::set_mean_interarrival(Seconds mean) {
   MWP_CHECK(mean > 0.0);
+  // The pending gap was sampled under the old mean; a rate change must take
+  // effect on the *next* arrival, not one arrival late. Rescaling by
+  // new/old turns an Exp(old) draw into an Exp(new) draw (same underlying
+  // uniform variate — the exponential is scale-family), so the stream stays
+  // deterministic without consuming an extra Rng draw, and sequences whose
+  // rate never changes are bit-identical to the lazily-sampled original.
+  pending_gap_ *= mean / mean_;
   mean_ = mean;
 }
 
@@ -30,7 +39,10 @@ FixedArrivalProcess::FixedArrivalProcess(std::vector<Seconds> times)
 }
 
 Seconds FixedArrivalProcess::NextArrival() {
-  MWP_CHECK_MSG(!exhausted(), "fixed arrival schedule exhausted");
+  // Past the end of the schedule there is no next arrival: report the
+  // "never" sentinel instead of faulting, so drivers that poll for the next
+  // arrival (diurnal scenario loops) can terminate on +inf.
+  if (exhausted()) return kTimeForever;
   return times_[index_++];
 }
 

@@ -31,13 +31,19 @@ class PoissonArrivalProcess : public ArrivalProcess {
   Seconds NextArrival() override;
 
   /// Change the mean mid-run (Experiment Three slows submissions near the
-  /// end of the experiment).
+  /// end of the experiment; the diurnal scenarios shift it every phase).
+  /// Takes effect on the very next arrival: the pre-sampled pending gap is
+  /// rescaled deterministically from the same Rng stream.
   void set_mean_interarrival(Seconds mean);
 
  private:
   Rng rng_;
   Seconds mean_;
-  Seconds next_time_;
+  Seconds last_time_;
+  /// Next inter-arrival gap, pre-sampled so a rate change can rescale it
+  /// (Exp(m_old) * m_new/m_old ~ Exp(m_new)) instead of applying one
+  /// arrival late.
+  Seconds pending_gap_ = 0.0;
 };
 
 /// Fixed, caller-supplied arrival instants (used by the §4.3 example where
@@ -46,6 +52,7 @@ class FixedArrivalProcess : public ArrivalProcess {
  public:
   explicit FixedArrivalProcess(std::vector<Seconds> times);
 
+  /// Returns kTimeForever (+inf) once the schedule is exhausted.
   Seconds NextArrival() override;
   bool exhausted() const { return index_ >= times_.size(); }
 

@@ -80,6 +80,20 @@ CycleCapture ApcController::CaptureCycle(Seconds now) {
       *cluster_, now, config_.control_cycle, *queue_, config_.costs,
       tx_inputs);
   snapshot.set_constraints(config_.constraints);
+  if (config_.optimizer.evaluator.objective.kind ==
+      FairnessObjectiveKind::kKarma) {
+    // Freeze the ledger into the snapshot: entities absent from the ledger
+    // (first sighting) start at zero credits.
+    std::vector<double> credits(
+        static_cast<std::size_t>(snapshot.num_entities()), 0.0);
+    for (int e = 0; e < snapshot.num_entities(); ++e) {
+      const auto it = karma_credits_.find(snapshot.EntityAppId(e));
+      if (it != karma_credits_.end()) {
+        credits[static_cast<std::size_t>(e)] = it->second;
+      }
+    }
+    snapshot.set_fairness_credits(std::move(credits));
+  }
   return CycleCapture{now, std::move(snapshot), std::move(tx_inputs)};
 }
 
@@ -344,6 +358,7 @@ void ApcController::CommitCycle(const CycleCapture& capture,
     }
   }
 
+  UpdateKarmaCredits(snapshot, result);
   RecordObservability(stats, result, snapshot);
   ++cycle_index_;
   next_cycle_trigger_.clear();
@@ -364,6 +379,43 @@ void ApcController::CommitCycle(const CycleCapture& capture,
     }
   }
   if (sim != nullptr) ArmCompletionWatch(*sim);
+}
+
+void ApcController::UpdateKarmaCredits(
+    const PlacementSnapshot& snapshot,
+    const PlacementOptimizer::Result& result) {
+  const FairnessObjectiveConfig& cfg = config_.optimizer.evaluator.objective;
+  if (cfg.kind != FairnessObjectiveKind::kKarma) return;
+  const int entities = snapshot.num_entities();
+  if (entities == 0) {
+    karma_credits_.clear();
+    return;
+  }
+  // Fair share: the CPU the cluster had available at capture, split evenly
+  // over every entity the controller reasoned about. Yielding below that
+  // share earns credits proportional to the normalized shortfall; taking
+  // more spends them. The ledger is rebuilt keyed by application id, so
+  // completed entities drop out and iteration stays deterministic (std::map
+  // ordered by id, matching snapshot serialization).
+  MHz available = 0.0;
+  for (int n = 0; n < snapshot.num_nodes(); ++n) {
+    if (snapshot.NodeOnline(n)) available += snapshot.NodeAvailableCpu(n);
+  }
+  const MHz fair_share = available / entities;
+  std::map<AppId, double> next;
+  for (int e = 0; e < entities; ++e) {
+    const AppId id = snapshot.EntityAppId(e);
+    const MHz alloc =
+        result.evaluation.distribution.totals[static_cast<std::size_t>(e)];
+    double credits = 0.0;
+    const auto it = karma_credits_.find(id);
+    if (it != karma_credits_.end()) credits = it->second;
+    if (fair_share > 0.0) {
+      credits += cfg.karma_earn_rate * (fair_share - alloc) / fair_share;
+    }
+    next.emplace(id, std::clamp(credits, 0.0, cfg.karma_cap));
+  }
+  karma_credits_ = std::move(next);
 }
 
 obs::NodeHealthSummary ApcController::HealthSummary() const {
@@ -466,6 +518,12 @@ obs::CycleInputRecord BuildInputRecord(const PlacementSnapshot& snapshot,
   in.options.cell_size = config.shard_cell_size;
   in.options.partition_seed = config.shard_partition_seed;
   in.options.max_cross_cell_moves = config.shard_max_cross_cell_moves;
+  in.options.objective = static_cast<int>(options.evaluator.objective.kind);
+  in.options.karma_weight = options.evaluator.objective.karma_weight;
+  in.options.karma_cap = options.evaluator.objective.karma_cap;
+  in.options.karma_earn_rate = options.evaluator.objective.karma_earn_rate;
+  in.options.pf_epsilon = options.evaluator.objective.pf_epsilon;
+  in.fairness_credits = snapshot.fairness_credits();
 
   for (const auto& [app, nodes] : snapshot.constraints().pins()) {
     in.pins.push_back({app, nodes});
@@ -651,9 +709,27 @@ int ApcController::QuickDispatchAt(Seconds now, int max_placements) {
   std::vector<Job*> waiting = queue_->AwaitingPlacement();
   if (waiting.empty() || max_placements <= 0) return 0;
   // Lowest relative performance first: the job whose achievable RP has
-  // decayed the most is dispatched first.
-  std::stable_sort(waiting.begin(), waiting.end(), [now](Job* a, Job* b) {
-    return a->MaxAchievableUtility(now) < b->MaxAchievableUtility(now);
+  // decayed the most is dispatched first. Under the Karma objective the
+  // ranking uses the same biased (effective) utility the evaluator ranks
+  // need by, so credits earned while waiting are redeemed at event-driven
+  // dispatch too, not only at full control cycles.
+  const FairnessObjectiveConfig& objective =
+      config_.optimizer.evaluator.objective;
+  const bool karma = objective.kind == FairnessObjectiveKind::kKarma;
+  auto karma_bias = [&](const Job& job) -> double {
+    const auto it = karma_credits_.find(job.id());
+    if (it == karma_credits_.end()) return 0.0;
+    return -objective.karma_weight *
+           std::clamp(it->second, 0.0, objective.karma_cap) /
+           objective.karma_cap;
+  };
+  std::stable_sort(waiting.begin(), waiting.end(),
+                   [now, karma, &karma_bias](Job* a, Job* b) {
+    if (!karma) {
+      return a->MaxAchievableUtility(now) < b->MaxAchievableUtility(now);
+    }
+    return a->MaxAchievableUtility(now) + karma_bias(*a) <
+           b->MaxAchievableUtility(now) + karma_bias(*b);
   });
 
   std::vector<Megabytes> free_mem;

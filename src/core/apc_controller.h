@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -274,6 +275,12 @@ class ApcController {
 
   const std::vector<CycleStats>& cycles() const { return cycles_; }
   const std::vector<RepairStats>& repairs() const { return repairs_; }
+  /// Karma credit ledger (empty unless Config's optimizer objective is
+  /// kKarma): per-application credits carried across control cycles.
+  /// Updated once per CommitCycle; keyed map so iteration is deterministic.
+  const std::map<AppId, double>& karma_credits() const {
+    return karma_credits_;
+  }
   int total_placement_changes() const { return total_changes_; }
   int num_tx_apps() const { return static_cast<int>(tx_apps_.size()); }
   const TransactionalApp& tx_app(int i) const {
@@ -326,6 +333,13 @@ class ApcController {
   /// Current cluster health, as a trace summary.
   obs::NodeHealthSummary HealthSummary() const;
 
+  /// Advance the Karma credit ledger after a committed decision: entities
+  /// allocated less than the cycle's fair share earn credits, entities
+  /// allocated more spend them (clamped to [0, karma_cap]). No-op unless
+  /// the Karma objective is active.
+  void UpdateKarmaCredits(const PlacementSnapshot& snapshot,
+                          const PlacementOptimizer::Result& result);
+
   static constexpr int kUnbounded = 1 << 30;
 
   const ClusterSpec* cluster_;
@@ -351,6 +365,10 @@ class ApcController {
   /// Trigger tag for the next committed cycle's trace record; empty =
   /// periodic (legacy exports unchanged). Consumed by CommitCycle.
   std::string next_cycle_trigger_;
+  /// Karma credit ledger (see karma_credits()). std::map, not unordered:
+  /// CaptureCycle serializes it into snapshots and traces, so iteration
+  /// order must be deterministic (AUD-D1).
+  std::map<AppId, double> karma_credits_;
 };
 
 }  // namespace mwp

@@ -34,6 +34,7 @@
 
 #include "cluster/placement.h"
 #include "core/evaluation_cache.h"
+#include "core/fairness_objective.h"
 #include "core/hypothetical_rpf.h"
 #include "core/load_distributor.h"
 #include "core/snapshot.h"
@@ -56,6 +57,12 @@ struct PlacementEvaluation {
   /// W matrix (jobs completing within the cycle carry their current
   /// allocation). Indexed like the snapshot's jobs.
   std::vector<MHz> job_future_speeds;
+  /// Score vector under a non-default FairnessObjective, compared
+  /// lexicographically ascending by Compare. Empty under the default
+  /// lexicographic max-min objective, whose score IS sorted_utilities —
+  /// keeping the default evaluation byte-identical to the pre-objective
+  /// evaluator.
+  std::vector<double> objective_score;
   /// True when the evaluation was cut short by the reject bound: the
   /// candidate's minimum utility loses at sorted index 0, so Compare
   /// against the bound would return -1. sorted_utilities and changes are
@@ -81,6 +88,9 @@ class PlacementEvaluator {
     /// each call (the reference path the equivalence tests compare
     /// against). Results are bit-for-bit identical either way.
     bool incremental = true;
+    /// The fairness objective scoring candidate placements. kMaxMin (the
+    /// default) takes the original hardwired lexicographic max-min path.
+    FairnessObjectiveConfig objective;
   };
 
   explicit PlacementEvaluator(const PlacementSnapshot* snapshot);
@@ -105,6 +115,11 @@ class PlacementEvaluator {
   const PlacementSnapshot& snapshot() const { return *snapshot_; }
   const Options& options() const { return options_; }
 
+  /// The active non-default fairness objective, or nullptr under the
+  /// default lexicographic max-min. Callers ranking per-entity need (wish
+  /// order, rebalancer worst-job picks) consult EntityBias through this.
+  const FairnessObjective* objective() const { return objective_.get(); }
+
   /// Column-cache statistics (zero when incremental is off).
   std::size_t cache_hits() const;
   std::size_t cache_misses() const;
@@ -122,6 +137,8 @@ class PlacementEvaluator {
   /// Memoized hypothetical columns (null when incremental is off). The
   /// cache is behaviourally transparent, hence usable from const Evaluate.
   std::unique_ptr<HypColumnCache> column_cache_;
+  /// Non-null only for a non-default objective (see objective()).
+  std::unique_ptr<FairnessObjective> objective_;
   /// Scratch for the one-argument Evaluate overload.
   mutable EvalScratch scratch_;
 };

@@ -190,10 +190,14 @@ std::vector<int> PlacementOptimizer::WishList(
     if (u < ceiling - options_.evaluator.tie_tolerance) wishes.push_back(entity);
   }
   // Lowest relative performance first: the neediest application gets the
-  // first shot at freed capacity.
+  // first shot at freed capacity. A non-default fairness objective shifts
+  // need by its per-entity bias (Karma: credit holders rank needier).
+  const FairnessObjective* objective = evaluator_.objective();
   std::stable_sort(wishes.begin(), wishes.end(), [&](int a, int b) {
-    return eval.entity_utilities[static_cast<std::size_t>(a)] <
-           eval.entity_utilities[static_cast<std::size_t>(b)];
+    const Utility ua = eval.entity_utilities[static_cast<std::size_t>(a)];
+    const Utility ub = eval.entity_utilities[static_cast<std::size_t>(b)];
+    if (objective == nullptr) return ua < ub;
+    return ua + objective->EntityBias(a) < ub + objective->EntityBias(b);
   });
   return wishes;
 }

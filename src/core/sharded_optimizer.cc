@@ -108,15 +108,36 @@ ShardedPlacementOptimizer::Result ShardedPlacementOptimizer::Optimize() const {
   for (const CellState& state : cells) charge_cell(state);
 
   // Stage 3: hierarchical max-min rebalance (sequential, deterministic).
+  // Under a non-default fairness objective, need is ranked by biased
+  // utility (u + EntityBias), so e.g. Karma credit holders are picked as
+  // "worst off" earlier and receiver floors account for their own credit
+  // holders — the cross-cell pass consults the same objective the per-cell
+  // solves optimized. The default objective takes the original unbiased
+  // path (bias identically absent).
   const double tolerance = options_.cell.evaluator.tie_tolerance;
+  const std::unique_ptr<FairnessObjective> objective =
+      MakeFairnessObjective(options_.cell.evaluator.objective, snap);
   if (num_cells > 1 && options_.max_cross_cell_moves > 0) {
     std::vector<bool> ineligible(static_cast<std::size_t>(snap.num_jobs()),
                                  false);
+    const auto biased = [&](const SnapshotSlice& slice, int le, Utility u) {
+      if (objective == nullptr) return u;
+      const int ge = slice.global_entities()[static_cast<std::size_t>(le)];
+      return u + objective->EntityBias(ge);
+    };
     const auto min_utility = [&](int c) {
-      const auto& utilities =
-          cells[static_cast<std::size_t>(c)].result.evaluation.entity_utilities;
+      const CellState& state = cells[static_cast<std::size_t>(c)];
+      const auto& utilities = state.result.evaluation.entity_utilities;
       if (utilities.empty()) return std::numeric_limits<Utility>::infinity();
-      return *std::min_element(utilities.begin(), utilities.end());
+      if (objective == nullptr) {
+        return *std::min_element(utilities.begin(), utilities.end());
+      }
+      Utility floor = std::numeric_limits<Utility>::infinity();
+      for (std::size_t le = 0; le < utilities.size(); ++le) {
+        floor = std::min(
+            floor, biased(*state.slice, static_cast<int>(le), utilities[le]));
+      }
+      return floor;
     };
 
     int attempts = 0;
@@ -133,8 +154,10 @@ ShardedPlacementOptimizer::Result ShardedPlacementOptimizer::Optimize() const {
         for (int le = 0; le < local_snap.num_jobs(); ++le) {
           const int gj = slice.global_entities()[static_cast<std::size_t>(le)];
           if (ineligible[static_cast<std::size_t>(gj)]) continue;
-          const Utility u = state.result.evaluation
-                                .entity_utilities[static_cast<std::size_t>(le)];
+          const Utility u = biased(
+              slice, le,
+              state.result.evaluation
+                  .entity_utilities[static_cast<std::size_t>(le)]);
           if (worst_job == -1 || u < worst_utility ||
               (u == worst_utility && gj < worst_job)) {
             worst_job = gj;
@@ -193,8 +216,12 @@ ShardedPlacementOptimizer::Result ShardedPlacementOptimizer::Optimize() const {
       const int le = probed.slice->LocalJobOf(worst_job);
       MWP_CHECK(le >= 0);
       const bool placed = probed.result.placement.InstanceCount(le) > 0;
-      const Utility new_utility =
-          probed.result.evaluation.entity_utilities[static_cast<std::size_t>(le)];
+      // Biased like worst_utility (same entity, so the bias cancels and the
+      // acceptance threshold is the raw utility lift either way).
+      const Utility new_utility = biased(
+          *probed.slice, le,
+          probed.result.evaluation
+              .entity_utilities[static_cast<std::size_t>(le)]);
       if (placed && new_utility > worst_utility + tolerance) {
         ++out.cross_cell_transfers;
         if (jv.placed()) ++out.cross_cell_migrations;

@@ -112,6 +112,14 @@ void PlacementSnapshot::OverrideNodeAvailability(std::vector<bool> online,
   node_available_memory_ = std::move(memory);
 }
 
+void PlacementSnapshot::set_fairness_credits(std::vector<double> credits) {
+  MWP_CHECK_MSG(
+      credits.empty() ||
+          credits.size() == static_cast<std::size_t>(num_entities()),
+      "fairness credit vector must be empty or one entry per entity");
+  fairness_credits_ = std::move(credits);
+}
+
 int PlacementSnapshot::JobOfEntity(int entity) const {
   MWP_CHECK(IsJobEntity(entity));
   return entity;

@@ -132,6 +132,16 @@ class PlacementSnapshot {
   /// Application id of a snapshot entity.
   AppId EntityAppId(int entity) const;
 
+  /// Per-entity temporal-fairness credits (Karma objective), frozen into the
+  /// snapshot by the controller's ledger at capture time. Empty means "no
+  /// credits" (every entity at zero) — the default, and what every
+  /// non-Karma objective sees. When set, the vector must have exactly
+  /// num_entities() entries, indexed like the placement matrix.
+  void set_fairness_credits(std::vector<double> credits);
+  const std::vector<double>& fairness_credits() const {
+    return fairness_credits_;
+  }
+
   /// Replace the node-availability vectors frozen at construction. Used by
   /// SnapshotSlice: a per-cell snapshot is built over a freshly constructed
   /// cell ClusterSpec (whose health is all-online by default), then inherits
@@ -159,6 +169,8 @@ class PlacementSnapshot {
   /// Per-entity instance memory, precomputed — FreeMemory runs on the
   /// optimizer's hot path (every feasibility probe of every candidate).
   std::vector<Megabytes> entity_memory_;
+  /// Karma credits frozen at capture time (see set_fairness_credits).
+  std::vector<double> fairness_credits_;
   /// Node health frozen at capture time (see NodeOnline above).
   std::vector<bool> node_online_;
   std::vector<MHz> node_available_cpu_;

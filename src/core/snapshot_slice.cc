@@ -258,6 +258,19 @@ SnapshotSlice::SnapshotSlice(const PlacementSnapshot& global,
   snapshot_->OverrideNodeAvailability(std::move(online), std::move(cpu),
                                       std::move(memory));
   snapshot_->set_constraints(std::move(slice_constraints));
+
+  // Karma credits follow their entity into the slice, so a per-cell solve
+  // sees exactly the bias the monolithic evaluator would apply (1-cell
+  // equivalence includes the credit vector verbatim).
+  if (!global.fairness_credits().empty()) {
+    std::vector<double> credits;
+    credits.reserve(global_entities_.size());
+    for (int ge : global_entities_) {
+      credits.push_back(
+          global.fairness_credits()[static_cast<std::size_t>(ge)]);
+    }
+    snapshot_->set_fairness_credits(std::move(credits));
+  }
 }
 
 int SnapshotSlice::LocalJobOf(int global_job) const {

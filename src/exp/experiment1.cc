@@ -30,6 +30,7 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
   if (config.apc_tie_tolerance > 0.0) {
     cfg.optimizer.evaluator.tie_tolerance = config.apc_tie_tolerance;
   }
+  cfg.optimizer.evaluator.objective = config.objective;
   cfg.trace = config.trace;
   cfg.trace_run_id = config.trace_run_id;
   cfg.trace_full = config.trace_full;
@@ -47,7 +48,12 @@ Experiment1Result RunExperiment1(const Experiment1Config& config) {
 
   // Submit all arrivals as events up-front (the schedule is independent of
   // execution).
-  auto factory = IdenticalJobFactory::PaperExperimentOne();
+  std::unique_ptr<JobFactory> factory;
+  if (config.mixed_goal_factors) {
+    factory = MixtureJobFactory::PaperExperimentTwo(Rng(config.seed + 1));
+  } else {
+    factory = IdenticalJobFactory::PaperExperimentOne();
+  }
   PoissonArrivalProcess arrivals(Rng(config.seed), config.mean_interarrival);
   for (int i = 0; i < config.num_jobs; ++i) {
     const Seconds t = arrivals.NextArrival();

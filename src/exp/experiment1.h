@@ -42,6 +42,18 @@ struct Experiment1Config {
   /// to ApcController::Config::shard_cell_size — the scale-test walkthrough
   /// in the README drives the sharded solver through this knob.
   int shard_cell_size = 0;
+  /// Fairness objective for the control loop (default: the paper's
+  /// lexicographic max-min). Forwarded to the optimizer's evaluator options;
+  /// bench_fig2_exp1's --objective= flag and the fairness_compare example
+  /// drive this knob.
+  FairnessObjectiveConfig objective;
+  /// Draw jobs from Experiment Two's goal-factor/shape mixture instead of
+  /// the identical-job population. On identical jobs every fairness
+  /// objective provably coincides (symmetric tenants accrue symmetric
+  /// credits and every log-sum comparison reduces to the max-min one), so
+  /// the fairness_compare example flips this on to make the objectives
+  /// visibly diverge while keeping the Experiment-1 arrival schedule.
+  bool mixed_goal_factors = false;
   /// Drive the run through the event-driven ControllerService (src/svc)
   /// instead of calling the controller directly: arrivals publish
   /// kJobArrival events and the periodic tick publishes kTimerTick, both

@@ -121,6 +121,14 @@ struct TraceSolverOptions {
   int cell_size = 0;
   std::uint64_t partition_seed = 0;
   int max_cross_cell_moves = 8;
+  /// Fairness objective (FairnessObjectiveKind wire id; 0 = the default
+  /// lexicographic max-min). When 0 the five fields are omitted from
+  /// exports, keeping pre-objective traces byte-identical.
+  int objective = 0;
+  double karma_weight = 0.5;
+  double karma_cap = 8.0;
+  double karma_earn_rate = 1.0;
+  double pf_epsilon = 1e-6;
 
   bool operator==(const TraceSolverOptions&) const = default;
 };
@@ -143,6 +151,11 @@ struct CycleInputRecord {
   TraceSolverOptions options;
   std::vector<TracePin> pins;
   std::vector<std::pair<AppId, AppId>> separations;
+  /// Per-entity Karma credits frozen into the cycle's snapshot (empty for
+  /// non-Karma objectives; omitted from exports when empty so pre-objective
+  /// traces stay byte-identical). Replaying a trace with these restores the
+  /// exact credit bias the recorded solve saw.
+  std::vector<double> fairness_credits;
 
   bool operator==(const CycleInputRecord&) const = default;
 };

@@ -57,6 +57,24 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
     return std::numeric_limits<double>::quiet_NaN();
   }
   q = std::clamp(q, 0.0, 1.0);
+  // Documented edge cases — finite for every non-empty histogram:
+  //   q == 0.0   -> the lower edge of the first populated bucket (0 for the
+  //                 first finite bucket, bounds.back() when only the
+  //                 overflow bucket is populated);
+  //   q == 1.0   -> the upper bound of the last populated finite bucket,
+  //                 or bounds.back() for overflow-only data;
+  //   total == 1 -> the single sample is only known to lie inside its
+  //                 bucket, so every q > 0 reports that bucket's upper
+  //                 bound (bounds.back() for overflow) instead of
+  //                 interpolating a fictitious interior position off the
+  //                 bucket edge.
+  if (total == 1 && q > 0.0) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] > 0) {
+        return i == bounds.size() ? bounds.back() : bounds[i];
+      }
+    }
+  }
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {

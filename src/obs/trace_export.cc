@@ -147,6 +147,15 @@ void WriteInputObject(std::ostream& os, const CycleInputRecord& in) {
        << ",\"partition_seed\":" << o.partition_seed
        << ",\"max_cross_cell_moves\":" << o.max_cross_cell_moves;
   }
+  if (o.objective != 0) {
+    // Non-default fairness objective; omitted for max-min runs so
+    // pre-objective traces re-export byte-identically.
+    os << ",\"objective\":" << o.objective
+       << ",\"karma_weight\":" << JsonNumber(o.karma_weight)
+       << ",\"karma_cap\":" << JsonNumber(o.karma_cap)
+       << ",\"karma_earn_rate\":" << JsonNumber(o.karma_earn_rate)
+       << ",\"pf_epsilon\":" << JsonNumber(o.pf_epsilon);
+  }
   os << "},\"pins\":[";
   for (std::size_t i = 0; i < in.pins.size(); ++i) {
     if (i > 0) os << ',';
@@ -159,7 +168,13 @@ void WriteInputObject(std::ostream& os, const CycleInputRecord& in) {
     os << '[' << in.separations[i].first << ',' << in.separations[i].second
        << ']';
   }
-  os << "]}";
+  os << ']';
+  if (!in.fairness_credits.empty()) {
+    // Karma snapshot credits; omitted when empty so pre-objective traces
+    // re-export byte-identically.
+    os << ",\"credits\":" << JsonArray(in.fairness_credits);
+  }
+  os << '}';
 }
 
 /// Serializes the committed decision (schema v2 "decision" key): non-zero

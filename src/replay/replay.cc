@@ -79,6 +79,21 @@ bool ValidInputShape(const obs::CycleInputRecord& in,
                         " != entities " + std::to_string(num_entities));
     return false;
   }
+  // Objective mismatches are shape regressions, not crashes: a trace from a
+  // newer build (or a hand-edited one) naming an objective this build does
+  // not know cannot be faithfully re-solved.
+  if (!ValidFairnessObjectiveId(in.options.objective)) {
+    AddDetail(diff, "unknown fairness objective id " +
+                        std::to_string(in.options.objective));
+    return false;
+  }
+  if (!in.fairness_credits.empty() &&
+      in.fairness_credits.size() != static_cast<std::size_t>(num_entities)) {
+    AddDetail(diff, "credits length " +
+                        std::to_string(in.fairness_credits.size()) +
+                        " != entities " + std::to_string(num_entities));
+    return false;
+  }
   return true;
 }
 
@@ -187,6 +202,11 @@ ReconstructedCycle::ReconstructedCycle(const obs::CycleInputRecord& input)
     constraints.Separate(a, b);
   }
   snapshot_->set_constraints(std::move(constraints));
+  // Recorded Karma credits restore the exact objective bias the recorded
+  // solve saw, so replayed credit trajectories match the recording.
+  if (!input.fairness_credits.empty()) {
+    snapshot_->set_fairness_credits(input.fairness_credits);
+  }
 }
 
 PlacementOptimizer::Options ReconstructedCycle::OptimizerOptions(
@@ -204,6 +224,12 @@ PlacementOptimizer::Options ReconstructedCycle::OptimizerOptions(
   options.evaluator.distributor.probe_delta = options_.probe_delta;
   options.evaluator.distributor.bisection_iters = options_.bisection_iters;
   options.evaluator.distributor.batch_aggregate = options_.batch_aggregate;
+  options.evaluator.objective.kind =
+      static_cast<FairnessObjectiveKind>(options_.objective);
+  options.evaluator.objective.karma_weight = options_.karma_weight;
+  options.evaluator.objective.karma_cap = options_.karma_cap;
+  options.evaluator.objective.karma_earn_rate = options_.karma_earn_rate;
+  options.evaluator.objective.pf_epsilon = options_.pf_epsilon;
   return options;
 }
 

@@ -308,6 +308,16 @@ Int GetIntOr(Ctx& ctx, const JsonValue& obj, const char* key, Int fallback) {
   return GetInt<Int>(ctx, obj, key);
 }
 
+/// GetDouble for a key that may legitimately be absent (see GetIntOr).
+double GetDoubleOr(Ctx& ctx, const JsonValue& obj, const char* key,
+                   double fallback) {
+  if (ctx.ok && obj.kind == JsonValue::Kind::kObject &&
+      obj.Find(key) == nullptr) {
+    return fallback;
+  }
+  return GetDouble(ctx, obj, key);
+}
+
 std::string GetString(Ctx& ctx, const JsonValue& obj, const char* key) {
   const JsonValue* value = Get(ctx, obj, key);
   if (value == nullptr) return {};
@@ -462,6 +472,14 @@ obs::CycleInputRecord ReadInput(Ctx& ctx, const JsonValue& obj) {
         GetIntOr<std::uint64_t>(ctx, *opts, "partition_seed", 0);
     in.options.max_cross_cell_moves =
         GetIntOr<int>(ctx, *opts, "max_cross_cell_moves", 8);
+    // Fairness-objective fields (absent in pre-objective traces = default
+    // lexicographic max-min; fallbacks mirror FairnessObjectiveConfig).
+    in.options.objective = GetIntOr<int>(ctx, *opts, "objective", 0);
+    in.options.karma_weight = GetDoubleOr(ctx, *opts, "karma_weight", 0.5);
+    in.options.karma_cap = GetDoubleOr(ctx, *opts, "karma_cap", 8.0);
+    in.options.karma_earn_rate =
+        GetDoubleOr(ctx, *opts, "karma_earn_rate", 1.0);
+    in.options.pf_epsilon = GetDoubleOr(ctx, *opts, "pf_epsilon", 1e-6);
   }
 
   if (const JsonValue* pins = Get(ctx, obj, "pins");
@@ -486,6 +504,7 @@ obs::CycleInputRecord ReadInput(Ctx& ctx, const JsonValue& obj) {
           static_cast<AppId>(ElementAsDouble(ctx, s.array[1], "separations")));
     }
   }
+  in.fairness_credits = GetDoubleArrayOr(ctx, obj, "credits");
   return in;
 }
 

@@ -49,6 +49,49 @@ TEST(PoissonArrivalTest, MeanChangeMidStream) {
   EXPECT_NEAR(gaps.mean(), 2'000.0, 2'000.0 * 0.08);
 }
 
+TEST(PoissonArrivalTest, MeanChangeTakesEffectOnNextArrival) {
+  // Regression: the pre-sampled pending gap used to keep the old mean, so a
+  // rate shift applied one arrival late. The very first gap after the change
+  // must already be distributed with the new mean — check by rescaling: with
+  // the same seed and call sequence, the post-change gap must equal the
+  // gap the unchanged process would have produced, scaled by new/old.
+  PoissonArrivalProcess changed(Rng(7), 100.0);
+  PoissonArrivalProcess unchanged(Rng(7), 100.0);
+  Seconds prev_changed = 0.0;
+  Seconds prev_unchanged = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    prev_changed = changed.NextArrival();
+    prev_unchanged = unchanged.NextArrival();
+  }
+  ASSERT_EQ(prev_changed, prev_unchanged);
+  changed.set_mean_interarrival(400.0);
+  const Seconds gap_changed = changed.NextArrival() - prev_changed;
+  const Seconds gap_unchanged = unchanged.NextArrival() - prev_unchanged;
+  EXPECT_DOUBLE_EQ(gap_changed, gap_unchanged * (400.0 / 100.0));
+
+  // Statistical check over many post-change gaps: the mean shift is
+  // immediate, not delayed by one sample.
+  PoissonArrivalProcess p(Rng(8), 10.0);
+  RunningStats first_gaps;
+  for (int i = 0; i < 4'000; ++i) {
+    const Seconds before = p.NextArrival();
+    p.set_mean_interarrival(500.0);
+    first_gaps.Add(p.NextArrival() - before);
+    p.set_mean_interarrival(10.0);
+  }
+  EXPECT_NEAR(first_gaps.mean(), 500.0, 500.0 * 0.08);
+}
+
+TEST(PoissonArrivalTest, SequencesWithoutRateChangeAreBitIdentical) {
+  // The pre-sampling refactor must not perturb seeded streams: same seed,
+  // same arrival instants, bit for bit (golden experiment runs rely on it).
+  PoissonArrivalProcess a(Rng(42), 260.0);
+  PoissonArrivalProcess b(Rng(42), 260.0);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(a.NextArrival(), b.NextArrival());
+  }
+}
+
 TEST(FixedArrivalTest, ReplaysSchedule) {
   FixedArrivalProcess p({0.0, 1.0, 2.0});
   EXPECT_DOUBLE_EQ(p.NextArrival(), 0.0);
@@ -56,7 +99,21 @@ TEST(FixedArrivalTest, ReplaysSchedule) {
   EXPECT_FALSE(p.exhausted());
   EXPECT_DOUBLE_EQ(p.NextArrival(), 2.0);
   EXPECT_TRUE(p.exhausted());
-  EXPECT_THROW(p.NextArrival(), std::logic_error);
+}
+
+TEST(FixedArrivalTest, ExhaustedReturnsForeverSentinel) {
+  // Regression: past the end of the schedule, NextArrival must report the
+  // +inf "never" sentinel — repeatedly — instead of faulting or repeating
+  // the last time.
+  FixedArrivalProcess p({5.0});
+  EXPECT_DOUBLE_EQ(p.NextArrival(), 5.0);
+  ASSERT_TRUE(p.exhausted());
+  EXPECT_EQ(p.NextArrival(), kTimeForever);
+  EXPECT_EQ(p.NextArrival(), kTimeForever);
+  EXPECT_TRUE(p.exhausted());
+
+  FixedArrivalProcess empty(std::vector<Seconds>{});
+  EXPECT_EQ(empty.NextArrival(), kTimeForever);
 }
 
 TEST(FixedArrivalTest, DecreasingScheduleThrows) {

@@ -111,6 +111,61 @@ TEST(MetricsRegistryTest, HistogramQuantileInterpolatesWithinBucket) {
   EXPECT_DOUBLE_EQ(m.Quantile(0.375), 1.25);
 }
 
+TEST(MetricsRegistryTest, HistogramQuantileSingleSampleEdgeCases) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;  // bounds 1, 2, 4, 8 + overflow
+
+  // One sample in bucket (2, 4]: the sample is only known to lie inside the
+  // bucket, so every q > 0 reports the bucket's upper bound — no
+  // interpolation off the bucket edge. q = 0 stays the bucket's lower edge.
+  Histogram& h = registry.histogram("single", options);
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.01), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+
+  // A single overflow sample: every quantile is the lower-bound estimate
+  // bounds.back(), finite.
+  Histogram& o = registry.histogram("single_overflow", options);
+  o.Observe(100.0);
+  EXPECT_DOUBLE_EQ(o.Quantile(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(o.Quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(o.Quantile(1.0), 8.0);
+
+  // Snapshot parity for the single-sample paths.
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  for (const auto& hv : snap.histograms) {
+    const Histogram& live = hv.name == "single" ? h : o;
+    for (const double q : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(HistogramQuantile(hv, q), live.Quantile(q))
+          << hv.name << " q=" << q;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramQuantileEndpointsAreFinite) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_bounds = 4;
+  Histogram& h = registry.histogram("endpoints", options);
+  for (int i = 0; i < 7; ++i) h.Observe(1.5);
+  h.Observe(100.0);  // overflow
+  // q = 0: lower edge of the first populated bucket (1, 2].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  // q = 1: the top rank lives in the overflow bucket -> last finite bound,
+  // never +inf.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8.0);
+  EXPECT_TRUE(std::isfinite(h.Quantile(0.0)));
+  EXPECT_TRUE(std::isfinite(h.Quantile(1.0)));
+}
+
 TEST(MetricsRegistryTest, HistogramQuantileEmptyIsNaN) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("empty");

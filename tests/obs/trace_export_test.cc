@@ -206,13 +206,14 @@ TEST(TraceExportTest, MetricsJsonlShape) {
 
   std::ostringstream os;
   WriteMetricsJsonl(os, registry.Snapshot());
-  // The 1.5 observation lands in bucket (1, 2]; rank interpolation puts
-  // p50/p95/p99 at 1.5 / 1.95 / 1.99 inside that bucket.
+  // The 1.5 observation lands in bucket (1, 2]; a single sample is only
+  // known to lie inside its bucket, so every quantile reports the bucket's
+  // upper bound rather than interpolating a fictitious interior position.
   EXPECT_EQ(os.str(),
             "{\"record\":\"counter\",\"name\":\"c\",\"value\":2}\n"
             "{\"record\":\"gauge\",\"name\":\"g\",\"value\":0.5}\n"
             "{\"record\":\"histogram\",\"name\":\"h\",\"count\":1,"
-            "\"sum\":1.5,\"p50\":1.5,\"p95\":1.95,\"p99\":1.99,"
+            "\"sum\":1.5,\"p50\":2,\"p95\":2,\"p99\":2,"
             "\"bounds\":[1,2],\"buckets\":[0,1,0]}\n");
 }
 

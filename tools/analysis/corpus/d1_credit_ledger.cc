@@ -1,0 +1,58 @@
+// AUD-D1 corpus: fairness credit ledger (docs/ALGORITHMS.md §16).
+//
+// The Karma objective keeps per-tenant credits in a ledger that the
+// controller walks every cycle to accrue earnings and pick who to repay
+// first. The production ledger is a std::map precisely so that walk is
+// deterministic; this fixture seeds the bug the auditor must keep out —
+// the same ledger as an unordered_map, where hash order decides which
+// tied tenant wins — next to the clean ordered shape.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "audit_stubs.h"
+
+namespace corpus {
+
+// Positive: hash-order traversal picks the first max-credit tenant, so a
+// credit tie is broken by bucket layout instead of by tenant id.
+std::uint64_t MostOwedTenant(
+    const std::unordered_map<std::uint64_t, double>& ledger) {
+  std::uint64_t winner = 0;
+  double best = -1.0;
+  for (const auto& entry : ledger) {
+    if (entry.second > best) {
+      best = entry.second;
+      winner = entry.first;
+    }
+  }
+  return winner;
+}
+
+// Negative (allowlisted): a pure sum for a metrics gauge commutes.
+double TotalCredits(const std::unordered_map<std::uint64_t, double>& ledger) {
+  double total = 0.0;
+  // audit: order-insensitive(credit sum commutes; metrics only)
+  for (const auto& entry : ledger) {
+    total += entry.second;
+  }
+  return total;
+}
+
+// Clean: the production shape. std::map iterates in key order, so the
+// accrual-and-argmax walk is a pure function of the ledger contents —
+// no annotation needed and no finding expected.
+std::uint64_t MostOwedTenantOrdered(
+    const std::map<std::uint64_t, double>& ordered_ledger) {
+  std::uint64_t winner = 0;
+  double best = -1.0;
+  for (const auto& entry : ordered_ledger) {
+    if (entry.second > best) {
+      best = entry.second;
+      winner = entry.first;
+    }
+  }
+  return winner;
+}
+
+}  // namespace corpus

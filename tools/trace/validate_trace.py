@@ -15,7 +15,11 @@ Checks, in order:
     recordings additionally carry cell_size/partition_seed/
     max_cross_cell_moves in the options object and num_cells/
     cross_cell_migrations/cell_solver_seconds per cycle — each group is
-    optional but must appear whole. Event-triggered cycles (recorded by
+    optional but must appear whole. Non-default fairness-objective runs
+    (docs/ALGORITHMS.md §16) additionally carry objective/karma_weight/
+    karma_cap/karma_earn_rate/pf_epsilon in the options object and an
+    optional "credits" array (one entry per entity) on the input — the
+    same all-or-nothing contract. Event-triggered cycles (recorded by
     the src/svc controller service) may carry a string "trigger" field;
     periodic cycles omit it;
   * cycle numbers and counts are internally consistent (monotone cycle
@@ -157,6 +161,18 @@ INPUT_OPTIONS_SHARDED_KEYS = {
     "max_cross_cell_moves": (int, False),
 }
 
+# Emitted together, and only when the recording ran a non-default fairness
+# objective (objective id != 0, i.e. Karma or proportional fairness);
+# max-min recordings omit all five so pre-objective traces stay
+# byte-identical. The wire ids are pinned in core/fairness_objective.h.
+INPUT_OPTIONS_OBJECTIVE_KEYS = {
+    "objective": (int, False),
+    "karma_weight": (NUMBER, True),
+    "karma_cap": (NUMBER, True),
+    "karma_earn_rate": (NUMBER, True),
+    "pf_epsilon": (NUMBER, True),
+}
+
 # Per-cycle sharded-solve stats; same conditional-emission contract as the
 # sharded options keys (present only when the cycle solved num_cells > 0).
 CYCLE_SHARDED_KEYS = {
@@ -225,7 +241,20 @@ def check_header(obj, line_no):
 
 
 def check_input(obj, line_no):
-    check_keyed_object(obj, INPUT_KEYS, line_no, "input")
+    input_keys = dict(INPUT_KEYS)
+    if isinstance(obj, dict) and "credits" in obj:
+        # Karma snapshot credits, one per entity (jobs then tx); emitted
+        # only when the ledger is non-empty so pre-objective traces stay
+        # byte-identical.
+        input_keys["credits"] = (list, False)
+    check_keyed_object(obj, input_keys, line_no, "input")
+    if "credits" in input_keys:
+        if len(obj["credits"]) != len(obj["jobs"]) + len(obj["tx"]):
+            fail(line_no, "input credits length != jobs + tx entities")
+        for value in obj["credits"]:
+            if not isinstance(value, NUMBER) or isinstance(value, bool):
+                fail(line_no, "input credits holds a "
+                              f"{type(value).__name__}")
     for node in obj["nodes"]:
         check_keyed_object(node, INPUT_NODE_KEYS, line_no, "input node")
     for job in obj["jobs"]:
@@ -241,6 +270,9 @@ def check_input(obj, line_no):
         # Sharded keys appear all together; check_keyed_object flags a
         # partial set as missing keys.
         options_keys.update(INPUT_OPTIONS_SHARDED_KEYS)
+    if isinstance(obj["options"], dict) and "objective" in obj["options"]:
+        # Same all-together contract for the fairness-objective keys.
+        options_keys.update(INPUT_OPTIONS_OBJECTIVE_KEYS)
     check_keyed_object(obj["options"], options_keys, line_no,
                        "input options")
     for pin in obj["pins"]:
