@@ -1,0 +1,164 @@
+// Alibaba-calibrated co-located workload scenario (docs/ALGORITHMS.md §17).
+//
+// Runs the seeded workload generator's calibrated scenario — diurnal
+// transactional load with flash bursts, MMPP batch submission storms,
+// heavy-tailed job CPU/memory demands — under three cluster managers and
+// prints the comparison the paper's consolidation argument is about: APC
+// dynamic sharing vs. a static partition vs. EDF over the whole cluster.
+//
+//   ./bench_alibaba_scenario [--nodes 100] [--seed 42] [--duration 14400]
+//                            [--cycle 600] [--max-jobs 2000]
+//                            [--shard-cell-size 25] [--search-threads 0]
+//                            [--mode all|apc|static|edf]
+//                            [--trace-out alibaba.jsonl] [--trace-full]
+//                            [--run-id alibaba-s42] [--csv]
+//
+// The run is deterministic: the same --seed materializes the same workload
+// (its FNV-1a hash is printed and embedded per mode) and, in APC mode, a
+// bit-identical cycle trace. --trace-out exports the APC run's schema-v2
+// trace with the generator's calibration parameters embedded in the header
+// ("scenario" object), so a trace file documents the workload that made it.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace mwp;
+  using workload::ScenarioMode;
+  const CommandLine cli(argc, argv);
+
+  const int nodes = static_cast<int>(cli.GetInt("nodes", 100));
+  workload::ScenarioSpec spec =
+      workload::AlibabaScenarioSpec(nodes, cli.GetSeed(42));
+  spec.duration = cli.GetDouble("duration", spec.duration);
+  spec.control_cycle = cli.GetDouble("cycle", spec.control_cycle);
+  spec.max_jobs = static_cast<int>(cli.GetInt("max-jobs", spec.max_jobs));
+  spec.shard_cell_size =
+      static_cast<int>(cli.GetInt("shard-cell-size", nodes >= 50 ? 25 : 0));
+  spec.search_threads = static_cast<int>(cli.GetInt("search-threads", 0));
+
+  const std::string mode_name = cli.GetString("mode", "all");
+  std::vector<ScenarioMode> modes;
+  if (mode_name == "all") {
+    modes = {ScenarioMode::kApc, ScenarioMode::kStaticPartition,
+             ScenarioMode::kEdf};
+  } else if (mode_name == "apc") {
+    modes = {ScenarioMode::kApc};
+  } else if (mode_name == "static") {
+    modes = {ScenarioMode::kStaticPartition};
+  } else if (mode_name == "edf") {
+    modes = {ScenarioMode::kEdf};
+  } else {
+    std::cerr << "unknown --mode '" << mode_name
+              << "' (expected all, apc, static or edf)\n";
+    return 1;
+  }
+
+  const bool csv = cli.GetBool("csv", false);
+  const std::string trace_out = cli.GetString("trace-out", "");
+  const bool trace_full = cli.GetBool("trace-full", false);
+  const std::string run_id =
+      cli.GetString("run-id", "alibaba-s" + std::to_string(spec.seed));
+  obs::TraceRecorder recorder;
+  if (!trace_out.empty()) {
+    spec.trace = &recorder;
+    spec.trace_run_id = run_id;
+    spec.trace_full = trace_full;
+  }
+
+  const workload::ScenarioWorkload generated = GenerateWorkload(spec);
+  std::cout << "Alibaba co-location scenario: " << spec.num_nodes
+            << " nodes, " << spec.num_tx_apps << " diurnal TX apps, "
+            << generated.jobs.size() << " heavy-tailed batch jobs over "
+            << FormatNumber(spec.duration, 0) << " s; cycle "
+            << FormatNumber(spec.control_cycle, 0) << " s; seed " << spec.seed
+            << "; workload hash " << std::hex << WorkloadHash(generated)
+            << std::dec << "\n\n";
+
+  Table t({"metric", "APC dynamic", "static partition", "EDF whole cluster"});
+  std::vector<workload::ScenarioResult> results;
+  std::vector<std::string> names;
+  for (const ScenarioMode mode : modes) {
+    results.push_back(RunScenario(spec, mode));
+    names.emplace_back(ToString(mode));
+  }
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const ScenarioMode mode : {ScenarioMode::kApc,
+                                    ScenarioMode::kStaticPartition,
+                                    ScenarioMode::kEdf}) {
+      bool found = false;
+      for (std::size_t i = 0; i < modes.size(); ++i) {
+        if (modes[i] == mode) {
+          cells.push_back(getter(results[i]));
+          found = true;
+          break;
+        }
+      }
+      if (!found) cells.emplace_back("-");
+    }
+    t.AddRow(cells);
+  };
+
+  using workload::ScenarioResult;
+  row("jobs completed", [](const ScenarioResult& r) {
+    return std::to_string(r.jobs_completed) + "/" +
+           std::to_string(r.jobs_submitted);
+  });
+  row("mean job RP at completion", [](const ScenarioResult& r) {
+    return r.job_rp.empty() ? std::string("-")
+                            : FormatNumber(r.job_rp.mean(), 3);
+  });
+  row("mean TX response time [s]", [](const ScenarioResult& r) {
+    return r.tx_samples == 0 ? std::string("-")
+                             : FormatNumber(r.tx_response_times.mean(), 3);
+  });
+  row("TX SLA violations", [](const ScenarioResult& r) {
+    return r.tx_samples == 0
+               ? std::string("-")
+               : std::to_string(r.tx_sla_violations) + "/" +
+                     std::to_string(r.tx_samples);
+  });
+  row("mean cluster utilization", [](const ScenarioResult& r) {
+    return FormatNumber(r.cluster_utilization.mean(), 3);
+  });
+  row("mean batch CPU share", [](const ScenarioResult& r) {
+    return FormatNumber(r.batch_share.mean(), 3);
+  });
+  row("placement changes", [](const ScenarioResult& r) {
+    return std::to_string(r.placement_changes);
+  });
+  row("disruptive changes", [](const ScenarioResult& r) {
+    return std::to_string(r.disruptive_changes);
+  });
+  std::cout << (csv ? t.ToCsv() : t.ToText()) << '\n';
+
+  if (!trace_out.empty()) {
+    const auto traces = recorder.Traces();
+    obs::TraceContext context = obs::MakeTraceContext(
+        "alibaba_scenario", spec.seed, spec.control_cycle, run_id);
+    context.scenario = workload::ScenarioCalibrationParams(spec);
+    if (obs::ExportTrace(trace_out, context, traces)) {
+      std::cout << "Wrote " << traces.size() << " cycle traces to "
+                << trace_out << '\n';
+    } else {
+      std::cerr << "Failed to write trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "\nExpected shape: the static partition's utilization counts "
+               "its idle TX\nreservation (the §1 consolidation argument) — "
+               "the waste shows up as a lower\nbatch CPU share and job RP "
+               "under submission storms. APC tracks the diurnal\ndemand, "
+               "giving batch the night-time slack at equal TX response "
+               "times.\n";
+  return 0;
+}

@@ -43,6 +43,14 @@ class Rng {
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
+  /// Normally distributed value. A fresh distribution per call, so every
+  /// draw consumes a fixed slice of the engine stream (no pair caching) and
+  /// interleaving Normal with other helpers stays reproducible.
+  double Normal(double mean, double stddev) {
+    MWP_CHECK(stddev >= 0.0);
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
   /// Index drawn from a discrete distribution with the given (unnormalized)
   /// weights. Used for the paper's "{10%, 30%, 60%}"-style job mixtures.
   std::size_t Discrete(std::span<const double> weights) {

@@ -72,8 +72,17 @@ void WriteHeaderRecord(std::ostream& os, const TraceContext& context,
      << ",\"seed\":" << context.seed
      << ",\"control_cycle\":" << JsonNumber(context.control_cycle)
      << ",\"build_type\":" << JsonString(context.build_type)
-     << ",\"git_sha\":" << JsonString(context.git_sha)
-     << ",\"num_cycles\":" << num_cycles << "}\n";
+     << ",\"git_sha\":" << JsonString(context.git_sha);
+  if (!context.scenario.empty()) {
+    os << ",\"scenario\":{";
+    for (std::size_t i = 0; i < context.scenario.size(); ++i) {
+      if (i > 0) os << ',';
+      os << JsonString(context.scenario[i].first) << ':'
+         << JsonNumber(context.scenario[i].second);
+    }
+    os << '}';
+  }
+  os << ",\"num_cycles\":" << num_cycles << "}\n";
 }
 
 /// Serializes the full optimizer input of one cycle (schema v2 "input" key).

@@ -33,6 +33,8 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.h"
 #include "obs/cycle_trace.h"
@@ -54,6 +56,13 @@ struct TraceContext {
   /// Header-level run identifier. Single-run exports stamp it here; sweep
   /// exports leave it "" and rely on the per-cycle run_id instead.
   std::string run_id;
+  /// Optional workload-generator calibration parameters, emitted as a
+  /// `"scenario":{name:value,...}` header object in the given order. Empty
+  /// (the default) omits the key entirely, keeping pre-scenario exports
+  /// byte-identical — adding this did not bump the schema version for that
+  /// reason. Stamped by scenario runs (src/workload) so a trace carries the
+  /// parameters that generated its workload.
+  std::vector<std::pair<std::string, double>> scenario;
 };
 
 /// TraceContext with build_type / git_sha filled from BuildInfo.

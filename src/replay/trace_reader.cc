@@ -636,6 +636,21 @@ std::optional<ParsedTrace> ParseTraceJsonl(std::string_view text,
       if (trace.schema_version >= 2) {
         trace.context.run_id = GetString(ctx, value, "run_id");
       }
+      // Optional scenario-calibration object (emitted by src/workload runs
+      // only); ordered members round-trip through re-export byte-identically.
+      if (const JsonValue* scenario = value.Find("scenario");
+          scenario != nullptr && scenario->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, entry] : scenario->members) {
+          if (entry.kind != JsonValue::Kind::kNumber) {
+            ctx.Fail("scenario value '" + name + "' is not a number");
+            break;
+          }
+          double parsed = 0.0;
+          const char* begin = entry.number.data();
+          std::from_chars(begin, begin + entry.number.size(), parsed);
+          trace.context.scenario.emplace_back(name, parsed);
+        }
+      }
       declared = GetInt<std::size_t>(ctx, value, "num_cycles");
     } else {
       if (GetString(ctx, value, "record") != "cycle") {

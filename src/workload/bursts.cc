@@ -1,0 +1,56 @@
+#include "workload/bursts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mwp::workload {
+
+void BurstSpec::Validate() const {
+  if (!enabled()) return;
+  MWP_CHECK_MSG(std::isfinite(mean_gap) && mean_gap > 0.0,
+                "burst mean_gap must be finite and positive");
+  MWP_CHECK_MSG(std::isfinite(mean_duration) && mean_duration > 0.0,
+                "burst mean_duration must be finite and positive");
+  MWP_CHECK_MSG(std::isfinite(min_duration) && min_duration >= 0.0,
+                "burst min_duration must be finite and non-negative");
+  MWP_CHECK_MSG(std::isfinite(max_duration) && max_duration >= min_duration,
+                "burst max_duration must be finite and >= min_duration");
+  MWP_CHECK_MSG(mean_duration >= min_duration && mean_duration <= max_duration,
+                "burst mean_duration must lie within [min, max]");
+}
+
+std::vector<BurstEpisode> SampleBurstEpisodes(Rng& rng, const BurstSpec& spec,
+                                              Seconds horizon) {
+  spec.Validate();
+  std::vector<BurstEpisode> episodes;
+  if (!spec.enabled() || horizon <= 0.0) return episodes;
+  Seconds t = 0.0;
+  while (true) {
+    const Seconds start = t + rng.Exponential(spec.mean_gap);
+    if (start >= horizon) break;
+    // Exponential duration clamped into the configured bounds: the clamp
+    // slightly concentrates mass at the bounds (it is a truncation in
+    // spirit, not in distribution) but keeps the draw a single Rng
+    // consumption and makes the min/max guarantee unconditional.
+    const Seconds duration =
+        std::clamp(rng.Exponential(spec.mean_duration), spec.min_duration,
+                   spec.max_duration);
+    episodes.push_back({start, duration});
+    t = start + duration;
+  }
+  return episodes;
+}
+
+bool InEpisode(const std::vector<BurstEpisode>& episodes, Seconds t) {
+  // First episode starting after t; its predecessor is the only candidate.
+  auto it = std::upper_bound(
+      episodes.begin(), episodes.end(), t,
+      [](Seconds value, const BurstEpisode& e) { return value < e.start; });
+  if (it == episodes.begin()) return false;
+  --it;
+  return t < it->end();
+}
+
+}  // namespace mwp::workload

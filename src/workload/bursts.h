@@ -1,0 +1,54 @@
+// Burst-episode model shared by the diurnal transactional profile and the
+// MMPP batch arrival process (docs/ALGORITHMS.md §17).
+//
+// The Alibaba co-location characterization (Cheng et al., PAPERS.md) shows
+// both sides of the cluster departing from their baseline in episodes:
+// transactional flash events lasting minutes and batch submission storms
+// lasting seconds to minutes. An episode schedule is a seeded, materialized
+// list of [start, start+duration) windows: episode starts follow a Poisson
+// process (exponential gaps) and durations are exponential draws clamped
+// into [min_duration, max_duration], so every episode provably respects the
+// configured bounds — the `workload` statistical suite checks exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace mwp::workload {
+
+struct BurstSpec {
+  /// Mean gap between the end of one episode and the start of the next.
+  /// Zero disables bursts entirely (SampleBurstEpisodes returns no episodes).
+  Seconds mean_gap = 0.0;
+  /// Mean of the exponential duration draw, before clamping.
+  Seconds mean_duration = 0.0;
+  /// Hard bounds every episode's duration must respect.
+  Seconds min_duration = 0.0;
+  Seconds max_duration = 0.0;
+
+  bool enabled() const { return mean_gap > 0.0; }
+  /// Throws on inconsistent parameters (non-finite values, inverted bounds,
+  /// mean outside [min, max]).
+  void Validate() const;
+};
+
+struct BurstEpisode {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  Seconds end() const { return start + duration; }
+};
+
+/// Materializes every episode starting before `horizon`, in increasing start
+/// order and non-overlapping (the next gap begins at the previous episode's
+/// end). Deterministic in the Rng stream.
+std::vector<BurstEpisode> SampleBurstEpisodes(Rng& rng, const BurstSpec& spec,
+                                              Seconds horizon);
+
+/// Whether `t` falls inside some episode. Episodes must be the sorted,
+/// non-overlapping output of SampleBurstEpisodes; lookup is O(log n).
+bool InEpisode(const std::vector<BurstEpisode>& episodes, Seconds t);
+
+}  // namespace mwp::workload

@@ -1,0 +1,60 @@
+#include "workload/diurnal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mwp::workload {
+
+void DiurnalSpec::Validate() const {
+  MWP_CHECK_MSG(std::isfinite(daily_volume) && daily_volume > 0.0,
+                "diurnal daily_volume must be finite and positive");
+  MWP_CHECK_MSG(std::isfinite(period) && period > 0.0,
+                "diurnal period must be finite and positive");
+  double amplitude_sum = 0.0;
+  for (const DiurnalHarmonic& h : harmonics) {
+    MWP_CHECK_MSG(h.cycles_per_period >= 1,
+                  "diurnal harmonic frequency must be a positive integer");
+    MWP_CHECK_MSG(std::isfinite(h.relative_amplitude) &&
+                      std::isfinite(h.phase),
+                  "diurnal harmonic amplitude/phase must be finite");
+    amplitude_sum += std::abs(h.relative_amplitude);
+  }
+  // Σ|a_k| ≤ 1 keeps λ(t) ≥ 0 without clamping, which is what makes the
+  // daily-volume integral exact rather than approximate.
+  MWP_CHECK_MSG(amplitude_sum <= 1.0,
+                "diurnal harmonic amplitudes must sum to at most 1");
+  MWP_CHECK_MSG(std::isfinite(burst_rate_multiplier) &&
+                    burst_rate_multiplier >= 1.0,
+                "diurnal burst_rate_multiplier must be >= 1");
+  bursts.Validate();
+}
+
+DiurnalRate::DiurnalRate(DiurnalSpec spec, std::uint64_t seed, Seconds horizon)
+    : spec_(std::move(spec)) {
+  spec_.Validate();
+  Rng rng(seed);
+  episodes_ = SampleBurstEpisodes(rng, spec_.bursts, horizon);
+}
+
+double DiurnalRate::BaselineRateAt(Seconds t) const {
+  double shape = 1.0;
+  for (const DiurnalHarmonic& h : spec_.harmonics) {
+    shape += h.relative_amplitude *
+             std::sin(2.0 * std::numbers::pi * h.cycles_per_period * t /
+                          spec_.period +
+                      h.phase);
+  }
+  return spec_.base_rate() * std::max(shape, 0.0);
+}
+
+double DiurnalRate::RateAt(Seconds t) const {
+  double rate = BaselineRateAt(t);
+  if (spec_.burst_rate_multiplier > 1.0 && InEpisode(episodes_, t)) {
+    rate *= spec_.burst_rate_multiplier;
+  }
+  return rate;
+}
+
+}  // namespace mwp::workload

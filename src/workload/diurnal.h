@@ -1,0 +1,73 @@
+// Diurnal transactional arrival-rate process (docs/ALGORITHMS.md §17).
+//
+// The Alibaba co-location characterization (Cheng et al., PAPERS.md) shows
+// online-service load following a strong day/night cycle with secondary
+// peaks and occasional flash events. This profile models the rate as
+//
+//   λ(t) = base · (1 + Σ_k a_k · sin(2π f_k t / period + φ_k)) · burst(t)
+//
+// where base = daily_volume / period, each harmonic has an integer frequency
+// f_k (cycles per period) so it integrates to zero over a full period, and
+// burst(t) is burst_rate_multiplier inside a seeded burst episode and 1
+// outside. With Σ|a_k| ≤ 1 (enforced) the rate never clamps at zero, so the
+// burst-free profile integrates to exactly daily_volume per period — the
+// `workload` statistical suite checks that property numerically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "web/workload_generator.h"
+#include "workload/bursts.h"
+
+namespace mwp::workload {
+
+struct DiurnalHarmonic {
+  /// Integer frequency in cycles per period (1 = the daily fundamental,
+  /// 2 = a half-day harmonic, ...). Must be >= 1 so the harmonic's integral
+  /// over a full period vanishes.
+  int cycles_per_period = 1;
+  /// Amplitude relative to the base rate.
+  double relative_amplitude = 0.0;
+  /// Phase offset, radians.
+  double phase = 0.0;
+};
+
+struct DiurnalSpec {
+  /// Requests per period under the burst-free profile.
+  double daily_volume = 0.0;
+  Seconds period = 86'400.0;
+  std::vector<DiurnalHarmonic> harmonics;
+  /// Rate multiplier inside a burst episode (flash event); 1 disables the
+  /// multiplicative effect even when episodes exist.
+  double burst_rate_multiplier = 1.0;
+  BurstSpec bursts;
+
+  double base_rate() const { return daily_volume / period; }
+  /// Throws on invalid parameters (non-positive volume/period, Σ|a_k| > 1,
+  /// non-integer-frequency harmonics, multiplier < 1).
+  void Validate() const;
+};
+
+/// Seeded, deterministic λ(t) profile pluggable wherever the controller
+/// expects an ArrivalRateProfile. Burst episodes are materialized up to
+/// `horizon` at construction; beyond the horizon the profile continues
+/// burst-free.
+class DiurnalRate : public ArrivalRateProfile {
+ public:
+  DiurnalRate(DiurnalSpec spec, std::uint64_t seed, Seconds horizon);
+
+  double RateAt(Seconds t) const override;
+  /// λ(t) without the burst multiplier (the integrand of daily_volume).
+  double BaselineRateAt(Seconds t) const;
+
+  const DiurnalSpec& spec() const { return spec_; }
+  const std::vector<BurstEpisode>& episodes() const { return episodes_; }
+
+ private:
+  DiurnalSpec spec_;
+  std::vector<BurstEpisode> episodes_;
+};
+
+}  // namespace mwp::workload

@@ -1,0 +1,67 @@
+#include "workload/mmpp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mwp::workload {
+
+void MmppSpec::Validate() const {
+  MWP_CHECK_MSG(std::isfinite(mean_interarrival) && mean_interarrival > 0.0,
+                "MMPP mean_interarrival must be finite and positive");
+  MWP_CHECK_MSG(std::isfinite(burst_rate_multiplier) &&
+                    burst_rate_multiplier >= 1.0,
+                "MMPP burst_rate_multiplier must be >= 1");
+  bursts.Validate();
+}
+
+MmppArrivalProcess::MmppArrivalProcess(MmppSpec spec, std::uint64_t seed,
+                                       Seconds horizon)
+    : spec_(spec), rng_(seed) {
+  spec_.Validate();
+  episodes_ = SampleBurstEpisodes(rng_, spec_.bursts, horizon);
+}
+
+double MmppArrivalProcess::RateAt(Seconds t) const {
+  const double base = spec_.base_rate();
+  return InEpisode(episodes_, t) ? base * spec_.burst_rate_multiplier : base;
+}
+
+Seconds MmppArrivalProcess::NextBoundaryAfter(Seconds t) const {
+  // Episodes are sorted and non-overlapping; find the first boundary > t.
+  auto it = std::upper_bound(
+      episodes_.begin(), episodes_.end(), t,
+      [](Seconds value, const BurstEpisode& e) { return value < e.start; });
+  if (it != episodes_.begin()) {
+    const BurstEpisode& prev = *std::prev(it);
+    if (t < prev.end()) return prev.end();
+  }
+  if (it != episodes_.end()) return it->start;
+  return kTimeForever;
+}
+
+Seconds MmppArrivalProcess::NextArrival() {
+  // Time-rescaling: a unit-mean exponential mark E is spent walking the
+  // piecewise-constant intensity λ(t) until ∫λ = E. Exact for an
+  // inhomogeneous Poisson process, and each arrival consumes exactly one
+  // Rng draw regardless of how many episode boundaries it crosses.
+  double remaining = rng_.Exponential(1.0);
+  Seconds t = now_;
+  while (true) {
+    const double rate = RateAt(t);
+    const Seconds boundary = NextBoundaryAfter(t);
+    const double capacity =
+        boundary == kTimeForever ? kTimeForever : (boundary - t) * rate;
+    if (remaining <= capacity) {
+      t += remaining / rate;
+      break;
+    }
+    remaining -= capacity;
+    t = boundary;
+  }
+  now_ = t;
+  return t;
+}
+
+}  // namespace mwp::workload

@@ -1,0 +1,60 @@
+// Markov-modulated Poisson batch arrivals (docs/ALGORITHMS.md §17).
+//
+// The Alibaba characterization (Cheng et al., PAPERS.md) shows batch job
+// submissions arriving in storms: long stretches near a baseline rate
+// punctuated by episodes at a many-fold higher rate. This is the classic
+// two-state MMPP — a Poisson process whose rate is modulated by an
+// alternating renewal process (normal ↔ burst). Episodes are materialized
+// from the seed at construction (workload/bursts.h), and arrivals are drawn
+// by exact time-rescaling: a unit-mean exponential mark is inverted through
+// the piecewise-constant cumulative intensity, so the stream is a true
+// inhomogeneous Poisson process with no thinning loop and a deterministic
+// Rng-draw count per arrival.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batch/arrival_process.h"
+#include "common/units.h"
+#include "workload/bursts.h"
+
+namespace mwp::workload {
+
+struct MmppSpec {
+  /// Mean inter-arrival time in the normal state.
+  Seconds mean_interarrival = 260.0;
+  /// Rate multiplier while a burst episode is active (>= 1).
+  double burst_rate_multiplier = 8.0;
+  BurstSpec bursts;
+
+  double base_rate() const { return 1.0 / mean_interarrival; }
+  /// Throws on invalid parameters.
+  void Validate() const;
+};
+
+class MmppArrivalProcess : public ArrivalProcess {
+ public:
+  /// Burst episodes are sampled up to `horizon`; beyond it the process
+  /// continues at the baseline rate.
+  MmppArrivalProcess(MmppSpec spec, std::uint64_t seed, Seconds horizon);
+
+  Seconds NextArrival() override;
+
+  /// Instantaneous arrival rate at `t` (for tests and calibration reports).
+  double RateAt(Seconds t) const;
+  const std::vector<BurstEpisode>& episodes() const { return episodes_; }
+  const MmppSpec& spec() const { return spec_; }
+
+ private:
+  /// Next episode boundary (start or end) strictly after `t`; kTimeForever
+  /// once all materialized episodes are behind `t`.
+  Seconds NextBoundaryAfter(Seconds t) const;
+
+  MmppSpec spec_;
+  std::vector<BurstEpisode> episodes_;
+  Rng rng_;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace mwp::workload

@@ -1,0 +1,160 @@
+// Alibaba-calibrated co-located workload scenario (docs/ALGORITHMS.md §17).
+//
+// Composes the generator pieces — per-app diurnal transactional load
+// (workload/diurnal.h), MMPP batch submission storms (workload/mmpp.h) and
+// heavy-tailed per-job CPU/memory demand (workload/heavy_tail.h) — into a
+// runnable scenario on the existing controller harness, and runs it under
+// three cluster managers: APC dynamic sharing, a static partition, and EDF
+// over the whole cluster. This is the first workload the optimizer faces
+// outside the paper's §5 synthetic distributions; the calibration targets
+// the published Alibaba co-location characterization (Cheng et al.,
+// PAPERS.md).
+//
+// Everything is seeded and deterministic: GenerateWorkload materializes the
+// complete scenario event stream (job arrivals with sampled demands, burst
+// episodes on both sides), SerializeWorkload renders it byte-stably, and
+// WorkloadHash fingerprints it — same spec + seed ⇒ bit-identical stream,
+// which the `workload` determinism suite enforces. RunScenario consumes the
+// materialized stream, so what is hashed is exactly what runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "obs/cycle_trace.h"
+#include "workload/diurnal.h"
+#include "workload/heavy_tail.h"
+#include "workload/mmpp.h"
+
+namespace mwp::workload {
+
+enum class ScenarioMode {
+  kApc,              ///< dynamic placement (the paper's controller)
+  kStaticPartition,  ///< dedicated TX nodes + FCFS batch nodes
+  kEdf,              ///< EDF over the whole cluster (batch-only comparator)
+};
+
+const char* ToString(ScenarioMode mode);
+
+struct ScenarioSpec {
+  std::string name = "alibaba";
+  int num_nodes = 100;
+  NodeSpec node{/*num_cpus=*/4, /*cpu_speed_mhz=*/3'900.0,
+                /*memory_mb=*/16'384.0};
+  Seconds control_cycle = 600.0;
+  Seconds duration = 14'400.0;
+  std::uint64_t seed = 42;
+
+  // --- transactional side -------------------------------------------------
+  int num_tx_apps = 2;
+  /// Shared diurnal shape; each app gets its own seeded burst stream and a
+  /// phase stagger so peaks do not align perfectly.
+  DiurnalSpec tx_diurnal;
+  /// Phase offset (seconds of the diurnal period) between successive apps.
+  Seconds tx_phase_stagger = 21'600.0;
+  Seconds tx_response_goal = 1.0;
+  Utility tx_max_utility = 0.8;
+  /// Fraction of total cluster CPU at which the *combined* transactional
+  /// workload saturates; split evenly across apps.
+  double tx_saturation_cluster_fraction = 0.35;
+  double tx_stability_fraction = 0.3;
+  Megabytes tx_memory_per_instance = 2'048.0;
+
+  // --- batch side ---------------------------------------------------------
+  /// Cap on materialized submissions; arrivals stop at the cap or at
+  /// `duration`, whichever comes first.
+  int max_jobs = 2'000;
+  MmppSpec batch_arrivals;
+  HeavyTailJobSpec jobs;
+
+  // --- mode knobs ---------------------------------------------------------
+  /// Static mode: nodes [0, static_tx_nodes) are the TX partition.
+  int static_tx_nodes = 0;
+  /// APC mode: nodes per optimizer cell (0 = monolithic).
+  int shard_cell_size = 0;
+  /// APC mode: optimizer search lanes (0 = library default).
+  int search_threads = 0;
+
+  // --- trace (APC mode only) ----------------------------------------------
+  obs::TraceRecorder* trace = nullptr;  ///< non-owning; must outlive the run
+  std::string trace_run_id;
+  bool trace_full = false;
+
+  /// Throws on inconsistent parameters.
+  void Validate() const;
+};
+
+/// The calibrated preset, scaled to `num_nodes` (reference scale is 100
+/// nodes: transactional volume and batch arrival rate scale linearly with
+/// the cluster; per-job demand does not). See docs/ALGORITHMS.md §17 for
+/// the mapping onto the Cheng et al. figures.
+ScenarioSpec AlibabaScenarioSpec(int num_nodes = 100, std::uint64_t seed = 42);
+
+/// One materialized batch submission.
+struct ScenarioJob {
+  AppId id = kInvalidApp;
+  Seconds submit_time = 0.0;
+  Megacycles work = 0.0;
+  MHz max_speed = 0.0;
+  Megabytes memory = 0.0;
+  double goal_factor = 0.0;
+};
+
+/// The complete generated event stream of a scenario.
+struct ScenarioWorkload {
+  std::vector<ScenarioJob> jobs;
+  std::vector<BurstEpisode> batch_bursts;
+  /// Per transactional app, in registration order.
+  std::vector<std::vector<BurstEpisode>> tx_bursts;
+};
+
+/// Materializes the scenario's workload. Pure function of the spec: same
+/// spec (and seed) ⇒ identical stream.
+ScenarioWorkload GenerateWorkload(const ScenarioSpec& spec);
+
+/// Byte-stable text rendering of a workload (obs::FormatDouble number
+/// format); serialize → hash is the determinism oracle.
+std::string SerializeWorkload(const ScenarioWorkload& workload);
+
+/// FNV-1a 64-bit hash of SerializeWorkload's output.
+std::uint64_t WorkloadHash(const ScenarioWorkload& workload);
+
+/// The generator's calibration parameters as ordered name→value pairs, the
+/// payload embedded into schema-v2 trace headers (TraceContext::scenario).
+std::vector<std::pair<std::string, double>> ScenarioCalibrationParams(
+    const ScenarioSpec& spec);
+
+struct ScenarioResult {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  /// Achieved relative performance at completion, per completed job.
+  Sample job_rp;
+  /// Transactional mean response time, sampled once per control period per
+  /// app (empty in EDF mode, which serves no transactional workload).
+  Sample tx_response_times;
+  int tx_sla_violations = 0;  ///< samples above tx_response_goal
+  int tx_samples = 0;
+  /// Fraction of cluster CPU allocated to some workload, per control period.
+  /// Note: a static partition's idle TX reservation counts as allocated —
+  /// that is the §1 consolidation argument; read together with batch_share.
+  RunningStats cluster_utilization;
+  /// Fraction of cluster CPU allocated to batch jobs, per control period —
+  /// the share a static TX reservation takes away under submission storms.
+  RunningStats batch_share;
+  int placement_changes = 0;
+  int disruptive_changes = 0;  ///< suspends + resumes + migrations
+  /// Fingerprint of the generated workload (WorkloadHash) — identical
+  /// across modes and runs of the same spec.
+  std::uint64_t workload_hash = 0;
+  /// End-state fingerprint ("id:status:node:work;..." in submission order).
+  std::string placement_fingerprint;
+  Seconds end_time = 0.0;
+};
+
+ScenarioResult RunScenario(const ScenarioSpec& spec, ScenarioMode mode);
+
+}  // namespace mwp::workload

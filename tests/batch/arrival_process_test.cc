@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "common/stats.h"
 
 namespace mwp {
@@ -80,6 +83,48 @@ TEST(PoissonArrivalTest, MeanChangeTakesEffectOnNextArrival) {
     p.set_mean_interarrival(10.0);
   }
   EXPECT_NEAR(first_gaps.mean(), 500.0, 500.0 * 0.08);
+}
+
+TEST(PoissonArrivalTest, DegenerateMeanRejectedAtConstruction) {
+  // Regression: the bare `mean > 0` check let +inf through (and NaN failed
+  // with an unhelpful bare-check message), producing a process whose first
+  // arrival is at infinity — a silent degenerate stream. All four degenerate
+  // means must be rejected at the construction site with a clear error.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), 0.0), std::logic_error);
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), -260.0), std::logic_error);
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), kInf), std::logic_error);
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), kNaN), std::logic_error);
+  try {
+    PoissonArrivalProcess p(Rng(1), kInf);
+    FAIL() << "infinite mean must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("finite and positive"),
+              std::string::npos);
+  }
+
+  // The start time gets the same treatment.
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), 260.0, -1.0), std::logic_error);
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), 260.0, kInf), std::logic_error);
+  EXPECT_THROW(PoissonArrivalProcess(Rng(1), 260.0, kNaN), std::logic_error);
+}
+
+TEST(PoissonArrivalTest, DegenerateMeanRejectedOnRateChange) {
+  // A mid-run rate change rescales the pending gap by new/old; a degenerate
+  // new mean would poison the gap (0, inf or NaN), so it is rejected and the
+  // process keeps its previous state.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  PoissonArrivalProcess p(Rng(6), 100.0);
+  PoissonArrivalProcess untouched(Rng(6), 100.0);
+  EXPECT_THROW(p.set_mean_interarrival(0.0), std::logic_error);
+  EXPECT_THROW(p.set_mean_interarrival(-5.0), std::logic_error);
+  EXPECT_THROW(p.set_mean_interarrival(kInf), std::logic_error);
+  EXPECT_THROW(p.set_mean_interarrival(kNaN), std::logic_error);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.NextArrival(), untouched.NextArrival());
+  }
 }
 
 TEST(PoissonArrivalTest, SequencesWithoutRateChangeAreBitIdentical) {

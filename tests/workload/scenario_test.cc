@@ -1,0 +1,167 @@
+// Scenario composition tests: spec validation, materialized workload sanity,
+// the three-mode smoke run on the small calibrated spec, and the schema-v2
+// trace header round trip carrying the generator's calibration parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/cycle_trace.h"
+#include "obs/trace_export.h"
+#include "replay/trace_reader.h"
+#include "workload/scenario.h"
+
+namespace mwp::workload {
+namespace {
+
+ScenarioSpec SmallSpec() {
+  ScenarioSpec spec = AlibabaScenarioSpec(/*num_nodes=*/12, /*seed=*/42);
+  spec.duration = 2'400.0;
+  spec.max_jobs = 200;
+  return spec;
+}
+
+TEST(ScenarioSpecTest, CalibratedPresetValidates) {
+  AlibabaScenarioSpec(100).Validate();
+  AlibabaScenarioSpec(12).Validate();
+  AlibabaScenarioSpec(500, 7).Validate();
+}
+
+TEST(ScenarioSpecTest, InvalidSpecsThrow) {
+  ScenarioSpec nodes = SmallSpec();
+  nodes.num_nodes = 1;
+  EXPECT_THROW(nodes.Validate(), std::logic_error);
+
+  ScenarioSpec partition = SmallSpec();
+  partition.static_tx_nodes = partition.num_nodes;
+  EXPECT_THROW(partition.Validate(), std::logic_error);
+
+  ScenarioSpec amplitude = SmallSpec();
+  amplitude.tx_diurnal.harmonics = {{1, 0.8, 0.0}, {2, 0.5, 0.0}};
+  EXPECT_THROW(amplitude.Validate(), std::logic_error);  // sum > 1
+
+  ScenarioSpec saturation = SmallSpec();
+  saturation.tx_saturation_cluster_fraction = 0.0;
+  EXPECT_THROW(saturation.Validate(), std::logic_error);
+}
+
+TEST(ScenarioWorkloadTest, MaterializedJobsRespectTheSpec) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioWorkload workload = GenerateWorkload(spec);
+  ASSERT_FALSE(workload.jobs.empty());
+  ASSERT_EQ(workload.tx_bursts.size(),
+            static_cast<std::size_t>(spec.num_tx_apps));
+
+  Seconds prev = -1.0;
+  for (const ScenarioJob& job : workload.jobs) {
+    EXPECT_GT(job.submit_time, prev);  // strictly increasing arrivals
+    EXPECT_LT(job.submit_time, spec.duration);
+    prev = job.submit_time;
+    EXPECT_GE(job.work, spec.jobs.work.lower);
+    EXPECT_LE(job.work, spec.jobs.work.upper);
+    EXPECT_GE(job.memory, spec.jobs.min_memory);
+    EXPECT_LE(job.memory, spec.jobs.max_memory);
+    EXPECT_TRUE(std::any_of(
+        spec.jobs.speeds.begin(), spec.jobs.speeds.end(),
+        [&](const SpeedOption& s) { return s.max_speed == job.max_speed; }));
+    EXPECT_GE(job.goal_factor, spec.jobs.goal_factor_min);
+    EXPECT_LT(job.goal_factor, spec.jobs.goal_factor_max);
+  }
+}
+
+TEST(ScenarioWorkloadTest, MaxJobsCapsTheStream) {
+  ScenarioSpec spec = SmallSpec();
+  spec.max_jobs = 5;
+  const ScenarioWorkload workload = GenerateWorkload(spec);
+  EXPECT_EQ(workload.jobs.size(), 5u);
+}
+
+TEST(ScenarioRunTest, AllThreeModesCompleteWork) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioWorkload workload = GenerateWorkload(spec);
+  for (const ScenarioMode mode :
+       {ScenarioMode::kApc, ScenarioMode::kStaticPartition,
+        ScenarioMode::kEdf}) {
+    const ScenarioResult r = RunScenario(spec, mode);
+    EXPECT_EQ(r.jobs_submitted, workload.jobs.size()) << ToString(mode);
+    EXPECT_GT(r.jobs_completed, 0u) << ToString(mode);
+    EXPECT_GE(r.end_time, spec.duration) << ToString(mode);
+    EXPECT_GT(r.cluster_utilization.count(), 0u) << ToString(mode);
+    EXPECT_FALSE(r.job_rp.empty()) << ToString(mode);
+  }
+}
+
+TEST(ScenarioRunTest, TransactionalSideServedExceptUnderEdf) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioResult apc = RunScenario(spec, ScenarioMode::kApc);
+  EXPECT_GT(apc.tx_samples, 0);
+  EXPECT_EQ(apc.tx_samples,
+            static_cast<int>(apc.tx_response_times.count()));
+
+  const ScenarioResult stat =
+      RunScenario(spec, ScenarioMode::kStaticPartition);
+  EXPECT_GT(stat.tx_samples, 0);
+
+  // EDF is the batch-only comparator: no transactional workload is served.
+  const ScenarioResult edf = RunScenario(spec, ScenarioMode::kEdf);
+  EXPECT_EQ(edf.tx_samples, 0);
+  EXPECT_EQ(edf.tx_response_times.count(), 0u);
+}
+
+TEST(ScenarioTraceTest, CalibrationParamsEmbedAndRoundTrip) {
+  ScenarioSpec spec = SmallSpec();
+  obs::TraceRecorder recorder;
+  spec.trace = &recorder;
+  spec.trace_run_id = "alibaba-test";
+  RunScenario(spec, ScenarioMode::kApc);
+  const auto traces = recorder.Traces();
+  ASSERT_FALSE(traces.empty());
+
+  obs::TraceContext context;
+  context.experiment = "alibaba_scenario";
+  context.seed = spec.seed;
+  context.control_cycle = spec.control_cycle;
+  context.build_type = "Release";
+  context.git_sha = "test";
+  context.run_id = "alibaba-test";
+  context.scenario = ScenarioCalibrationParams(spec);
+  ASSERT_FALSE(context.scenario.empty());
+
+  std::ostringstream first;
+  WriteTraceJsonl(first, context, traces);
+  const std::string exported = first.str();
+  EXPECT_NE(exported.find("\"scenario\":{\"nodes\":12"), std::string::npos);
+
+  // Parse -> re-export must be byte-identical, calibration object included.
+  std::string error;
+  const auto parsed = replay::ParseTraceJsonl(exported, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->context.scenario, context.scenario);
+  std::ostringstream second;
+  WriteTraceJsonl(second, parsed->context, parsed->cycles);
+  EXPECT_EQ(second.str(), exported);
+}
+
+TEST(ScenarioTraceTest, HeaderWithoutScenarioStaysByteIdentical) {
+  // Guard for pre-scenario exports: an empty calibration vector must leave
+  // the header exactly as it was before the key existed.
+  obs::TraceContext context;
+  context.experiment = "experiment1";
+  context.seed = 1;
+  context.control_cycle = 600.0;
+  context.build_type = "Release";
+  context.git_sha = "abc";
+  context.run_id = "r1";
+  std::ostringstream os;
+  WriteTraceJsonl(os, context, {});
+  EXPECT_EQ(os.str(),
+            "{\"record\":\"header\",\"schema_version\":2,\"run_id\":\"r1\","
+            "\"experiment\":\"experiment1\",\"seed\":1,\"control_cycle\":600,"
+            "\"build_type\":\"Release\",\"git_sha\":\"abc\","
+            "\"num_cycles\":0}\n");
+}
+
+}  // namespace
+}  // namespace mwp::workload

@@ -228,6 +228,15 @@ def check_header(obj, line_no):
     keys = dict(HEADER_KEYS)
     if version >= 2:
         keys["run_id"] = str
+    if "scenario" in obj:
+        # Optional calibration payload stamped by workload-scenario runs
+        # (src/workload): a flat name -> number object.
+        keys["scenario"] = dict
+        if isinstance(obj["scenario"], dict):
+            for name, value in obj["scenario"].items():
+                if not isinstance(value, NUMBER) or isinstance(value, bool):
+                    fail(line_no, f"scenario field {name!r} has type "
+                                  f"{type(value).__name__}")
     if set(obj) != set(keys):
         extra = set(obj) - set(keys)
         missing = set(keys) - set(obj)
